@@ -1,0 +1,75 @@
+"""Shared benchmark fixtures: session-scoped datasets and run helpers.
+
+Each benchmark measures the *real* wall time of one engine executing one
+catalog query on the simulated cluster (pedantic mode, one round — the
+simulation is deterministic), and attaches the simulated metrics (MR
+cycles, simulated seconds, shuffle volume) as ``extra_info`` so the
+paper-shaped numbers appear in the benchmark report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.catalog import get_query
+from repro.bench.harness import bsbm_config, chem_config, pubmed_config
+from repro.core.engines import make_engine, to_analytical
+from repro.datasets import bsbm, chem2bio2rdf, pubmed
+
+
+@pytest.fixture(scope="session")
+def bsbm_500k():
+    return bsbm.generate(bsbm.preset("500k"))
+
+
+@pytest.fixture(scope="session")
+def bsbm_2m():
+    return bsbm.generate(bsbm.preset("2m"))
+
+
+@pytest.fixture(scope="session")
+def chem_paper():
+    return chem2bio2rdf.generate(chem2bio2rdf.preset("paper"))
+
+
+@pytest.fixture(scope="session")
+def pubmed_paper():
+    return pubmed.generate(pubmed.preset("paper"))
+
+
+@pytest.fixture(scope="session")
+def analytical_queries():
+    """Parsed analytical forms, shared across engine benchmarks."""
+    return {qid: to_analytical(get_query(qid).sparql) for qid in (
+        "G1", "G2", "G3", "G4", "G5", "G6", "G7", "G8", "G9",
+        "MG1", "MG2", "MG3", "MG4", "MG6", "MG7", "MG8", "MG9", "MG10",
+        "MG11", "MG12", "MG13", "MG14", "MG15", "MG16", "MG17", "MG18",
+    )}
+
+
+CONFIGS = {
+    "bsbm": bsbm_config,
+    "chem": chem_config,
+    "pubmed": pubmed_config,
+}
+
+
+def run_benchmark(benchmark, qid, engine, graph, analytical_queries, dataset):
+    """Benchmark one (query, engine) pair and record simulated metrics."""
+    analytical = analytical_queries[qid]
+    config = CONFIGS[dataset]()
+
+    def execute():
+        return make_engine(engine).execute(analytical, graph, config)
+
+    report = benchmark.pedantic(execute, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = qid
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["mr_cycles"] = report.cycles
+    benchmark.extra_info["map_only_cycles"] = report.map_only_cycles
+    benchmark.extra_info["simulated_seconds"] = round(report.cost_seconds, 2)
+    benchmark.extra_info["shuffle_bytes"] = report.stats.total_shuffle_bytes
+    benchmark.extra_info["materialized_bytes"] = report.stats.total_materialized_bytes
+    assert report.rows, f"{qid} on {engine} returned no rows"
+    return report

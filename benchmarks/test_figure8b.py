@@ -1,0 +1,63 @@
+"""Figure 8(b): MG1-MG4 on BSBM-2M (4x scale).
+
+Paper shape: all gains persist or grow at the larger scale — in
+particular RAPIDAnalytics' gain over the Hive approaches increases from
+BSBM-500K to BSBM-2M (90-93% → 97% for MG1-MG2 in the paper), and
+Hive(MQO) overtakes naive Hive as materialization savings grow.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_benchmark
+from repro.bench.harness import bsbm_config
+from repro.core.engines import PAPER_ENGINES, make_engine
+
+QUERIES = ("MG1", "MG2", "MG3", "MG4")
+
+
+@pytest.mark.parametrize("engine", PAPER_ENGINES)
+@pytest.mark.parametrize("qid", QUERIES)
+def test_figure8b(benchmark, qid, engine, bsbm_2m, analytical_queries):
+    report = run_benchmark(benchmark, qid, engine, bsbm_2m, analytical_queries, "bsbm")
+    assert report.cost_seconds > 0
+
+
+@pytest.mark.parametrize("qid", ("MG1", "MG3"))
+def test_figure8b_gain_grows_with_scale(benchmark, qid, bsbm_500k, bsbm_2m, analytical_queries):
+    """naive-Hive/RAPIDAnalytics cost ratio must not shrink at 4x scale."""
+    config = bsbm_config()
+
+    def ratios():
+        out = {}
+        for label, graph in (("500k", bsbm_500k), ("2m", bsbm_2m)):
+            hive = make_engine("hive-naive").execute(analytical_queries[qid], graph, config)
+            analytics = make_engine("rapid-analytics").execute(
+                analytical_queries[qid], graph, config
+            )
+            out[label] = hive.cost_seconds / analytics.cost_seconds
+        return out
+
+    result = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    benchmark.extra_info["ratio_500k"] = round(result["500k"], 2)
+    benchmark.extra_info["ratio_2m"] = round(result["2m"], 2)
+    assert result["2m"] >= result["500k"] * 0.95  # persists (and typically grows)
+
+
+def test_figure8b_mqo_overtakes_naive_at_scale(benchmark, bsbm_2m, analytical_queries):
+    """At BSBM-2M the MQO rewrite beats naive Hive on every MG query
+    (the paper: 'Hive (MQO) did better than Hive for most cases with
+    larger dataset')."""
+    config = bsbm_config()
+
+    def run_all():
+        results = {}
+        for qid in QUERIES:
+            naive = make_engine("hive-naive").execute(analytical_queries[qid], bsbm_2m, config)
+            mqo = make_engine("hive-mqo").execute(analytical_queries[qid], bsbm_2m, config)
+            results[qid] = (naive.cost_seconds, mqo.cost_seconds)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    wins = sum(1 for naive, mqo in results.values() if mqo < naive)
+    benchmark.extra_info["mqo_wins"] = wins
+    assert wins >= 3  # "most cases"

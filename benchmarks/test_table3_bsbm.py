@@ -1,0 +1,43 @@
+"""Table 3 (left): single-grouping queries G1-G4 on BSBM.
+
+Paper: Hive needs 4 MR cycles per query, RAPIDAnalytics 2, with ~80%
+gains on BSBM-500K that persist on BSBM-2M.  The benchmark reruns both
+engines on both scale presets and checks the shape: cycle counts match
+exactly; RAPIDAnalytics wins on simulated cost at both scales.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_benchmark
+from repro.bench.harness import bsbm_config
+from repro.core.engines import make_engine
+
+QUERIES = ("G1", "G2", "G3", "G4")
+ENGINES = ("hive-naive", "rapid-analytics")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("qid", QUERIES)
+def test_table3_bsbm_500k(benchmark, qid, engine, bsbm_500k, analytical_queries):
+    report = run_benchmark(benchmark, qid, engine, bsbm_500k, analytical_queries, "bsbm")
+    expected_cycles = 4 if engine == "hive-naive" else 2
+    assert report.cycles == expected_cycles
+
+
+@pytest.mark.parametrize("qid", QUERIES)
+def test_table3_bsbm_2m_speedup_shape(benchmark, qid, bsbm_2m, analytical_queries):
+    """On the 4x dataset RAPIDAnalytics keeps a clear win over Hive."""
+    config = bsbm_config()
+    analytical = analytical_queries[qid]
+
+    def run_both():
+        hive = make_engine("hive-naive").execute(analytical, bsbm_2m, config)
+        analytics = make_engine("rapid-analytics").execute(analytical, bsbm_2m, config)
+        return hive, analytics
+
+    hive, analytics = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    speedup = hive.cost_seconds / analytics.cost_seconds
+    benchmark.extra_info["query"] = qid
+    benchmark.extra_info["speedup_naive_over_ra"] = round(speedup, 2)
+    assert speedup > 2.0, f"{qid}: expected a clear win, got {speedup:.2f}x"
+    assert analytics.cycles == 2 and hive.cycles == 4

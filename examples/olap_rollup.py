@@ -1,0 +1,64 @@
+"""OLAP extensions: ROLLUP and CUBE on RDF (the paper's future work).
+
+The paper concludes that "a natural extension of this work is to
+support more complex OLAP queries on RDF data models".  This example
+exercises that extension: the n-way composite rewrite evaluates a full
+ROLLUP — (country, feature), (country), grand total — and a CUBE over
+the same dimensions, each in a constant number of MR cycles on
+RAPIDAnalytics, while the naive relational plan grows by ~5 cycles per
+additional grouping set.
+
+Run:  python examples/olap_rollup.py
+"""
+
+from repro.core.engines import PAPER_ENGINES, make_engine
+from repro.core.olap import cube, grouping_sets, rollup, template_from_sparql
+from repro.datasets import bsbm
+from repro.rdf.terms import Variable
+
+TEMPLATE = """
+PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+SELECT ?c ?f (SUM(?pr) AS ?sum) (COUNT(?pr) AS ?cnt) {
+  ?p a bsbm:ProductType1 ; bsbm:productFeature ?f .
+  ?o bsbm:product ?p ; bsbm:price ?pr ; bsbm:vendor ?v .
+  ?v bsbm:country ?c .
+} GROUP BY ?c ?f
+"""
+
+
+def main() -> None:
+    graph = bsbm.generate(bsbm.preset("500k"))
+    template = template_from_sparql(TEMPLATE)
+    country, feature = Variable("c"), Variable("f")
+
+    print("ROLLUP(country, feature) — avg price per (country, feature) with")
+    print("per-country subtotals and the grand total on every row:\n")
+    query = rollup(template, (country, feature))
+    report = make_engine("rapid-analytics").execute(query, graph)
+    for row in sorted(report.rows, key=str)[:5]:
+        values = {v.name: t.n3() for v, t in sorted(row.items(), key=lambda kv: kv[0].name)}
+        print(f"  {values}")
+    print(f"  ... {len(report.rows)} rows total\n")
+
+    print(f"{'grouping sets':>14s} | " + " | ".join(f"{e:>16s}" for e in PAPER_ENGINES))
+    for label, analytical in (
+        ("2 (MG1-like)", grouping_sets(template, [(country, feature), ()])),
+        ("3 (ROLLUP)", rollup(template, (country, feature))),
+        ("4 (CUBE)", cube(template, (country, feature))),
+    ):
+        cycles = []
+        for engine in PAPER_ENGINES:
+            cycles.append(make_engine(engine).execute(analytical, graph).cycles)
+        print(
+            f"{label:>14s} | "
+            + " | ".join(f"{c:13d} cy" for c in cycles)
+        )
+    print(
+        "\nRAPIDAnalytics answers every variant in the same 3-4 cycles\n"
+        "(one composite pass, one fused parallel Agg-Join, one map-only\n"
+        "join), while the sequential plans grow with each grouping set."
+    )
+
+
+if __name__ == "__main__":
+    main()

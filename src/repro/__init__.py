@@ -1,0 +1,59 @@
+"""repro — a reproduction of "Optimization of Complex SPARQL Analytical
+Queries" (Ravindra, Kim, Anyanwu; EDBT 2016).
+
+The library implements the paper's RAPIDAnalytics system — composite
+graph pattern rewriting and parallel grouping-aggregation over the
+Nested TripleGroup Algebra — together with every substrate it needs:
+an RDF store, a SPARQL front end, a deterministic MapReduce simulator,
+Hive-style baselines (naive and MQO), synthetic benchmark dataset
+generators (BSBM-BI, Chem2Bio2RDF, PubMed), and a benchmark harness
+that regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Graph, run_query
+    from repro.datasets import bsbm
+
+    graph = bsbm.generate(bsbm.BSBMConfig(products=200, seed=7))
+    report = run_query(MY_SPARQL, graph, engine="rapid-analytics")
+    for row in report.rows:
+        print(row)
+    print(report.cycles, "MR cycles,", report.cost_seconds, "simulated seconds")
+"""
+
+from repro.core.engines import (
+    PAPER_ENGINES,
+    make_engine,
+    run_all_engines,
+    run_query,
+)
+from repro.core.query_model import AnalyticalQuery, parse_analytical
+from repro.core.results import EngineConfig, ExecutionReport
+from repro.errors import ReproError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Variable
+from repro.rdf.triples import Triple, TriplePattern
+from repro.sparql.parser import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalQuery",
+    "BNode",
+    "EngineConfig",
+    "ExecutionReport",
+    "Graph",
+    "IRI",
+    "Literal",
+    "PAPER_ENGINES",
+    "ReproError",
+    "Triple",
+    "TriplePattern",
+    "Variable",
+    "__version__",
+    "make_engine",
+    "parse_analytical",
+    "parse_query",
+    "run_all_engines",
+    "run_query",
+]

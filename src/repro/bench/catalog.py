@@ -1,0 +1,543 @@
+"""The paper's query workload (Figure 7 plus appendix).
+
+Single-grouping queries G1-G9 and multi-grouping queries MG1-MG18,
+written in the supported SPARQL subset against the synthetic dataset
+schemas.  Each entry carries the structural metadata Figure 7 reports
+(triple patterns per star, grouping keys) so tests can verify the
+workload's shape matches the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+
+_BSBM = "PREFIX bsbm: <http://bsbm.example.org/vocabulary/>\n"
+_CHEM = "PREFIX chem: <http://chem2bio2rdf.example.org/vocabulary/>\n"
+_PM = "PREFIX pm: <http://pubmed.example.org/vocabulary/>\n"
+
+
+@dataclass(frozen=True)
+class SubqueryStructure:
+    """Figure 7 metadata for one grouping subquery."""
+
+    star_sizes: tuple[int, ...]  # triple patterns per star, e.g. (3, 2)
+    group_by: tuple[str, ...]  # () = GROUP BY ALL
+
+    def label(self) -> str:
+        groups = "{" + ",".join(self.group_by) + "}" if self.group_by else "ALL"
+        return ":".join(str(s) for s in self.star_sizes) + " " + groups
+
+
+@dataclass(frozen=True)
+class CatalogQuery:
+    qid: str
+    dataset: str  # 'bsbm' | 'chem' | 'pubmed'
+    description: str
+    sparql: str
+    structure: tuple[SubqueryStructure, ...]
+    selectivity: str = ""  # 'lo' | 'hi' | ''
+
+    @property
+    def is_multi_grouping(self) -> bool:
+        return len(self.structure) > 1
+
+
+def _bsbm_single(qid: str, product_type: str, group_by_feature: bool, selectivity: str) -> CatalogQuery:
+    if group_by_feature:
+        sparql = _BSBM + f"""
+SELECT ?f (COUNT(?pr) AS ?cnt) (SUM(?pr) AS ?sum) {{
+  ?p a bsbm:{product_type} ; bsbm:label ?l ; bsbm:productFeature ?f .
+  ?o bsbm:product ?p ; bsbm:price ?pr .
+}} GROUP BY ?f
+"""
+        structure = (SubqueryStructure((3, 2), ("feature",)),)
+        description = f"price count/sum per feature for {product_type}"
+    else:
+        sparql = _BSBM + f"""
+SELECT (COUNT(?pr) AS ?cnt) (SUM(?pr) AS ?sum) {{
+  ?p a bsbm:{product_type} ; bsbm:label ?l .
+  ?o bsbm:product ?p ; bsbm:price ?pr .
+}}
+"""
+        structure = (SubqueryStructure((2, 2), ()),)
+        description = f"price count/sum across all {product_type} products"
+    return CatalogQuery(qid, "bsbm", description, sparql, structure, selectivity)
+
+
+def _bsbm_mg12(qid: str, product_type: str, selectivity: str) -> CatalogQuery:
+    sparql = _BSBM + f"""
+SELECT ?f ?sumF ?cntF ?sumT ?cntT {{
+  {{ SELECT ?f (SUM(?pr2) AS ?sumF) (COUNT(?pr2) AS ?cntF) {{
+      ?p2 a bsbm:{product_type} ; bsbm:label ?l2 ; bsbm:productFeature ?f .
+      ?o2 bsbm:product ?p2 ; bsbm:price ?pr2 .
+    }} GROUP BY ?f
+  }}
+  {{ SELECT (SUM(?pr) AS ?sumT) (COUNT(?pr) AS ?cntT) {{
+      ?p1 a bsbm:{product_type} ; bsbm:label ?l1 .
+      ?o1 bsbm:product ?p1 ; bsbm:price ?pr .
+    }}
+  }}
+}}
+"""
+    return CatalogQuery(
+        qid,
+        "bsbm",
+        f"avg price per feature vs across all features ({product_type})",
+        sparql,
+        (
+            SubqueryStructure((3, 2), ("feature",)),
+            SubqueryStructure((2, 2), ()),
+        ),
+        selectivity,
+    )
+
+
+def _bsbm_mg34(qid: str, product_type: str, selectivity: str) -> CatalogQuery:
+    sparql = _BSBM + f"""
+SELECT ?f ?c ?sumF ?cntF ?sumT ?cntT {{
+  {{ SELECT ?f ?c (SUM(?pr2) AS ?sumF) (COUNT(?pr2) AS ?cntF) {{
+      ?p2 a bsbm:{product_type} ; bsbm:label ?l2 ; bsbm:productFeature ?f .
+      ?o2 bsbm:product ?p2 ; bsbm:price ?pr2 ; bsbm:vendor ?v2 .
+      ?v2 bsbm:country ?c .
+    }} GROUP BY ?f ?c
+  }}
+  {{ SELECT ?c (SUM(?pr) AS ?sumT) (COUNT(?pr) AS ?cntT) {{
+      ?p1 a bsbm:{product_type} ; bsbm:label ?l1 .
+      ?o1 bsbm:product ?p1 ; bsbm:price ?pr ; bsbm:vendor ?v1 .
+      ?v1 bsbm:country ?c .
+    }} GROUP BY ?c
+  }}
+}}
+"""
+    return CatalogQuery(
+        qid,
+        "bsbm",
+        f"avg price per country-feature vs per country ({product_type})",
+        sparql,
+        (
+            SubqueryStructure((3, 3, 1), ("feature", "country")),
+            SubqueryStructure((2, 3, 1), ("country",)),
+        ),
+        selectivity,
+    )
+
+
+_CHEM_ASSAY_STARS = """
+      ?b chem:CID ?cid ; chem:outcome ?a ; chem:Score ?s1 ; chem:gi ?gi .
+      ?u chem:gi ?gi ; chem:geneSymbol ?g .
+      ?di chem:gene ?g ; chem:DBID ?dr .
+"""
+
+
+def _chem_queries() -> list[CatalogQuery]:
+    queries = []
+    queries.append(
+        CatalogQuery(
+            "G5",
+            "chem",
+            "compounds sharing targets with Dexamethasone (count per compound)",
+            _CHEM + """
+SELECT ?cid (COUNT(?cid) AS ?cnt) {
+  ?b chem:CID ?cid ; chem:outcome ?a ; chem:Score ?s1 ; chem:gi ?gi .
+  ?u chem:gi ?gi ; chem:geneSymbol ?g .
+  ?di chem:gene ?g ; chem:DBID ?dr .
+  ?dr chem:Generic_Name "Dexamethasone" .
+} GROUP BY ?cid
+""",
+            (SubqueryStructure((4, 2, 2, 1), ("cid",)),),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "G6",
+            "chem",
+            "compounds active towards targets in the MAPK signaling pathway",
+            _CHEM + """
+SELECT ?cid (COUNT(?cid) AS ?cnt) {
+  ?b chem:CID ?cid ; chem:outcome ?a ; chem:Score ?s1 ; chem:gi ?gi .
+  ?u chem:gi ?gi .
+  ?pathway chem:protein ?u ; chem:Pathway_name ?pname .
+  FILTER REGEX(?pname, "MAPK signaling pathway", "i")
+} GROUP BY ?cid
+""",
+            (SubqueryStructure((4, 1, 2), ("cid",)),),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "G7",
+            "chem",
+            "pathways containing targets of drugs with hepatomegaly side effect",
+            _CHEM + """
+SELECT ?pid (COUNT(?pid) AS ?cnt) {
+  ?sider chem:side_effect ?se ; chem:cid ?cid .
+  FILTER REGEX(?se, "hepatomegaly", "i")
+  ?dr chem:CID ?cid .
+  ?target chem:DBID ?dr ; chem:SwissProt_ID ?u .
+  ?pathway chem:protein ?u ; chem:pathwayid ?pid .
+} GROUP BY ?pid
+""",
+            (SubqueryStructure((2, 1, 2, 2), ("pid",)),),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "G8",
+            "chem",
+            "high-scoring assays per compound with drug-gene evidence",
+            _CHEM + """
+SELECT ?cid (COUNT(?cid) AS ?cnt) {
+""" + _CHEM_ASSAY_STARS + """
+  FILTER (?s1 > 50)
+} GROUP BY ?cid
+""",
+            (SubqueryStructure((4, 2, 2), ("cid",)),),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "G9",
+            "chem",
+            "medline publications per gene symbol (large VP tables)",
+            _CHEM + """
+SELECT ?gs (COUNT(?pmid) AS ?cnt) {
+  ?g chem:geneSymbol ?gs .
+  ?pmid chem:gene ?g ; chem:side_effect ?se .
+} GROUP BY ?gs
+""",
+            (SubqueryStructure((1, 2), ("gs",)),),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "MG6",
+            "chem",
+            "targets per compound-gene vs per compound",
+            _CHEM + """
+SELECT ?cid ?g1 ?aPerCG ?aPerC {
+  { SELECT ?cid ?g1 (COUNT(?cid) AS ?aPerCG) {
+      ?b1 chem:CID ?cid ; chem:outcome ?a1 ; chem:Score ?sc1 ; chem:gi ?gi1 .
+      ?u1 chem:gi ?gi1 ; chem:geneSymbol ?g1 .
+      ?di1 chem:gene ?g1 ; chem:DBID ?dr1 .
+    } GROUP BY ?cid ?g1
+  }
+  { SELECT ?cid (COUNT(?cid) AS ?aPerC) {
+      ?b chem:CID ?cid ; chem:outcome ?a ; chem:Score ?sc ; chem:gi ?gi .
+      ?u chem:gi ?gi ; chem:geneSymbol ?g .
+      ?di chem:gene ?g ; chem:DBID ?dr .
+    } GROUP BY ?cid
+  }
+}
+""",
+            (
+                SubqueryStructure((4, 2, 2), ("cid", "gene")),
+                SubqueryStructure((4, 2, 2), ("cid",)),
+            ),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "MG7",
+            "chem",
+            "targets per compound-drug vs per compound",
+            _CHEM + """
+SELECT ?cid ?dr1 ?aPerCD ?aPerC {
+  { SELECT ?cid ?dr1 (COUNT(?cid) AS ?aPerCD) {
+      ?b1 chem:CID ?cid ; chem:outcome ?a1 ; chem:Score ?sc1 ; chem:gi ?gi1 .
+      ?u1 chem:gi ?gi1 ; chem:geneSymbol ?g1 .
+      ?di1 chem:gene ?g1 ; chem:DBID ?dr1 .
+    } GROUP BY ?cid ?dr1
+  }
+  { SELECT ?cid (COUNT(?cid) AS ?aPerC) {
+      ?b chem:CID ?cid ; chem:outcome ?a ; chem:Score ?sc ; chem:gi ?gi .
+      ?u chem:gi ?gi ; chem:geneSymbol ?g .
+      ?di chem:gene ?g ; chem:DBID ?dr .
+    } GROUP BY ?cid
+  }
+}
+""",
+            (
+                SubqueryStructure((4, 2, 2), ("cid", "drug")),
+                SubqueryStructure((4, 2, 2), ("cid",)),
+            ),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "MG8",
+            "chem",
+            "targets per compound-gene vs total",
+            _CHEM + """
+SELECT ?cid ?g1 ?aPerCG ?aT {
+  { SELECT ?cid ?g1 (COUNT(?cid) AS ?aPerCG) {
+      ?b1 chem:CID ?cid ; chem:outcome ?a1 ; chem:Score ?sc1 ; chem:gi ?gi1 .
+      ?u1 chem:gi ?gi1 ; chem:geneSymbol ?g1 .
+      ?di1 chem:gene ?g1 ; chem:DBID ?dr1 .
+    } GROUP BY ?cid ?g1
+  }
+  { SELECT (COUNT(?cid2) AS ?aT) {
+      ?b chem:CID ?cid2 ; chem:outcome ?a ; chem:Score ?sc ; chem:gi ?gi .
+      ?u chem:gi ?gi ; chem:geneSymbol ?g .
+      ?di chem:gene ?g ; chem:DBID ?dr .
+    }
+  }
+}
+""",
+            (
+                SubqueryStructure((4, 2, 2), ("cid", "gene")),
+                SubqueryStructure((4, 2, 2), ()),
+            ),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "MG9",
+            "chem",
+            "medline publications per gene vs total",
+            _CHEM + """
+SELECT ?gs ?pPerGene ?pT {
+  { SELECT ?gs (COUNT(?gs) AS ?pPerGene) {
+      ?g chem:geneSymbol ?gs .
+      ?pmid chem:gene ?g ; chem:side_effect ?se .
+    } GROUP BY ?gs
+  }
+  { SELECT (COUNT(?gs1) AS ?pT) {
+      ?g1 chem:geneSymbol ?gs1 .
+      ?pmid1 chem:gene ?g1 ; chem:side_effect ?se1 .
+    }
+  }
+}
+""",
+            (
+                SubqueryStructure((1, 2), ("gene",)),
+                SubqueryStructure((1, 2), ()),
+            ),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "MG10",
+            "chem",
+            "publications per disease-gene vs per gene",
+            _CHEM + """
+SELECT ?d ?gs ?pPerDG ?pPerG {
+  { SELECT ?d ?gs (COUNT(?pmid) AS ?pPerDG) {
+      ?pmid chem:gene ?g ; chem:disease ?d ; chem:side_effect ?se .
+      ?g chem:geneSymbol ?gs .
+    } GROUP BY ?d ?gs
+  }
+  { SELECT ?gs (COUNT(?pmid1) AS ?pPerG) {
+      ?pmid1 chem:gene ?g1 ; chem:side_effect ?se1 .
+      ?g1 chem:geneSymbol ?gs .
+    } GROUP BY ?gs
+  }
+}
+""",
+            (
+                SubqueryStructure((3, 1), ("disease", "gene")),
+                SubqueryStructure((2, 1), ("gene",)),
+            ),
+        )
+    )
+    return queries
+
+
+def _pubmed_queries() -> list[CatalogQuery]:
+    queries = []
+    queries.append(
+        CatalogQuery(
+            "MG11",
+            "pubmed",
+            "journals funded per grant country vs total",
+            _PM + """
+SELECT ?c ?cntC ?cntT {
+  { SELECT ?c (COUNT(?g) AS ?cntC) {
+      ?pub pm:journal ?j ; pm:grant ?g .
+      ?g pm:grant_agency ?ga ; pm:grant_country ?c .
+    } GROUP BY ?c
+  }
+  { SELECT (COUNT(?g1) AS ?cntT) {
+      ?pub1 pm:journal ?j1 ; pm:grant ?g1 .
+      ?g1 pm:grant_agency ?ga1 .
+    }
+  }
+}
+""",
+            (
+                SubqueryStructure((2, 2), ("country",)),
+                SubqueryStructure((2, 1), ()),
+            ),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "MG12",
+            "pubmed",
+            "grants per country and publication type vs per country",
+            _PM + """
+SELECT ?c ?pty ?cntCP ?cntC {
+  { SELECT ?c ?pty (COUNT(?g) AS ?cntCP) {
+      ?pub pm:pub_type ?pty ; pm:grant ?g .
+      ?g pm:grant_agency ?ga ; pm:grant_country ?c .
+    } GROUP BY ?c ?pty
+  }
+  { SELECT ?c (COUNT(?g1) AS ?cntC) {
+      ?pub1 pm:journal ?j1 ; pm:grant ?g1 .
+      ?g1 pm:grant_country ?c .
+    } GROUP BY ?c
+  }
+}
+""",
+            (
+                SubqueryStructure((2, 2), ("country", "pubType")),
+                SubqueryStructure((2, 1), ("country",)),
+            ),
+        )
+    )
+    for qid, prop, desc in (
+        ("MG13", "mesh_heading", "MeSH headings per author-pubtype vs per pubtype"),
+        ("MG14", "chemical", "chemicals per author-pubtype vs per pubtype"),
+    ):
+        queries.append(
+            CatalogQuery(
+                qid,
+                "pubmed",
+                desc,
+                _PM + f"""
+SELECT ?a ?pty ?perAPT ?perPT {{
+  {{ SELECT ?a ?pty (COUNT(?m) AS ?perAPT) {{
+      ?p pm:pub_type ?pty ; pm:{prop} ?m ; pm:author ?a .
+      ?a pm:last_name ?ln .
+    }} GROUP BY ?a ?pty
+  }}
+  {{ SELECT ?pty (COUNT(?m1) AS ?perPT) {{
+      ?p1 pm:pub_type ?pty ; pm:{prop} ?m1 ; pm:author ?a1 .
+      ?a1 pm:last_name ?ln1 .
+    }} GROUP BY ?pty
+  }}
+}}
+""",
+                (
+                    SubqueryStructure((3, 1), ("author", "pubType")),
+                    SubqueryStructure((3, 1), ("pubType",)),
+                ),
+            )
+        )
+    for qid, pub_type, selectivity in (("MG15", "Journal Article", "lo"), ("MG16", "News", "hi")):
+        queries.append(
+            CatalogQuery(
+                qid,
+                "pubmed",
+                f'chemicals per author last name vs total ("{pub_type}")',
+                _PM + f"""
+SELECT ?ln ?perA ?allA {{
+  {{ SELECT ?ln (COUNT(?ch) AS ?perA) {{
+      ?pub pm:pub_type "{pub_type}" ; pm:chemical ?ch ; pm:author ?a .
+      ?a pm:last_name ?ln .
+    }} GROUP BY ?ln
+  }}
+  {{ SELECT (COUNT(?ch1) AS ?allA) {{
+      ?pub1 pm:pub_type "{pub_type}" ; pm:chemical ?ch1 ; pm:author ?a1 .
+      ?a1 pm:last_name ?ln1 .
+    }}
+  }}
+}}
+""",
+                (
+                    SubqueryStructure((3, 1), ("authorlastname",)),
+                    SubqueryStructure((3, 1), ()),
+                ),
+                selectivity,
+            )
+        )
+    queries.append(
+        CatalogQuery(
+            "MG17",
+            "pubmed",
+            "grants per country vs total",
+            _PM + """
+SELECT ?c ?cntC ?cntT {
+  { SELECT ?c (COUNT(?g) AS ?cntC) {
+      ?p pm:pub_type ?pty ; pm:journal ?j ; pm:grant ?g .
+      ?g pm:grant_agency ?ga ; pm:grant_country ?c .
+    } GROUP BY ?c
+  }
+  { SELECT (COUNT(?g1) AS ?cntT) {
+      ?p1 pm:pub_type ?pty1 ; pm:journal ?j1 ; pm:grant ?g1 .
+      ?g1 pm:grant_agency ?ga1 .
+    }
+  }
+}
+""",
+            (
+                SubqueryStructure((3, 2), ("country",)),
+                SubqueryStructure((3, 1), ()),
+            ),
+        )
+    )
+    queries.append(
+        CatalogQuery(
+            "MG18",
+            "pubmed",
+            "journal articles per author-country vs per country",
+            _PM + """
+SELECT ?c ?a ?perAC ?perC {
+  { SELECT ?c ?a (COUNT(?g) AS ?perAC) {
+      ?p pm:pub_type "Journal Article" ; pm:author ?a ; pm:grant ?g .
+      ?g pm:grant_agency ?ga ; pm:grant_country ?c .
+    } GROUP BY ?c ?a
+  }
+  { SELECT ?c (COUNT(?g1) AS ?perC) {
+      ?pub1 pm:pub_type "Journal Article" ; pm:grant ?g1 .
+      ?g1 pm:grant_agency ?ga1 ; pm:grant_country ?c .
+    } GROUP BY ?c
+  }
+}
+""",
+            (
+                SubqueryStructure((3, 2), ("author", "country")),
+                SubqueryStructure((2, 2), ("country",)),
+            ),
+        )
+    )
+    return queries
+
+
+def _build_catalog() -> dict[str, CatalogQuery]:
+    queries: list[CatalogQuery] = [
+        _bsbm_single("G1", "ProductType1", False, "lo"),
+        _bsbm_single("G2", "ProductType9", False, "hi"),
+        _bsbm_single("G3", "ProductType1", True, "lo"),
+        _bsbm_single("G4", "ProductType9", True, "hi"),
+        _bsbm_mg12("MG1", "ProductType1", "lo"),
+        _bsbm_mg12("MG2", "ProductType9", "hi"),
+        _bsbm_mg34("MG3", "ProductType1", "lo"),
+        _bsbm_mg34("MG4", "ProductType9", "hi"),
+    ]
+    queries.extend(_chem_queries())
+    queries.extend(_pubmed_queries())
+    return {query.qid: query for query in queries}
+
+
+CATALOG: dict[str, CatalogQuery] = _build_catalog()
+
+
+def get_query(qid: str) -> CatalogQuery:
+    try:
+        return CATALOG[qid]
+    except KeyError:
+        raise DatasetError(f"unknown catalog query {qid!r}") from None
+
+
+def queries_for_dataset(dataset: str) -> list[CatalogQuery]:
+    return [q for q in CATALOG.values() if q.dataset == dataset]
+
+
+def multi_grouping_queries() -> list[CatalogQuery]:
+    return [q for q in CATALOG.values() if q.is_multi_grouping]
+
+
+def single_grouping_queries() -> list[CatalogQuery]:
+    return [q for q in CATALOG.values() if not q.is_multi_grouping]

@@ -1,0 +1,104 @@
+"""Rendering of experiment results as paper-style text tables."""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+
+_ENGINE_HEADERS = {
+    "hive-naive": "Hive(Naive)",
+    "hive-mqo": "Hive(MQO)",
+    "rapid-plus": "RAPID+",
+    "rapid-analytics": "R.Analytics",
+    "reference": "Reference",
+}
+
+
+def _fmt_cost(measurement) -> str:
+    if measurement is None:
+        return "-"
+    if measurement.failed:
+        return f"FAIL({measurement.failed})"
+    return f"{measurement.cost_seconds:.1f}"
+
+
+def render_cost_table(result: ExperimentResult) -> str:
+    """One row per query, one cost column per engine (paper layout)."""
+    headers = ["Query"] + [_ENGINE_HEADERS.get(e, e) for e in result.engines]
+    headers += ["Cycles " + _ENGINE_HEADERS.get(e, e) for e in result.engines]
+    rows: list[list[str]] = []
+    for qid in result.query_ids():
+        per_engine = result.for_query(qid)
+        row = [qid]
+        row += [_fmt_cost(per_engine.get(engine)) for engine in result.engines]
+        for engine in result.engines:
+            measurement = per_engine.get(engine)
+            if measurement is None or measurement.failed:
+                row.append("-")
+            else:
+                row.append(f"{measurement.cycles}({measurement.map_only_cycles}mo)")
+        rows.append(row)
+    return _render(result.title, headers, rows)
+
+
+def render_gains_table(
+    result: ExperimentResult, baseline: str = "hive-naive", engine: str = "rapid-analytics"
+) -> str:
+    """Speedup / percentage-gain summary (the paper quotes these)."""
+    headers = ["Query", f"{baseline} cost", f"{engine} cost", "speedup", "gain %"]
+    rows: list[list[str]] = []
+    for qid in result.query_ids():
+        per_engine = result.for_query(qid)
+        base, target = per_engine.get(baseline), per_engine.get(engine)
+        if base is None or target is None or base.failed or target.failed:
+            rows.append([qid, "-", "-", "-", "-"])
+            continue
+        speedup = base.cost_seconds / target.cost_seconds
+        gain = (1 - 1 / speedup) * 100
+        rows.append(
+            [
+                qid,
+                f"{base.cost_seconds:.1f}",
+                f"{target.cost_seconds:.1f}",
+                f"{speedup:.2f}x",
+                f"{gain:.0f}%",
+            ]
+        )
+    return _render(f"{result.title} — gains of {engine} over {baseline}", headers, rows)
+
+
+def render_io_table(result: ExperimentResult) -> str:
+    """Shuffle and materialization volumes per query and engine."""
+    headers = ["Query", "Engine", "Shuffle B", "Materialized B", "MR cycles"]
+    rows: list[list[str]] = []
+    for qid in result.query_ids():
+        for engine in result.engines:
+            measurement = result.for_query(qid).get(engine)
+            if measurement is None:
+                continue
+            if measurement.failed:
+                rows.append([qid, engine, "-", "-", measurement.failed])
+                continue
+            rows.append(
+                [
+                    qid,
+                    engine,
+                    str(measurement.shuffle_bytes),
+                    str(measurement.materialized_bytes),
+                    str(measurement.cycles),
+                ]
+            )
+    return _render(f"{result.title} — I/O volumes", headers, rows)
+
+
+def _render(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(line(row) for row in rows)
+    return f"{title}\n{line(headers)}\n{separator}\n{body}"

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — execute a catalog query (or a SPARQL file) on one engine
+* ``compare``  — run a query on all four engines and tabulate
+* ``explain``  — show the decomposition and MR plan
+* ``bench``    — regenerate one of the paper's tables/figures
+* ``catalog``  — list the workload queries
+* ``generate`` — write a synthetic dataset as N-Triples
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench.catalog import CATALOG, get_query
+from repro.bench.harness import ALL_EXPERIMENTS
+from repro.bench.reporting import render_cost_table, render_gains_table
+from repro.core.engines import ENGINE_FACTORIES, PAPER_ENGINES, make_engine, to_analytical
+from repro.core.explain import explain
+from repro.datasets import bsbm, chem2bio2rdf, pubmed
+from repro.errors import ReproError
+from repro.rdf import ntriples
+from repro.rdf.graph import Graph
+
+_DATASET_GENERATORS: dict[str, Callable[[str], Graph]] = {
+    "bsbm": lambda preset: bsbm.generate(bsbm.preset(preset)),
+    "chem": lambda preset: chem2bio2rdf.generate(chem2bio2rdf.preset(preset)),
+    "pubmed": lambda preset: pubmed.generate(pubmed.preset(preset)),
+}
+
+_DEFAULT_PRESETS = {"bsbm": "500k", "chem": "paper", "pubmed": "paper"}
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if getattr(args, "data", None):
+        with open(args.data, encoding="utf-8") as handle:
+            return ntriples.parse_graph(handle)
+    dataset = args.dataset
+    preset = args.preset or _DEFAULT_PRESETS[dataset]
+    return _DATASET_GENERATORS[dataset](preset)
+
+
+def _resolve_query_text(args: argparse.Namespace) -> tuple[str, str]:
+    """Returns (query id or file name, SPARQL text)."""
+    if args.query in CATALOG:
+        return args.query, get_query(args.query).sparql
+    with open(args.query, encoding="utf-8") as handle:
+        return args.query, handle.read()
+
+
+def _infer_dataset(args: argparse.Namespace) -> None:
+    if args.dataset is None:
+        if args.query in CATALOG:
+            args.dataset = get_query(args.query).dataset
+        else:
+            args.dataset = "bsbm"
+
+
+def _format_rows(rows, limit: int) -> str:
+    lines = []
+    for row in sorted(rows, key=str)[:limit]:
+        rendered = ", ".join(
+            f"{v.name}={t.n3()}" for v, t in sorted(row.items(), key=lambda kv: kv[0].name)
+        )
+        lines.append("  " + rendered)
+    if len(rows) > limit:
+        lines.append(f"  ... ({len(rows) - limit} more rows)")
+    return "\n".join(lines)
+
+
+def _rows_to_csv(rows) -> str:
+    """Render rows as CSV with a union-of-variables header."""
+    import csv
+    import io
+
+    names: list[str] = []
+    for row in rows:
+        for variable in row:
+            if variable.name not in names:
+                names.append(variable.name)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(names)
+    for row in sorted(rows, key=str):
+        by_name = {variable.name: term for variable, term in row.items()}
+        writer.writerow(
+            [by_name[name].n3() if name in by_name else "" for name in names]
+        )
+    return buffer.getvalue()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    _infer_dataset(args)
+    _, sparql = _resolve_query_text(args)
+    graph = _load_graph(args)
+    report = make_engine(args.engine).execute(to_analytical(sparql), graph)
+    if args.format == "csv":
+        print(_rows_to_csv(report.rows), end="")
+        return 0
+    print(f"{len(report.rows)} rows")
+    print(_format_rows(report.rows, args.limit))
+    print(
+        f"\nengine={report.engine} cycles={report.cycles} "
+        f"(map-only {report.map_only_cycles}) simulated-cost={report.cost_seconds:.1f}s"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    _infer_dataset(args)
+    qid, sparql = _resolve_query_text(args)
+    graph = _load_graph(args)
+    analytical = to_analytical(sparql)
+    print(f"{'engine':18s} {'rows':>6s} {'cycles':>7s} {'map-only':>9s} {'cost':>9s}")
+    for engine in PAPER_ENGINES:
+        report = make_engine(engine).execute(analytical, graph)
+        print(
+            f"{engine:18s} {len(report.rows):6d} {report.cycles:7d} "
+            f"{report.map_only_cycles:9d} {report.cost_seconds:8.1f}s"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    _infer_dataset(args)
+    _, sparql = _resolve_query_text(args)
+    graph = None
+    if args.engine in ("hive-naive", "hive-mqo"):
+        graph = _load_graph(args)
+    print(explain(sparql, engine=args.engine, graph=graph))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        runner = ALL_EXPERIMENTS[args.experiment]
+    except KeyError:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        print(f"unknown experiment {args.experiment!r}; known: {known}", file=sys.stderr)
+        return 2
+    result = runner()
+    if result.mismatches:
+        print(f"WARNING: result mismatches: {result.mismatches}", file=sys.stderr)
+    print(render_cost_table(result))
+    if len(result.engines) > 1:
+        print()
+        print(render_gains_table(result, baseline=result.engines[0]))
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    for qid, query in CATALOG.items():
+        structure = " | ".join(s.label() for s in query.structure)
+        marker = f" [{query.selectivity}]" if query.selectivity else ""
+        print(f"{qid:5s} {query.dataset:7s} {structure}{marker}")
+        if args.verbose:
+            print(f"      {query.description}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.rdf.stats import profile
+
+    graph = _load_graph(args)
+    print(profile(graph).describe())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    preset = args.preset or _DEFAULT_PRESETS[args.dataset]
+    graph = _DATASET_GENERATORS[args.dataset](preset)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        count = ntriples.write(sorted(graph, key=lambda t: t.n3()), handle)
+    print(f"wrote {count} triples to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAPIDAnalytics reproduction (EDBT 2016) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_query_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("query", help="catalog query id (e.g. MG1) or a SPARQL file")
+        p.add_argument("--dataset", choices=sorted(_DATASET_GENERATORS), default=None)
+        p.add_argument("--preset", default=None, help="dataset preset name")
+        p.add_argument("--data", default=None, help="N-Triples file to query instead")
+
+    run = sub.add_parser("run", help="execute a query on one engine")
+    add_query_options(run)
+    run.add_argument("--engine", choices=sorted(ENGINE_FACTORIES), default="rapid-analytics")
+    run.add_argument("--limit", type=int, default=10, help="rows to print")
+    run.add_argument("--format", choices=("text", "csv"), default="text")
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="run a query on all four engines")
+    add_query_options(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    explain_cmd = sub.add_parser("explain", help="show decomposition and MR plan")
+    add_query_options(explain_cmd)
+    explain_cmd.add_argument(
+        "--engine", choices=sorted(ENGINE_FACTORIES), default="rapid-analytics"
+    )
+    explain_cmd.set_defaults(func=cmd_explain)
+
+    bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench.add_argument("experiment", help=", ".join(sorted(ALL_EXPERIMENTS)))
+    bench.set_defaults(func=cmd_bench)
+
+    catalog = sub.add_parser("catalog", help="list the workload queries")
+    catalog.add_argument("--verbose", "-v", action="store_true")
+    catalog.set_defaults(func=cmd_catalog)
+
+    generate = sub.add_parser("generate", help="write a synthetic dataset")
+    generate.add_argument("dataset", choices=sorted(_DATASET_GENERATORS))
+    generate.add_argument("output", help="output N-Triples path")
+    generate.add_argument("--preset", default=None)
+    generate.set_defaults(func=cmd_generate)
+
+    stats = sub.add_parser("stats", help="profile a dataset")
+    stats.add_argument("--dataset", choices=sorted(_DATASET_GENERATORS), default="bsbm")
+    stats.add_argument("--preset", default=None)
+    stats.add_argument("--data", default=None, help="N-Triples file to profile instead")
+    stats.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

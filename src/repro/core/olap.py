@@ -1,0 +1,132 @@
+"""OLAP-style query builders: GROUPING SETS, ROLLUP, CUBE.
+
+The paper closes with "a natural extension of this work is to support
+more complex OLAP queries on RDF data models"; these builders provide
+that extension.  Given one *template* grouping subquery (a graph
+pattern plus aggregations), they construct an
+:class:`~repro.core.query_model.AnalyticalQuery` with one subquery per
+grouping set.  Because every subquery shares the template's graph
+pattern, the n-way composite rewrite evaluates the whole ROLLUP/CUBE in
+a single composite-pattern pass plus one fused parallel Agg-Join cycle
+— three MR cycles total on RAPIDAnalytics, regardless of how many
+grouping sets are requested.
+
+Combination semantics are the paper's (MD-Join style): subquery results
+are *joined* on shared grouping variables, so each output row compares
+a fine-grained group against its coarser roll-ups — e.g. for
+``rollup(template, (country, feature))`` every (country, feature) row
+carries that country's subtotal and the grand total alongside.  (This
+differs from SQL's UNION-style GROUPING SETS result shape; for that,
+run each subquery separately and concatenate.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.query_model import (
+    AggregateSpec,
+    AnalyticalQuery,
+    GroupingSubquery,
+    parse_analytical,
+)
+from repro.errors import PlanningError
+from repro.rdf.terms import Variable
+
+
+def template_from_sparql(sparql: str, prefixes: dict[str, str] | None = None) -> GroupingSubquery:
+    """Parse a single-grouping SPARQL query into a reusable template."""
+    analytical = parse_analytical(sparql, prefixes)
+    if len(analytical.subqueries) != 1:
+        raise PlanningError("a grouping template must contain exactly one subquery")
+    return analytical.subqueries[0]
+
+
+def _set_label(group_set: tuple[Variable, ...]) -> str:
+    if not group_set:
+        return "all"
+    return "_".join(variable.name for variable in group_set)
+
+
+def grouping_sets(
+    template: GroupingSubquery,
+    sets: Sequence[Iterable[Variable]],
+) -> AnalyticalQuery:
+    """One subquery per grouping set, aggregate aliases suffixed by set.
+
+    ``sets`` entries are iterables of grouping variables; the empty set
+    is the grand-total roll-up.  Variables must occur in the template's
+    graph pattern.
+    """
+    normalized: list[tuple[Variable, ...]] = []
+    seen: set[tuple[Variable, ...]] = set()
+    for group_set in sets:
+        candidate = tuple(group_set)
+        if candidate in seen:
+            raise PlanningError(f"duplicate grouping set {candidate}")
+        seen.add(candidate)
+        normalized.append(candidate)
+    if not normalized:
+        raise PlanningError("at least one grouping set is required")
+
+    pattern_vars = template.pattern.variables()
+    subqueries: list[GroupingSubquery] = []
+    projection: list[Variable] = []
+    for group_set in normalized:
+        for variable in group_set:
+            if variable not in pattern_vars:
+                raise PlanningError(
+                    f"grouping variable {variable} does not occur in the pattern"
+                )
+            if variable not in projection:
+                projection.append(variable)
+        label = _set_label(group_set)
+        aggregates = tuple(
+            AggregateSpec(
+                alias=Variable(f"{agg.alias.name}_{label}"),
+                func=agg.func,
+                variable=agg.variable,
+                distinct=agg.distinct,
+            )
+            for agg in template.aggregates
+        )
+        projection.extend(agg.alias for agg in aggregates)
+        subqueries.append(
+            GroupingSubquery(
+                pattern=template.pattern,
+                group_by=group_set,
+                aggregates=aggregates,
+            )
+        )
+    return AnalyticalQuery(
+        subqueries=tuple(subqueries),
+        projection=tuple(projection),
+    )
+
+
+def rollup(template: GroupingSubquery, dims: Sequence[Variable]) -> AnalyticalQuery:
+    """ROLLUP(d1, ..., dk): the k+1 prefix grouping sets.
+
+    ``rollup(t, (country, feature))`` groups by (country, feature),
+    (country,), and () — the paper's MG3 shape plus the grand total.
+    """
+    dims = tuple(dims)
+    if not dims:
+        raise PlanningError("ROLLUP needs at least one dimension")
+    sets = [dims[:cut] for cut in range(len(dims), -1, -1)]
+    return grouping_sets(template, sets)
+
+
+def cube(template: GroupingSubquery, dims: Sequence[Variable]) -> AnalyticalQuery:
+    """CUBE(d1, ..., dk): all 2^k grouping sets (Gray et al.)."""
+    dims = tuple(dims)
+    if not dims:
+        raise PlanningError("CUBE needs at least one dimension")
+    if len(dims) > 8:
+        raise PlanningError("CUBE over more than 8 dimensions is not sensible here")
+    sets: list[tuple[Variable, ...]] = []
+    for mask in range(2 ** len(dims) - 1, -1, -1):
+        sets.append(tuple(d for bit, d in enumerate(dims) if mask & (1 << bit)))
+    # Deterministic order: finer sets first, grand total last.
+    sets.sort(key=lambda s: (-len(s), tuple(v.name for v in s)))
+    return grouping_sets(template, sets)

@@ -1,0 +1,69 @@
+"""Execution configuration and report types shared by all engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapreduce.cost import ClusterConfig, CostModel
+from repro.mapreduce.runner import WorkflowStats
+from repro.rdf.terms import Term, Variable
+
+Row = dict[Variable, Term]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs shared by every engine execution.
+
+    ``mapjoin_threshold`` is Hive's small-table limit: a join whose
+    non-streamed inputs all fit under it compiles to a map-only cycle.
+    ``hdfs_capacity`` bounds simulated disk (None = unlimited) — the
+    paper's MG13 naive-Hive failure reproduces by setting it.
+    """
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+    mapjoin_threshold: int = 64 * 1024
+    hdfs_capacity: int | None = None
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one engine run produced."""
+
+    engine: str
+    rows: list[Row]
+    stats: WorkflowStats | None
+    plan: list[str] = field(default_factory=list)
+    load_bytes: int = 0
+    plan_description: str = ""
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles if self.stats is not None else 0
+
+    @property
+    def full_cycles(self) -> int:
+        return self.stats.full_cycles if self.stats is not None else 0
+
+    @property
+    def map_only_cycles(self) -> int:
+        return self.stats.map_only_cycles if self.stats is not None else 0
+
+    @property
+    def cost_seconds(self) -> float:
+        return self.stats.total_cost if self.stats is not None else 0.0
+
+    def row_multiset(self) -> dict[frozenset, int]:
+        from collections import defaultdict
+
+        counts: dict[frozenset, int] = defaultdict(int)
+        for row in self.rows:
+            counts[frozenset(row.items())] += 1
+        return dict(counts)
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine}: {len(self.rows)} rows, {self.cycles} cycles "
+            f"({self.map_only_cycles} map-only), cost={self.cost_seconds:.2f}s"
+        )

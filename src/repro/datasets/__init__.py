@@ -1,0 +1,15 @@
+"""Synthetic benchmark dataset generators (BSBM-BI, Chem2Bio2RDF, PubMed)."""
+
+from repro.datasets import bsbm, chem2bio2rdf, pubmed
+from repro.datasets.bsbm import BSBMConfig
+from repro.datasets.chem2bio2rdf import ChemConfig
+from repro.datasets.pubmed import PubMedConfig
+
+__all__ = [
+    "BSBMConfig",
+    "ChemConfig",
+    "PubMedConfig",
+    "bsbm",
+    "chem2bio2rdf",
+    "pubmed",
+]

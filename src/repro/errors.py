@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class at the API
+boundary.  Subsystems raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RDFError(ReproError):
+    """Problem with RDF terms, triples, or graph operations."""
+
+
+class NTriplesParseError(RDFError):
+    """Malformed N-Triples input."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class SparqlError(ReproError):
+    """Problem with SPARQL parsing, translation, or evaluation."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """The query text is not valid for the supported SPARQL subset."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"at offset {position}: {message}"
+        super().__init__(message)
+
+
+class SparqlEvaluationError(SparqlError):
+    """The query is well formed but cannot be evaluated."""
+
+
+class UnsupportedQueryError(SparqlError):
+    """The query uses a SPARQL feature outside the supported subset."""
+
+
+class PlanningError(ReproError):
+    """A query could not be compiled into an execution plan."""
+
+
+class OverlapError(PlanningError):
+    """Graph patterns do not overlap, so no composite pattern exists."""
+
+
+class MapReduceError(ReproError):
+    """Failure inside the MapReduce simulator."""
+
+
+class HDFSError(MapReduceError):
+    """Simulated distributed-filesystem failure."""
+
+
+class HDFSOutOfSpaceError(HDFSError):
+    """The simulated cluster ran out of HDFS disk space.
+
+    This mirrors the paper's report that naive Hive failed on query MG13
+    because intermediate star-join output exceeded available HDFS space.
+    """
+
+    def __init__(self, requested: int, available: int, capacity: int):
+        self.requested = requested
+        self.available = available
+        self.capacity = capacity
+        super().__init__(
+            f"write of {requested} bytes exceeds available HDFS space "
+            f"({available} of {capacity} bytes free)"
+        )
+
+
+class DatasetError(ReproError):
+    """Invalid dataset generator configuration."""

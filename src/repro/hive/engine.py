@@ -1,0 +1,45 @@
+"""Hive baseline engines (naive and MQO)."""
+
+from __future__ import annotations
+
+from repro.core.query_model import AnalyticalQuery
+from repro.core.results import EngineConfig, ExecutionReport
+from repro.hive.executor import HiveExecutor
+from repro.hive.tables import load_vertical_partitions
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runner import MapReduceRunner
+from repro.rdf.graph import Graph
+
+
+class HiveEngine:
+    """Relational-style engine over VP tables on simulated MapReduce."""
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self.name = f"hive-{mode}"
+
+    def execute(
+        self, query: AnalyticalQuery, graph: Graph, config: EngineConfig | None = None
+    ) -> ExecutionReport:
+        config = config or EngineConfig()
+        hdfs = HDFS(capacity=config.hdfs_capacity)
+        store = load_vertical_partitions(graph, hdfs)
+        runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
+        executor = HiveExecutor(hdfs, store, runner, config, self.mode)
+        rows, _final = executor.execute(query)
+        return ExecutionReport(
+            engine=self.name,
+            rows=rows,
+            stats=executor.stats,
+            plan=[job.name for job in executor.stats.jobs],
+            load_bytes=store.total_bytes,
+            plan_description=f"hive {self.mode} over {len(store.prop_paths)} VP tables",
+        )
+
+
+def hive_naive_engine() -> HiveEngine:
+    return HiveEngine("naive")
+
+
+def hive_mqo_engine() -> HiveEngine:
+    return HiveEngine("mqo")

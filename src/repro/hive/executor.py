@@ -1,0 +1,814 @@
+"""Relational-style (Hive) query execution over vertically partitioned triples.
+
+Two modes reproduce the paper's baselines:
+
+* **naive** — each grouping subquery compiled independently: one
+  multiway same-key join cycle per star with ≥2 triple patterns, one
+  cycle per star-join, one grouping cycle with partial aggregation, and
+  a final map-only combination.  Early projection prunes columns not
+  needed downstream.
+* **mqo** — the Le et al. multi-query-optimization rewrite: the
+  composite graph pattern (secondary properties as LEFT OUTER joins) is
+  evaluated once and materialized as an intermediate table **with all
+  columns** (Hive's lack of complex views prevents early projection —
+  the paper's Section 2.2 observation), then per subquery a DISTINCT
+  extraction cycle and an aggregation cycle run over it.
+
+Joins compile to map-only cycles when every non-streamed input fits
+under the map-join threshold, mirroring Hive 0.12's conditional tasks —
+decided at run time from actual file sizes, which is why this module is
+a stepwise *executor* rather than a static planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.query_model import (
+    AnalyticalQuery,
+    GroupingSubquery,
+    PropKey,
+    StarPattern,
+    prop_key_of,
+)
+from repro.core.results import EngineConfig, Row
+from repro.errors import OverlapError, PlanningError
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runner import MapReduceRunner, WorkflowStats
+from repro.ntga.composite import CanonicalSubquery, build_composite_n
+from repro.ntga.physical import AggRow
+from repro.ntga.planner import build_multi_file_result_join
+from repro.hive.tables import VPStore
+from repro.rdf.terms import IRI, Literal, Term, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.aggregates import UNBOUND, AccumulatorTuple
+from repro.sparql.expressions import (
+    Expression,
+    evaluate_filter,
+    expression_variables,
+    term_value,
+)
+
+
+def _to_term(value: object) -> Term:
+    if isinstance(value, (IRI, Literal)):
+        return value
+    return Literal.from_python(value)  # type: ignore[arg-type]
+
+
+def _compatible_merge(left: Row, right: Row) -> Row | None:
+    merged = dict(left)
+    for variable, term in right.items():
+        existing = merged.get(variable)
+        if existing is not None and existing != term:
+            return None
+        merged[variable] = term
+    return merged
+
+
+def _vp_row(tp: TriplePattern, record: tuple, filters: Sequence[Expression]) -> Row | None:
+    """Convert one VP-table record to a solution row for *tp*.
+
+    Type-table records are 1-tuples ``(subject,)``; others are
+    ``(subject, object)``.  Returns None when a concrete component or a
+    pushed filter rejects the record.
+    """
+    row: Row = {}
+    subject = record[0]
+    if isinstance(tp.subject, Variable):
+        row[tp.subject] = subject
+    elif tp.subject != subject:
+        return None
+    if len(record) > 1:
+        obj = record[1]
+        if isinstance(tp.object, Variable):
+            existing = row.get(tp.object)
+            if existing is not None and existing != obj:
+                return None
+            row[tp.object] = obj
+        elif tp.object != obj:
+            return None
+    for expression in filters:
+        if not evaluate_filter(expression, row):
+            return None
+    return row
+
+
+@dataclass(frozen=True)
+class _BoundFilter:
+    """A pseudo-filter requiring a variable to be bound (MQO α check)."""
+
+    variable: Variable
+
+
+def _pushable(filters: Sequence[Expression], tp: TriplePattern) -> list[Expression]:
+    if not isinstance(tp.object, Variable):
+        return []
+    return [f for f in filters if expression_variables(f) == frozenset((tp.object,))]
+
+
+def _project(row: Row, keep: frozenset[Variable] | None) -> Row:
+    if keep is None:
+        return row
+    return {v: t for v, t in row.items() if v in keep}
+
+
+@dataclass
+class _JobCounter:
+    value: int = 0
+
+    def next(self, label: str) -> str:
+        self.value += 1
+        return f"{label}-{self.value}"
+
+
+class HiveExecutor:
+    """Stepwise compilation + execution of one analytical query."""
+
+    def __init__(
+        self,
+        hdfs: HDFS,
+        store: VPStore,
+        runner: MapReduceRunner,
+        config: EngineConfig,
+        mode: str,
+        prefix: str = "hive",
+    ):
+        if mode not in ("naive", "mqo"):
+            raise PlanningError(f"unknown Hive mode {mode!r}")
+        self.hdfs = hdfs
+        self.store = store
+        self.runner = runner
+        self.config = config
+        self.mode = mode
+        self.prefix = prefix
+        self.stats = WorkflowStats()
+        self._counter = _JobCounter()
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _run(self, job: MapReduceJob) -> str:
+        self.stats.jobs.append(self.runner.run_job(job, self.stats.counters))
+        return job.output
+
+    def _size(self, path: str) -> int:
+        return self.hdfs.read(path).size_bytes
+
+    def _mapjoin_fits(self, side_paths: Sequence[str]) -> bool:
+        return all(self._size(p) <= self.config.mapjoin_threshold for p in side_paths)
+
+    # -- star formation ------------------------------------------------------------
+
+    def _star_formation(
+        self,
+        star: StarPattern,
+        filters: Sequence[Expression],
+        keep: frozenset[Variable] | None,
+        optional_keys: frozenset[PropKey] = frozenset(),
+        label: str = "star",
+    ) -> str:
+        """Multiway same-subject join of a star's VP tables (1 MR cycle,
+        or map-only when the non-streamed tables fit in memory).
+
+        ``optional_keys`` marks triple patterns joined LEFT OUTER (the
+        MQO composite's secondary properties).
+        """
+        entries = []  # (tp, path, pushed filters, optional?)
+        for tp in star.patterns:
+            key = prop_key_of(tp)
+            entries.append(
+                (tp, self.store.path_for(key), _pushable(filters, tp), key in optional_keys)
+            )
+        by_path: dict[str, list[int]] = {}
+        for index, (_, path, _, _) in enumerate(entries):
+            by_path.setdefault(path, []).append(index)
+        output = f"{self.prefix}/{self._counter.next(label)}"
+
+        required = [i for i, e in enumerate(entries) if not e[3]]
+        optional = [i for i, e in enumerate(entries) if e[3]]
+
+        def assemble(rows_by_tp: dict[int, list[Row]]) -> Iterable[Row]:
+            if any(not rows_by_tp.get(i) for i in required):
+                return
+            combos: list[Row] = [{}]
+            for index in required + optional:
+                rows = rows_by_tp.get(index) or []
+                if not rows and index in optional:
+                    continue  # left outer: keep combos unextended
+                next_combos = []
+                for combo in combos:
+                    for row in rows:
+                        merged = _compatible_merge(combo, row)
+                        if merged is not None:
+                            next_combos.append(merged)
+                combos = next_combos
+                if not combos:
+                    return
+            for combo in combos:
+                yield _project(combo, keep)
+
+        sizes = {path: self._size(path) for path in by_path}
+        # LEFT OUTER semantics: the streamed (outer) table must back a
+        # required triple pattern, else subjects missing from an optional
+        # table would never be seen.
+        required_paths = {entries[i][1] for i in required}
+        streamed = max(required_paths, key=lambda p: sizes[p])
+        side_paths = [p for p in by_path if p != streamed]
+        single_table = not side_paths
+
+        if single_table:
+            # One property (possibly several tps on it): a map-only scan.
+            def scan_mapper(record: Any) -> Iterable[Row]:
+                rows_by_tp: dict[int, list[Row]] = {}
+                for index in by_path[streamed]:
+                    tp, _, pushed, _ = entries[index]
+                    row = _vp_row(tp, record, pushed)
+                    rows_by_tp[index] = [row] if row is not None else []
+                yield from assemble(rows_by_tp)
+
+            job = MapReduceJob(
+                name=f"{self.prefix}:{label}:scan",
+                inputs=(streamed,),
+                output=output,
+                mapper=scan_mapper,
+                labels=("star-scan",),
+            )
+            return self._run(job)
+
+        if self._mapjoin_fits(side_paths):
+            def mapper_factory(side_data: dict[str, list[Any]]):
+                index_by_tp: dict[int, dict[Term, list[Row]]] = {}
+                for path, records in side_data.items():
+                    for tp_index in by_path[path]:
+                        tp, _, pushed, _ = entries[tp_index]
+                        table: dict[Term, list[Row]] = {}
+                        for record in records:
+                            row = _vp_row(tp, record, pushed)
+                            if row is not None:
+                                table.setdefault(record[0], []).append(row)
+                        index_by_tp[tp_index] = table
+
+                def mapper(record: Any) -> Iterable[Row]:
+                    subject = record[0]
+                    rows_by_tp: dict[int, list[Row]] = {}
+                    for tp_index in by_path[streamed]:
+                        tp, _, pushed, _ = entries[tp_index]
+                        row = _vp_row(tp, record, pushed)
+                        rows_by_tp[tp_index] = [row] if row is not None else []
+                    for tp_index, table in index_by_tp.items():
+                        rows_by_tp[tp_index] = table.get(subject, [])
+                    yield from assemble(rows_by_tp)
+
+                return mapper
+
+            job = MapReduceJob(
+                name=f"{self.prefix}:{label}:map-join",
+                inputs=(streamed,),
+                output=output,
+                mapper_factory=mapper_factory,
+                side_inputs=tuple(side_paths),
+                labels=("star-map-join",),
+            )
+            return self._run(job)
+
+        def mapper(tagged: Any) -> Iterable[tuple[Term, tuple[int, Row]]]:
+            path, record = tagged
+            for tp_index in by_path[path]:
+                tp, _, pushed, _ = entries[tp_index]
+                row = _vp_row(tp, record, pushed)
+                if row is not None:
+                    yield record[0], (tp_index, row)
+
+        def reducer(subject: Term, values: list) -> Iterable[Row]:
+            rows_by_tp: dict[int, list[Row]] = {}
+            for tp_index, row in values:
+                rows_by_tp.setdefault(tp_index, []).append(row)
+            yield from assemble(rows_by_tp)
+
+        job = MapReduceJob(
+            name=f"{self.prefix}:{label}:reduce-join",
+            inputs=tuple(by_path),
+            output=output,
+            mapper=mapper,
+            reducer=reducer,
+            tag_inputs=True,
+            labels=("star-reduce-join",),
+        )
+        return self._run(job)
+
+    # -- binary join of row sets ---------------------------------------------------
+
+    def _row_source(
+        self, star: StarPattern, filters: Sequence[Expression]
+    ) -> tuple[str, TriplePattern | None]:
+        """A star's rows: a formed intermediate for multi-pattern stars,
+        or the VP table itself (with its pattern) for single-tp stars."""
+        if len(star.patterns) == 1:
+            tp = star.patterns[0]
+            return self.store.path_for(prop_key_of(tp)), tp
+        raise PlanningError("multi-pattern star must be formed first")
+
+    def _join_rows(
+        self,
+        left_path: str,
+        right_path: str,
+        right_tp: TriplePattern | None,
+        variable: Variable,
+        filters: Sequence[Expression],
+        keep: frozenset[Variable] | None,
+        label: str = "join",
+    ) -> str:
+        """One star-join cycle (reduce-side, or map-only via map-join)."""
+        output = f"{self.prefix}/{self._counter.next(label)}"
+        pushed = _pushable(filters, right_tp) if right_tp is not None else []
+
+        def to_right_row(record: Any) -> Row | None:
+            if right_tp is None:
+                return record if variable in record else None
+            return _vp_row(right_tp, record, pushed)
+
+        right_small = self._size(right_path) <= self.config.mapjoin_threshold
+        left_small = self._size(left_path) <= self.config.mapjoin_threshold
+
+        if right_small or left_small:
+            # Map-join: stream the larger side, broadcast the smaller.
+            stream_left = self._size(left_path) >= self._size(right_path)
+            streamed, side = (
+                (left_path, right_path) if stream_left else (right_path, left_path)
+            )
+
+            def mapper_factory(side_data: dict[str, list[Any]]):
+                table: dict[Term, list[Row]] = {}
+                for record in side_data[side]:
+                    # The side is the right source when the left rows are
+                    # streamed, and vice versa.
+                    converted = to_right_row(record) if stream_left else (
+                        record if variable in record else None
+                    )
+                    if converted is not None and variable in converted:
+                        table.setdefault(converted[variable], []).append(converted)
+
+                def mapper(record: Any) -> Iterable[Row]:
+                    row = record if stream_left else to_right_row(record)
+                    if row is None:
+                        return
+                    key = row.get(variable)
+                    if key is None:
+                        return
+                    for match in table.get(key, ()):
+                        merged = _compatible_merge(row, match)
+                        if merged is not None:
+                            yield _project(merged, keep)
+
+                return mapper
+
+            job = MapReduceJob(
+                name=f"{self.prefix}:{label}:map-join",
+                inputs=(streamed,),
+                output=output,
+                mapper_factory=mapper_factory,
+                side_inputs=(side,),
+                labels=("star-join", "map-join"),
+            )
+            return self._run(job)
+
+        def mapper(tagged: Any) -> Iterable[tuple[Term, tuple[str, Row]]]:
+            path, record = tagged
+            if path == left_path:
+                key = record.get(variable)
+                if key is not None:
+                    yield key, ("L", record)
+            else:
+                row = to_right_row(record)
+                if row is not None and variable in row:
+                    yield row[variable], ("R", row)
+
+        def reducer(key: Term, values: list) -> Iterable[Row]:
+            lefts = [row for tag, row in values if tag == "L"]
+            rights = [row for tag, row in values if tag == "R"]
+            for left in lefts:
+                for right in rights:
+                    merged = _compatible_merge(left, right)
+                    if merged is not None:
+                        yield _project(merged, keep)
+
+        job = MapReduceJob(
+            name=f"{self.prefix}:{label}:reduce-join",
+            inputs=(left_path, right_path),
+            output=output,
+            mapper=mapper,
+            reducer=reducer,
+            tag_inputs=True,
+            labels=("star-join",),
+        )
+        return self._run(job)
+
+    # -- grouping/aggregation -----------------------------------------------------
+
+    def _grouping(
+        self,
+        rows_path: str,
+        group_by: tuple[Variable, ...],
+        output_group_by: tuple[Variable, ...],
+        aggregates,
+        filters: Sequence[Expression],
+        label: str = "group",
+        having: Expression | None = None,
+    ) -> str:
+        """One grouping-aggregation cycle with mapper partial aggregation.
+
+        *having* filters finished groups at reduce output (HiveQL HAVING);
+        it also applies to the GROUP-BY-ALL default row."""
+        output = f"{self.prefix}/{self._counter.next(label)}"
+        agg_specs = [(a.func, a.distinct) for a in aggregates]
+
+        def passes(record: dict, condition: Any) -> bool:
+            if isinstance(condition, _BoundFilter):
+                return record.get(condition.variable) is not None
+            return evaluate_filter(condition, record)
+
+        def mapper(record: Any) -> Iterable[tuple[tuple, AccumulatorTuple]]:
+            if not isinstance(record, dict):
+                return
+            if filters and not all(passes(record, f) for f in filters):
+                return
+            key = tuple(record.get(v) for v in group_by)
+            bundle = AccumulatorTuple.fresh(agg_specs)
+            for accumulator, agg in zip(bundle.accumulators, aggregates):
+                if agg.variable is None:
+                    accumulator.update(None)
+                    continue
+                term = record.get(agg.variable)
+                if term is None:
+                    continue
+                value = term_value(term)
+                accumulator.update(value.value if isinstance(value, IRI) else value)
+            yield key, bundle
+
+        def combiner(key: tuple, values: list) -> Iterable[tuple[tuple, AccumulatorTuple]]:
+            merged = values[0]
+            for value in values[1:]:
+                merged.merge(value)
+            yield key, merged
+
+        def reducer(key: tuple, values: list) -> Iterable[AggRow]:
+            merged = values[0]
+            for value in values[1:]:
+                merged.merge(value)
+            row: list[tuple[Variable, Term]] = []
+            for variable, term in zip(output_group_by, key):
+                if term is not None:
+                    row.append((variable, term))
+            for accumulator, agg in zip(merged.accumulators, aggregates):
+                result = accumulator.result()
+                if result is UNBOUND:
+                    continue
+                row.append((agg.alias, _to_term(result)))
+            if having is not None and not evaluate_filter(having, dict(row)):
+                return
+            yield AggRow(0, tuple(row))
+
+        job = MapReduceJob(
+            name=f"{self.prefix}:{label}:group-by",
+            inputs=(rows_path,),
+            output=output,
+            mapper=mapper,
+            combiner=combiner,
+            reducer=reducer,
+            labels=("group-by",),
+        )
+        path = self._run(job)
+        if not group_by and not self.hdfs.read(path).records:
+            # SPARQL's GROUP-BY-ALL default row over empty input.
+            defaults: list[tuple[Variable, Term]] = []
+            for func, distinct, agg in (
+                (a.func, a.distinct, a) for a in aggregates
+            ):
+                from repro.sparql.aggregates import make_accumulator
+
+                result = make_accumulator(func, distinct).result()
+                if result is not UNBOUND:
+                    defaults.append((agg.alias, _to_term(result)))
+            if having is None or evaluate_filter(having, dict(defaults)):
+                self.hdfs.write(path, [AggRow(0, tuple(defaults))])
+        return path
+
+    # -- DISTINCT extraction (MQO phase 2a) -----------------------------------------
+
+    def _extraction(
+        self,
+        composite_rows: str,
+        subquery: CanonicalSubquery,
+        label: str,
+    ) -> str:
+        """Extract one original pattern's distinct solutions from the
+        materialized composite table (a full MR cycle: DISTINCT needs a
+        shuffle)."""
+        output = f"{self.prefix}/{self._counter.next(label)}"
+        variables: set[Variable] = set()
+        optional_vars: set[Variable] = set()
+        for star in subquery.stars:
+            variables |= star.variables()
+            for pattern in star.patterns:
+                if star.is_optional(pattern) and isinstance(pattern.object, Variable):
+                    optional_vars.add(pattern.object)
+        ordered = tuple(sorted(variables, key=lambda v: v.name))
+        required = tuple(v for v in ordered if v not in optional_vars)
+        filters = subquery.filters
+
+        def mapper(record: Any) -> Iterable[tuple[tuple, None]]:
+            if not isinstance(record, dict):
+                return
+            if any(record.get(v) is None for v in required):
+                return  # an OPTIONAL branch this pattern requires is unbound
+            if filters and not all(evaluate_filter(f, record) for f in filters):
+                return
+            # OPTIONAL variables participate in the DISTINCT key as None.
+            yield tuple((v, record.get(v)) for v in ordered), None
+
+        def reducer(key: tuple, values: list) -> Iterable[Row]:
+            yield {variable: term for variable, term in key if term is not None}
+
+        job = MapReduceJob(
+            name=f"{self.prefix}:{label}:extract-distinct",
+            inputs=(composite_rows,),
+            output=output,
+            mapper=mapper,
+            reducer=reducer,
+            labels=("mqo-extract",),
+        )
+        return self._run(job)
+
+    # -- subquery pipelines ----------------------------------------------------------
+
+    def _join_order(self, subquery_pattern) -> list:
+        """BFS star order over the join graph (matches the NTGA planner)."""
+        edges = subquery_pattern.star_joins()
+        joined = {0}
+        order = []
+        remaining = list(edges)
+        while len(joined) < len(subquery_pattern.stars):
+            connecting = [
+                e for e in remaining if (e.left_star in joined) != (e.right_star in joined)
+            ]
+            if not connecting:
+                raise PlanningError("graph pattern is not connected")
+            edge = connecting[0]
+            new_star = edge.right_star if edge.left_star in joined else edge.left_star
+            order.append((new_star, edge))
+            joined.add(new_star)
+            remaining = [e for e in remaining if not (
+                e.left_star in joined and e.right_star in joined
+            )]
+        return order
+
+    def _evaluate_pattern_naive(
+        self, subquery: GroupingSubquery, needed: frozenset[Variable], tag: str
+    ) -> str:
+        """Compile and run one graph pattern: star formations then joins.
+
+        *needed* drives early projection; join variables for pending
+        joins are retained automatically.
+        """
+        pattern = subquery.pattern
+        filters = pattern.filters
+        order = self._join_order(pattern)
+        pending_join_vars = frozenset(edge.variable for _, edge in order)
+
+        formed: dict[int, str] = {}
+        single_tp: dict[int, TriplePattern] = {}
+        for index, star in enumerate(pattern.stars):
+            if len(star.patterns) >= 2:
+                keep = needed | pending_join_vars
+                formed[index] = self._star_formation(
+                    star,
+                    filters,
+                    frozenset(keep),
+                    optional_keys=star.optional_props,
+                    label=f"{tag}-star{index}",
+                )
+            else:
+                single_tp[index] = star.patterns[0]
+
+        if not order:  # single star
+            (index,) = range(len(pattern.stars))
+            if index in formed:
+                return formed[index]
+            # Single star of one triple pattern: materialize its rows.
+            return self._star_formation(
+                pattern.stars[0],
+                filters,
+                frozenset(needed),
+                optional_keys=pattern.stars[0].optional_props,
+                label=f"{tag}-star0",
+            )
+
+        current: str | None = formed.get(0)
+        if current is None:
+            current = self._star_formation(
+                pattern.stars[0],
+                filters,
+                frozenset(needed | pending_join_vars),
+                optional_keys=pattern.stars[0].optional_props,
+                label=f"{tag}-star0",
+            )
+        remaining_vars = set(pending_join_vars)
+        for step, (new_star, edge) in enumerate(order):
+            remaining_vars.discard(edge.variable)
+            keep = frozenset(needed | remaining_vars | {edge.variable})
+            if new_star in formed:
+                right_path, right_tp = formed[new_star], None
+            elif new_star in single_tp:
+                right_path = self.store.path_for(prop_key_of(single_tp[new_star]))
+                right_tp = single_tp[new_star]
+            else:
+                raise PlanningError("unformed multi-pattern star in join order")
+            current = self._join_rows(
+                current,
+                right_path,
+                right_tp,
+                edge.variable,
+                filters,
+                keep,
+                label=f"{tag}-join{step}",
+            )
+        return current
+
+    def _run_naive(self, query: AnalyticalQuery) -> str:
+        agg_outputs: list[str] = []
+        for index, subquery in enumerate(query.subqueries):
+            needed: set[Variable] = set(subquery.group_by)
+            needed |= {a.variable for a in subquery.aggregates if a.variable is not None}
+            for expression in subquery.pattern.filters:
+                needed |= expression_variables(expression)
+            rows = self._evaluate_pattern_naive(subquery, frozenset(needed), f"sq{index}")
+            agg_outputs.append(
+                self._grouping(
+                    rows,
+                    subquery.group_by,
+                    subquery.group_by,
+                    subquery.aggregates,
+                    subquery.pattern.filters,
+                    label=f"sq{index}-group",
+                    having=subquery.having,
+                )
+            )
+        return self._combine(query, tuple(agg_outputs))
+
+    def _run_mqo(self, query: AnalyticalQuery) -> str:
+        if len(query.subqueries) < 2:
+            return self._run_naive(query)
+        try:
+            composite = build_composite_n(query.subqueries)
+        except OverlapError:
+            return self._run_naive(query)
+
+        shared = set(composite.subqueries[0].filters)
+        for subquery in composite.subqueries[1:]:
+            shared &= set(subquery.filters)
+        shared_filters = tuple(shared)
+        # Phase 1: evaluate the composite pattern, LEFT OUTER on secondary
+        # properties, and materialize it with every column (no early
+        # projection — it must serve both original patterns).
+        formed: dict[int, str] = {}
+        single_tp: dict[int, TriplePattern] = {}
+        for index, composite_star in enumerate(composite.stars):
+            star = composite_star.pattern
+            if len(star.patterns) >= 2:
+                formed[index] = self._star_formation(
+                    star,
+                    shared_filters,
+                    keep=None,
+                    optional_keys=composite_star.p_sec,
+                    label=f"mqo-star{index}",
+                )
+            else:
+                single_tp[index] = star.patterns[0]
+
+        composite_pattern = composite.composite_graph_pattern()
+        order = self._join_order(composite_pattern)
+        if order:
+            current = formed.get(0)
+            if current is None:
+                current = self._star_formation(
+                    composite.stars[0].pattern,
+                    shared_filters,
+                    keep=None,
+                    optional_keys=composite.stars[0].p_sec,
+                    label="mqo-star0",
+                )
+            for step, (new_star, edge) in enumerate(order):
+                if new_star in formed:
+                    right_path, right_tp = formed[new_star], None
+                else:
+                    right_path = self.store.path_for(prop_key_of(single_tp[new_star]))
+                    right_tp = single_tp[new_star]
+                current = self._join_rows(
+                    current,
+                    right_path,
+                    right_tp,
+                    edge.variable,
+                    shared_filters,
+                    keep=None,
+                    label=f"mqo-join{step}",
+                )
+            composite_rows = current
+        else:
+            composite_rows = formed.get(0) or self._star_formation(
+                composite.stars[0].pattern,
+                shared_filters,
+                keep=None,
+                optional_keys=composite.stars[0].p_sec,
+                label="mqo-star0",
+            )
+
+        # Phase 2: per original pattern, DISTINCT extraction + aggregation.
+        # A pattern whose variables cover the whole composite needs no
+        # extraction cycle: no other pattern's exclusive (optional)
+        # property can multiply its rows, so α-filtering fuses into the
+        # aggregation's map phase.  This is what lets MQO evaluate
+        # identical-pattern queries (e.g. MG6) without dedup cycles.
+        composite_vars = composite.composite_graph_pattern().variables()
+        agg_outputs: list[str] = []
+        for subquery in composite.subqueries:
+            subquery_vars: set[Variable] = set()
+            optional_vars: set[Variable] = set()
+            for star in subquery.stars:
+                subquery_vars |= star.variables()
+                for pattern in star.patterns:
+                    if star.is_optional(pattern) and isinstance(pattern.object, Variable):
+                        optional_vars.add(pattern.object)
+            if subquery_vars >= composite_vars:
+                bound_required = tuple(
+                    sorted(subquery_vars - optional_vars, key=lambda v: v.name)
+                )
+                filters = subquery.filters + tuple(
+                    _BoundFilter(v) for v in bound_required
+                )
+                agg_outputs.append(
+                    self._grouping(
+                        composite_rows,
+                        subquery.group_by,
+                        subquery.output_group_by,
+                        subquery.aggregates,
+                        filters,
+                        label=f"mqo-group{subquery.subquery_id}",
+                        having=subquery.having,
+                    )
+                )
+                continue
+            extracted = self._extraction(
+                composite_rows, subquery, label=f"mqo-extract{subquery.subquery_id}"
+            )
+            agg_outputs.append(
+                self._grouping(
+                    extracted,
+                    subquery.group_by,
+                    subquery.output_group_by,
+                    subquery.aggregates,
+                    (),  # filters already applied during extraction
+                    label=f"mqo-group{subquery.subquery_id}",
+                    having=subquery.having,
+                )
+            )
+        return self._combine(query, tuple(agg_outputs))
+
+    # -- final combination -------------------------------------------------------------
+
+    def _combine(self, query: AnalyticalQuery, agg_outputs: tuple[str, ...]) -> str:
+        if len(agg_outputs) == 1 and not query.outer_extends:
+            return agg_outputs[0]
+        output = f"{self.prefix}/result"
+        job = build_multi_file_result_join(
+            name=f"{self.prefix}:final-combination",
+            query=query,
+            agg_outputs=agg_outputs,
+            output=output,
+        )
+        self._run(job)
+        return output
+
+    # -- entry point --------------------------------------------------------------------
+
+    def execute(self, query: AnalyticalQuery) -> tuple[list[Row], str]:
+        """Run the query; returns (rows, final output path)."""
+        if self.mode == "naive":
+            final = self._run_naive(query)
+        else:
+            final = self._run_mqo(query)
+        projection = set(query.projection)
+        rows: list[Row] = []
+        for record in self.hdfs.read(final).records:
+            if isinstance(record, AggRow):
+                rows.append({v: t for v, t in record.as_dict().items() if v in projection})
+            elif isinstance(record, dict):
+                rows.append(record)
+        if query.distinct:
+            from repro.ntga.engine import deduplicate_rows
+
+            rows = deduplicate_rows(rows)
+        from repro.core.reference import apply_result_modifiers
+
+        return apply_result_modifiers(query, rows), final

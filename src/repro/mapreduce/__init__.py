@@ -1,0 +1,20 @@
+"""Deterministic MapReduce simulator: HDFS, jobs, runner, cost model."""
+
+from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import HDFS, HDFSFile
+from repro.mapreduce.job import JobStats, MapReduceJob
+from repro.mapreduce.runner import MapReduceRunner, WorkflowStats
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "Counters",
+    "HDFS",
+    "HDFSFile",
+    "JobStats",
+    "MapReduceJob",
+    "MapReduceRunner",
+    "WorkflowStats",
+    "estimate_size",
+]

@@ -1,0 +1,46 @@
+"""Named counters, in the spirit of Hadoop job counters."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Counters:
+    """A bag of named integer counters.
+
+    Counter names used by the runner:
+
+    * ``map_input_records`` / ``map_output_records``
+    * ``combine_input_records`` / ``combine_output_records``
+    * ``reduce_input_records`` / ``reduce_output_records``
+    * ``hdfs_bytes_read`` / ``hdfs_bytes_written`` / ``shuffle_bytes``
+    * ``map_tasks`` / ``reduce_tasks`` / ``mr_cycles`` / ``map_only_cycles``
+    """
+
+    _values: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Counters({inner})"

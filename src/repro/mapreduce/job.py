@@ -1,0 +1,95 @@
+"""MapReduce job descriptions.
+
+A job names its HDFS inputs and output and supplies the map / combine /
+reduce functions.  Map-only jobs (``reducer is None``) emit output
+records directly from the mapper; full jobs emit ``(key, value)`` pairs
+that are shuffled, grouped, and reduced.
+
+``side_inputs`` model Hive's map-join: the named files are loaded into
+every mapper (broadcast), so the job can join without a shuffle.  Jobs
+that need side data provide ``mapper_factory`` instead of ``mapper``;
+the runner calls it with ``{path: records}`` once the side files are
+read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import MapReduceError
+
+Mapper = Callable[[Any], Iterable[Any]]
+Reducer = Callable[[Any, list[Any]], Iterable[Any]]
+Combiner = Callable[[Any, list[Any]], Iterable[tuple[Any, Any]]]
+MapperFactory = Callable[[dict[str, list[Any]]], Mapper]
+
+
+@dataclass
+class MapReduceJob:
+    """One simulated MapReduce cycle."""
+
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    mapper: Mapper | None = None
+    mapper_factory: MapperFactory | None = None
+    reducer: Reducer | None = None
+    combiner: Combiner | None = None
+    side_inputs: tuple[str, ...] = ()
+    output_compressed: bool = False
+    #: When True the mapper receives ``(input_path, record)`` pairs so it
+    #: can dispatch on which table a record came from (Hive-style
+    #: multi-table jobs need provenance; NTGA jobs dispatch on type).
+    tag_inputs: bool = False
+    #: Free-form planner annotations (operator names, phase labels).
+    labels: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if (self.mapper is None) == (self.mapper_factory is None):
+            raise MapReduceError(
+                f"job {self.name!r} must define exactly one of mapper/mapper_factory"
+            )
+        if self.side_inputs and self.mapper_factory is None:
+            raise MapReduceError(
+                f"job {self.name!r} declares side inputs but no mapper_factory"
+            )
+        if self.combiner is not None and self.reducer is None:
+            raise MapReduceError(f"map-only job {self.name!r} cannot have a combiner")
+        if not self.inputs:
+            raise MapReduceError(f"job {self.name!r} needs at least one input")
+
+    @property
+    def is_map_only(self) -> bool:
+        return self.reducer is None
+
+    def resolve_mapper(self, side_data: dict[str, list[Any]]) -> Mapper:
+        if self.mapper is not None:
+            return self.mapper
+        assert self.mapper_factory is not None
+        return self.mapper_factory(side_data)
+
+
+@dataclass
+class JobStats:
+    """Measured outcome of one simulated job."""
+
+    name: str
+    map_only: bool
+    map_tasks: int
+    reduce_tasks: int
+    input_bytes: int
+    side_input_bytes: int
+    shuffle_bytes: int
+    output_bytes: int
+    input_records: int
+    output_records: int
+    cost_seconds: float
+    labels: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        kind = "map-only" if self.map_only else "map-reduce"
+        return (
+            f"{self.name} [{kind}] in={self.input_bytes}B shuffle={self.shuffle_bytes}B "
+            f"out={self.output_bytes}B cost={self.cost_seconds:.2f}s"
+        )

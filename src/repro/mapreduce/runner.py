@@ -1,0 +1,224 @@
+"""Execution of simulated MapReduce jobs and workflows.
+
+The runner faithfully models the dataflow of one Hadoop cycle:
+
+1. the inputs are divided into splits (one map task per block);
+2. each map task runs the mapper over its records;
+3. with a combiner, each map task groups its own output by key and
+   pre-aggregates it before anything is shuffled — this is exactly the
+   mapper-side hash aggregation the paper's TG_AgJ operator relies on;
+4. map output is shuffled (grouped by key across all tasks) and the
+   reducer runs per key;
+5. the reduce (or map, for map-only jobs) output is materialized to
+   HDFS, where a capacity limit may fire.
+
+Costs are charged by :class:`repro.mapreduce.cost.CostModel` from the
+exact simulated byte/record volumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import MapReduceError
+from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import JobStats, MapReduceJob
+
+
+@dataclass
+class WorkflowStats:
+    """Aggregate outcome of a job sequence (one engine execution)."""
+
+    jobs: list[JobStats] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def cycles(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def map_only_cycles(self) -> int:
+        return sum(1 for job in self.jobs if job.map_only)
+
+    @property
+    def full_cycles(self) -> int:
+        return self.cycles - self.map_only_cycles
+
+    @property
+    def total_cost(self) -> float:
+        return sum(job.cost_seconds for job in self.jobs)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(job.shuffle_bytes for job in self.jobs)
+
+    @property
+    def total_materialized_bytes(self) -> int:
+        return sum(job.output_bytes for job in self.jobs)
+
+    def describe(self) -> str:
+        lines = [job.describe() for job in self.jobs]
+        lines.append(
+            f"TOTAL: {self.cycles} cycles ({self.map_only_cycles} map-only), "
+            f"cost={self.total_cost:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+def _chunk(records: Sequence[Any], tasks: int) -> list[list[Any]]:
+    """Split records into *tasks* contiguous chunks (some may be empty)."""
+    if tasks <= 1:
+        return [list(records)]
+    size, remainder = divmod(len(records), tasks)
+    chunks: list[list[Any]] = []
+    start = 0
+    for index in range(tasks):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(list(records[start:end]))
+        start = end
+    return chunks
+
+
+def _sort_key(key: Any) -> tuple[str, str]:
+    return (type(key).__name__, repr(key))
+
+
+class MapReduceRunner:
+    """Runs jobs against one HDFS instance under one cost configuration."""
+
+    def __init__(
+        self,
+        hdfs: HDFS,
+        cluster: ClusterConfig | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.hdfs = hdfs
+        self.cluster = cluster or ClusterConfig()
+        self.cost_model = cost_model or CostModel()
+
+    # -- single job ------------------------------------------------------------
+
+    def run_job(self, job: MapReduceJob, counters: Counters | None = None) -> JobStats:
+        counters = counters if counters is not None else Counters()
+
+        input_records: list[Any] = []
+        input_bytes = 0  # on-disk bytes (drives split count and counters)
+        input_work_bytes = 0  # decompressed bytes (drives scan cost)
+        map_tasks = 0
+        for path in job.inputs:
+            file = self.hdfs.read(path)
+            if job.tag_inputs:
+                input_records.extend((path, record) for record in file.records)
+            else:
+                input_records.extend(file.records)
+            input_bytes += file.size_bytes
+            input_work_bytes += file.raw_bytes
+            # Splits come from the stored size: compressed tables occupy
+            # fewer blocks, hence fewer mappers (the paper's ORC effect).
+            map_tasks += self.cluster.splits_for(file.size_bytes)
+
+        side_data: dict[str, list[Any]] = {}
+        side_bytes = 0
+        side_work_bytes = 0
+        for path in job.side_inputs:
+            file = self.hdfs.read(path)
+            side_data[path] = file.records
+            side_bytes += file.size_bytes
+            side_work_bytes += file.raw_bytes
+
+        mapper = job.resolve_mapper(side_data)
+        counters.increment("map_tasks", map_tasks)
+        counters.increment("map_input_records", len(input_records))
+        counters.increment("hdfs_bytes_read", input_bytes + side_bytes)
+
+        if job.is_map_only:
+            output_records: list[Any] = []
+            for record in input_records:
+                output_records.extend(mapper(record))
+            counters.increment("map_output_records", len(output_records))
+            shuffle_bytes = 0
+            reduce_tasks = 0
+        else:
+            shuffle_pairs: list[tuple[Any, Any]] = []
+            for chunk in _chunk(input_records, map_tasks):
+                task_output: list[tuple[Any, Any]] = []
+                for record in chunk:
+                    for emitted in mapper(record):
+                        if not (isinstance(emitted, tuple) and len(emitted) == 2):
+                            raise MapReduceError(
+                                f"job {job.name!r}: mapper of a full MR job must emit "
+                                f"(key, value) pairs, got {emitted!r}"
+                            )
+                        task_output.append(emitted)
+                counters.increment("map_output_records", len(task_output))
+                if job.combiner is not None:
+                    grouped: dict[Any, list[Any]] = defaultdict(list)
+                    for key, value in task_output:
+                        grouped[key].append(value)
+                    counters.increment("combine_input_records", len(task_output))
+                    combined: list[tuple[Any, Any]] = []
+                    for key in sorted(grouped, key=_sort_key):
+                        combined.extend(job.combiner(key, grouped[key]))
+                    counters.increment("combine_output_records", len(combined))
+                    task_output = combined
+                shuffle_pairs.extend(task_output)
+
+            shuffle_bytes = sum(
+                estimate_size(key) + estimate_size(value) for key, value in shuffle_pairs
+            )
+            counters.increment("shuffle_bytes", shuffle_bytes)
+            counters.increment("reduce_input_records", len(shuffle_pairs))
+
+            by_key: dict[Any, list[Any]] = defaultdict(list)
+            for key, value in shuffle_pairs:
+                by_key[key].append(value)
+            reduce_tasks = max(1, min(len(by_key), self.cluster.reduce_slots))
+            counters.increment("reduce_tasks", reduce_tasks)
+
+            output_records = []
+            assert job.reducer is not None
+            for key in sorted(by_key, key=_sort_key):
+                output_records.extend(job.reducer(key, by_key[key]))
+            counters.increment("reduce_output_records", len(output_records))
+
+        output_file = self.hdfs.write(job.output, output_records, job.output_compressed)
+        counters.increment("hdfs_bytes_written", output_file.size_bytes)
+        counters.increment("mr_cycles")
+        if job.is_map_only:
+            counters.increment("map_only_cycles")
+
+        cost = self.cost_model.job_cost(
+            self.cluster,
+            input_bytes=input_work_bytes + side_work_bytes,
+            shuffle_bytes=shuffle_bytes,
+            output_bytes=output_file.raw_bytes,
+            map_tasks=map_tasks,
+            reduce_tasks=reduce_tasks,
+        )
+        return JobStats(
+            name=job.name,
+            map_only=job.is_map_only,
+            map_tasks=map_tasks,
+            reduce_tasks=reduce_tasks,
+            input_bytes=input_bytes,
+            side_input_bytes=side_bytes,
+            shuffle_bytes=shuffle_bytes,
+            output_bytes=output_file.size_bytes,
+            input_records=len(input_records),
+            output_records=len(output_records),
+            cost_seconds=cost,
+            labels=job.labels,
+        )
+
+    # -- workflows ----------------------------------------------------------------
+
+    def run_workflow(self, jobs: Sequence[MapReduceJob]) -> WorkflowStats:
+        """Run jobs in order; later jobs may read earlier outputs."""
+        stats = WorkflowStats()
+        for job in jobs:
+            stats.jobs.append(self.run_job(job, stats.counters))
+        return stats

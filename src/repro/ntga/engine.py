@@ -1,0 +1,94 @@
+"""NTGA execution engines: RAPID+ and RAPIDAnalytics."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.query_model import AnalyticalQuery
+from repro.core.results import EngineConfig, ExecutionReport, Row
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runner import MapReduceRunner
+from repro.ntga.physical import AggRow, TripleGroupStore, load_triplegroups
+from repro.ntga.planner import (
+    NTGAPlan,
+    inject_default_rows,
+    plan_rapid_analytics,
+    plan_rapid_plus,
+)
+from repro.rdf.graph import Graph
+
+Planner = Callable[[AnalyticalQuery, TripleGroupStore], NTGAPlan]
+
+
+def _collect_rows(hdfs: HDFS, plan: NTGAPlan, query: AnalyticalQuery) -> list[Row]:
+    records = hdfs.read(plan.final_output).records
+    rows: list[Row] = []
+    projection = set(query.projection)
+    for record in records:
+        if isinstance(record, AggRow):
+            rows.append(
+                {v: t for v, t in record.as_dict().items() if v in projection}
+            )
+        elif isinstance(record, dict):
+            rows.append(record)
+    if query.distinct:
+        rows = deduplicate_rows(rows)
+    from repro.core.reference import apply_result_modifiers
+
+    return apply_result_modifiers(query, rows)
+
+
+def deduplicate_rows(rows: list[Row]) -> list[Row]:
+    """Order-preserving DISTINCT over solution rows."""
+    seen: set[frozenset] = set()
+    unique: list[Row] = []
+    for row in rows:
+        key = frozenset(row.items())
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+class NTGAEngine:
+    """Common driver for both NTGA planners."""
+
+    def __init__(self, name: str, planner: Planner):
+        self.name = name
+        self._planner = planner
+
+    def execute(
+        self, query: AnalyticalQuery, graph: Graph, config: EngineConfig | None = None
+    ) -> ExecutionReport:
+        config = config or EngineConfig()
+        hdfs = HDFS(capacity=config.hdfs_capacity)
+        store = load_triplegroups(graph, hdfs)
+        plan = self._planner(query, store)
+        runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
+
+        if plan.final_join_index is None:
+            stats = runner.run_workflow(plan.jobs)
+            inject_default_rows(plan, hdfs)
+        else:
+            stats = runner.run_workflow(plan.jobs[: plan.final_join_index])
+            inject_default_rows(plan, hdfs)
+            stats.jobs.append(
+                runner.run_job(plan.jobs[plan.final_join_index], stats.counters)
+            )
+
+        return ExecutionReport(
+            engine=self.name,
+            rows=_collect_rows(hdfs, plan, query),
+            stats=stats,
+            plan=[job.name for job in plan.jobs],
+            load_bytes=store.total_bytes,
+            plan_description=plan.description,
+        )
+
+
+def rapid_plus_engine() -> NTGAEngine:
+    return NTGAEngine("rapid-plus", lambda q, s: plan_rapid_plus(q, s))
+
+
+def rapid_analytics_engine() -> NTGAEngine:
+    return NTGAEngine("rapid-analytics", lambda q, s: plan_rapid_analytics(q, s))

@@ -1,0 +1,522 @@
+"""Physical MapReduce operators for NTGA plans.
+
+This module turns a :class:`repro.ntga.composite.CompositePlan` into
+simulated MapReduce jobs:
+
+* **TG_OptGrpFilter** runs map-side inside whichever job first touches a
+  star's input (join or Agg-Join), as in the paper's Algorithm 1;
+* **TG_AlphaJoin** is one full MR cycle per join edge of the composite
+  pattern (Algorithm 2), pruning combinations that satisfy no α;
+* **TG_AgJ** is one full MR cycle computing *all* requested
+  grouping-aggregations in parallel (Algorithm 3), with mapper-side
+  hash partial aggregation modeled by the combiner;
+* **TG_Join** of aggregated triplegroups is a final map-only cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.query_model import PropKey, StarPattern
+from repro.errors import PlanningError
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.ntga.composite import CanonicalSubquery, CompositePlan, CompositeStar, object_filters
+from repro.ntga.operators import (
+    AlphaCondition,
+    JoinSide,
+    any_alpha_satisfied,
+)
+from repro.ntga.triplegroup import (
+    JoinedTripleGroup,
+    TripleGroup,
+    group_by_subject,
+    joined_solutions,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Term, Variable
+from repro.sparql.aggregates import UNBOUND, make_accumulator
+from repro.sparql.expressions import evaluate_filter, term_value
+
+
+# ---------------------------------------------------------------------------
+# Storage: subject triplegroups by equivalence class
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TripleGroupStore:
+    """Manifest of the NTGA pre-processing output on HDFS.
+
+    Subject triplegroups are stored in one file per equivalence class
+    (the set of property IRIs of the subject), mirroring the paper's
+    "stored in text files based on equivalence class".  Star patterns
+    then read only the files whose class contains all their primary
+    properties.
+    """
+
+    paths_by_class: dict[frozenset, str] = field(default_factory=dict)
+    #: Placeholder file returned when no equivalence class matches a
+    #: star's primaries — the star simply has no candidate subjects.
+    empty_path: str = ""
+    total_bytes: int = 0
+
+    def paths_for(self, p_prim: frozenset[PropKey]) -> tuple[str, ...]:
+        required = frozenset(key.property for key in p_prim)
+        matching = tuple(
+            sorted(
+                path
+                for ec, path in self.paths_by_class.items()
+                if required <= ec
+            )
+        )
+        if not matching and self.empty_path:
+            return (self.empty_path,)
+        return matching
+
+
+def load_triplegroups(graph: Graph, hdfs: HDFS, prefix: str = "ntga") -> TripleGroupStore:
+    """NTGA pre-processing: group triples by subject, store per class."""
+    store = TripleGroupStore(empty_path=f"{prefix}/ec/_empty")
+    hdfs.write(store.empty_path, [])
+    by_class: dict[frozenset, list[TripleGroup]] = {}
+    for group in group_by_subject(graph):
+        ec = frozenset(t.property for t in group.triples)
+        by_class.setdefault(ec, []).append(group)
+    for index, ec in enumerate(sorted(by_class, key=lambda s: sorted(i.value for i in s))):
+        path = f"{prefix}/ec/{index:05d}"
+        file = hdfs.write(path, by_class[ec])
+        store.paths_by_class[ec] = path
+        store.total_bytes += file.size_bytes
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Star filtering (map-side σ^γopt)
+# ---------------------------------------------------------------------------
+
+
+def make_star_filter(
+    composite_star: CompositeStar,
+    prefilters: Sequence = (),
+) -> Callable[[TripleGroup], TripleGroup | None]:
+    """Per-record TG_OptGrpFilter for one composite star.
+
+    Applies the primary-property requirement, concrete-object
+    constraints, and any pushed-down single-variable object filters.
+    """
+    p_prim = composite_star.p_prim
+    relevant = composite_star.all_props()
+    constraints = composite_star.constraints
+    pushed = object_filters(composite_star.pattern, tuple(prefilters))
+    object_var: dict[PropKey, Variable] = {}
+    for key, expressions in pushed.items():
+        pattern = composite_star.pattern.pattern_for(key)
+        if isinstance(pattern.object, Variable):
+            object_var[key] = pattern.object
+
+    def filter_one(group: TripleGroup) -> TripleGroup | None:
+        projected = group.project(relevant)
+        if constraints or pushed:
+            kept = []
+            for triple in projected.triples:
+                key = PropKey(triple.property)
+                required = constraints.get(key)
+                if required is not None and triple.object != required:
+                    continue
+                expressions = pushed.get(key)
+                if expressions:
+                    bindings = {object_var[key]: triple.object}
+                    if not all(evaluate_filter(e, bindings) for e in expressions):
+                        continue
+                kept.append(triple)
+            projected = TripleGroup(group.subject, tuple(kept))
+        if p_prim <= projected.props():
+            return projected
+        return None
+
+    return filter_one
+
+
+def shared_prefilters(subqueries: Sequence[CanonicalSubquery]) -> tuple:
+    """Filters safe to push into composite star formation: those present
+    (structurally identical after canonicalization) in *every* subquery."""
+    if not subqueries:
+        return ()
+    common = set(subqueries[0].filters)
+    for subquery in subqueries[1:]:
+        common &= set(subquery.filters)
+    return tuple(common)
+
+
+# ---------------------------------------------------------------------------
+# Join planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgeSides:
+    variable: Variable
+    left_side: JoinSide
+    right_side: JoinSide
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One TG_AlphaJoin cycle: join the accumulated components with one
+    new composite star."""
+
+    new_star: int
+    primary: EdgeSides
+    extras: tuple[EdgeSides, ...] = ()
+
+
+def _side_for(star: StarPattern, star_index: int, variable: Variable, pattern) -> JoinSide:
+    if isinstance(star.subject, Variable) and star.subject == variable:
+        return JoinSide("subject", None, star_index)
+    from repro.core.query_model import prop_key_of
+
+    return JoinSide("object", prop_key_of(pattern), star_index)
+
+
+def derive_join_steps(plan: CompositePlan) -> list[JoinStep]:
+    """Left-deep join order over the composite pattern's join graph."""
+    composite = plan.composite_graph_pattern()
+    if not composite.is_connected():
+        raise PlanningError("composite graph pattern is not connected")
+    edges = composite.star_joins()
+    joined = {0}
+    steps: list[JoinStep] = []
+    remaining = list(edges)
+    while len(joined) < len(plan.stars):
+        connecting = [
+            e
+            for e in remaining
+            if (e.left_star in joined) != (e.right_star in joined)
+        ]
+        if not connecting:
+            raise PlanningError("no connecting join edge found")
+        # Group every edge that attaches the same new star in this step.
+        first = connecting[0]
+        new_star = first.right_star if first.left_star in joined else first.left_star
+        attaching = [
+            e for e in connecting if new_star in (e.left_star, e.right_star)
+        ]
+        sides: list[EdgeSides] = []
+        for edge in attaching:
+            if edge.left_star in joined:
+                old_star, old_pattern = edge.left_star, edge.left_pattern
+                new_pattern = edge.right_pattern
+            else:
+                old_star, old_pattern = edge.right_star, edge.right_pattern
+                new_pattern = edge.left_pattern
+            sides.append(
+                EdgeSides(
+                    edge.variable,
+                    _side_for(plan.stars[old_star].pattern, old_star, edge.variable, old_pattern),
+                    _side_for(plan.stars[new_star].pattern, new_star, edge.variable, new_pattern),
+                )
+            )
+            remaining.remove(edge)
+        steps.append(JoinStep(new_star, sides[0], tuple(sides[1:])))
+        joined.add(new_star)
+    return steps
+
+
+def restricted_alphas(
+    plan: CompositePlan, star_set: frozenset[int]
+) -> list[AlphaCondition]:
+    """α conditions limited to the stars joined so far (partial pruning)."""
+    conditions = []
+    for subquery in plan.subqueries:
+        required: set[PropKey] = set()
+        for star, composite_index in zip(subquery.stars, subquery.star_indices):
+            if composite_index in star_set:
+                # OPTIONAL properties are never required of a match.
+                required |= star.required_props() - plan.stars[composite_index].p_prim
+        conditions.append(AlphaCondition(frozenset(required)))
+    return conditions
+
+
+# ---------------------------------------------------------------------------
+# TG_AlphaJoin job
+# ---------------------------------------------------------------------------
+
+
+def _emit_tagged(
+    side: JoinSide, tag: str, joined: JoinedTripleGroup, variable: Variable
+) -> Iterable[tuple[Term, tuple[str, JoinedTripleGroup]]]:
+    for key in side.keys_for(joined):
+        fixed = joined.fixed
+        if not any(v == variable for v, _ in fixed):
+            fixed = fixed + ((variable, key),)
+        yield key, (tag, JoinedTripleGroup(joined.components, fixed))
+
+
+def _expand_extras(
+    merged: JoinedTripleGroup, extras: tuple[EdgeSides, ...]
+) -> list[JoinedTripleGroup]:
+    results = [merged]
+    for edge in extras:
+        next_results: list[JoinedTripleGroup] = []
+        for joined in results:
+            left_keys = set(edge.left_side.keys_for(joined))
+            right_keys = set(edge.right_side.keys_for(joined))
+            fixed_value = joined.fixed_bindings().get(edge.variable)
+            candidates = left_keys & right_keys
+            if fixed_value is not None:
+                candidates &= {fixed_value}
+            for value in candidates:
+                fixed = dict(joined.fixed)
+                fixed[edge.variable] = value
+                next_results.append(
+                    JoinedTripleGroup(joined.components, tuple(fixed.items()))
+                )
+        results = next_results
+    return results
+
+
+def build_alpha_join_job(
+    name: str,
+    step: JoinStep,
+    plan: CompositePlan,
+    store: TripleGroupStore,
+    previous_output: str | None,
+    joined_so_far: frozenset[int],
+    output: str,
+    prefilters: tuple = (),
+    first_star: int = 0,
+) -> MapReduceJob:
+    """One TG_AlphaJoin MR cycle.
+
+    The map phase applies TG_OptGrpFilter to raw triplegroups (EC file
+    records) for whichever stars this cycle introduces, and tags records
+    by join side; the reduce phase performs the α-join.
+    """
+    new_star = step.new_star
+    new_filter = make_star_filter(plan.stars[new_star], prefilters)
+    first_filter = make_star_filter(plan.stars[first_star], prefilters)
+    alphas = restricted_alphas(plan, joined_so_far | {new_star})
+    left_side, right_side = step.primary.left_side, step.primary.right_side
+    variable = step.primary.variable
+    extras = step.extras
+
+    is_first_step = previous_output is None
+    inputs: list[str] = []
+    if previous_output is not None:
+        inputs.append(previous_output)
+        inputs.extend(store.paths_for(plan.stars[new_star].p_prim))
+    else:
+        paths = set(store.paths_for(plan.stars[first_star].p_prim))
+        paths |= set(store.paths_for(plan.stars[new_star].p_prim))
+        inputs.extend(sorted(paths))
+    # Deduplicate while preserving order.
+    seen: set[str] = set()
+    inputs = [p for p in inputs if not (p in seen or seen.add(p))]
+
+    def mapper(record: Any) -> Iterable[tuple[Term, tuple[str, JoinedTripleGroup]]]:
+        if isinstance(record, JoinedTripleGroup):
+            yield from _emit_tagged(left_side, "L", record, variable)
+            return
+        if not isinstance(record, TripleGroup):
+            return
+        if is_first_step:
+            filtered = first_filter(record)
+            if filtered is not None:
+                yield from _emit_tagged(
+                    left_side, "L", JoinedTripleGroup.single(first_star, filtered), variable
+                )
+        filtered = new_filter(record)
+        if filtered is not None:
+            yield from _emit_tagged(
+                right_side, "R", JoinedTripleGroup.single(new_star, filtered), variable
+            )
+
+    def reducer(key: Term, values: list) -> Iterable[JoinedTripleGroup]:
+        lefts = [joined for tag, joined in values if tag == "L"]
+        rights = [joined for tag, joined in values if tag == "R"]
+        for left in lefts:
+            for right in rights:
+                merged = left.merge(right)
+                for expanded in _expand_extras(merged, extras):
+                    if any_alpha_satisfied(alphas, expanded.props()):
+                        yield expanded
+
+    return MapReduceJob(
+        name=name,
+        inputs=tuple(inputs),
+        output=output,
+        mapper=mapper,
+        reducer=reducer,
+        labels=("TG_OptGrpFilter", "TG_AlphaJoin"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# TG_AgJ job
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggRow:
+    """An aggregated-triplegroup record on HDFS."""
+
+    subquery_id: int
+    row: tuple[tuple[Variable, Term], ...]
+
+    def as_dict(self) -> dict[Variable, Term]:
+        return dict(self.row)
+
+    def estimated_size(self) -> int:
+        from repro.mapreduce.cost import estimate_size
+
+        return 4 + sum(estimate_size(v) + estimate_size(t) for v, t in self.row)
+
+
+# Shuffle value for TG_AgJ: one accumulator per aggregation (shared with
+# the Hive engines — both model mapper-side hash partial aggregation).
+from repro.sparql.aggregates import AccumulatorTuple  # noqa: E402  (placed here for reading order)
+
+
+def _to_term(value: object) -> Term:
+    if isinstance(value, (IRI, Literal)):
+        return value
+    return Literal.from_python(value)  # type: ignore[arg-type]
+
+
+def build_agg_join_job(
+    name: str,
+    plan: CompositePlan,
+    detail_input: str | None,
+    store: TripleGroupStore,
+    output: str,
+    prefilters: tuple = (),
+) -> MapReduceJob:
+    """The fused TG_AgJ cycle: every subquery's grouping-aggregation is
+    computed in parallel over the composite detail (Figure 6(b)).
+
+    When *detail_input* is None the pattern is a single star: the map
+    phase applies TG_OptGrpFilter directly to EC-file records.
+    """
+    subqueries = plan.subqueries
+    star_maps = [
+        {position: index for position, index in enumerate(sq.star_indices)}
+        for sq in subqueries
+    ]
+    single_star_filter = (
+        make_star_filter(plan.stars[0], prefilters) if detail_input is None else None
+    )
+    if detail_input is None:
+        inputs: tuple[str, ...] = store.paths_for(plan.stars[0].p_prim)
+        if not inputs:
+            raise PlanningError("no equivalence-class files match the star pattern")
+    else:
+        inputs = (detail_input,)
+
+    def fresh_accumulators(subquery: CanonicalSubquery) -> AccumulatorTuple:
+        return AccumulatorTuple(
+            [make_accumulator(a.func, a.distinct) for a in subquery.aggregates]
+        )
+
+    def mapper(record: Any) -> Iterable[tuple[tuple, AccumulatorTuple]]:
+        if isinstance(record, TripleGroup):
+            assert single_star_filter is not None
+            filtered = single_star_filter(record)
+            if filtered is None:
+                return
+            joined = JoinedTripleGroup.single(0, filtered)
+        elif isinstance(record, JoinedTripleGroup):
+            joined = record
+        else:
+            return
+        props = joined.props()
+        for subquery, star_map in zip(subqueries, star_maps):
+            if not subquery.alpha.satisfied_by(props):
+                continue
+            solutions = joined_solutions(subquery.stars, joined, star_map)
+            for solution in solutions:
+                if subquery.filters and not all(
+                    evaluate_filter(f, solution) for f in subquery.filters
+                ):
+                    continue
+                key = (
+                    subquery.subquery_id,
+                    tuple(solution.get(v) for v in subquery.group_by),
+                )
+                accumulators = fresh_accumulators(subquery)
+                for accumulator, agg in zip(accumulators.accumulators, subquery.aggregates):
+                    if agg.variable is None:
+                        accumulator.update(None)
+                        continue
+                    term = solution.get(agg.variable)
+                    if term is None:
+                        continue
+                    value = term_value(term)
+                    accumulator.update(value.value if isinstance(value, IRI) else value)
+                yield key, accumulators
+
+    def combiner(key: tuple, values: list) -> Iterable[tuple[tuple, AccumulatorTuple]]:
+        merged = values[0]
+        for value in values[1:]:
+            merged.merge(value)
+        yield key, merged
+
+    subquery_by_id = {sq.subquery_id: sq for sq in subqueries}
+
+    def reducer(key: tuple, values: list) -> Iterable[AggRow]:
+        subquery_id, group_key = key
+        subquery = subquery_by_id[subquery_id]
+        merged = values[0]
+        for value in values[1:]:
+            merged.merge(value)
+        row: list[tuple[Variable, Term]] = []
+        for variable, term in zip(subquery.output_group_by, group_key):
+            if term is not None:
+                row.append((variable, term))
+        for accumulator, agg in zip(merged.accumulators, subquery.aggregates):
+            result = accumulator.result()
+            if result is UNBOUND:
+                continue
+            row.append((agg.alias, _to_term(result)))
+        if subquery.having is not None and not evaluate_filter(
+            subquery.having, dict(row)
+        ):
+            return
+        yield AggRow(subquery_id, tuple(row))
+
+    return MapReduceJob(
+        name=name,
+        inputs=inputs,
+        output=output,
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+        labels=("TG_AgJ",),
+    )
+
+
+def empty_group_rows(plan: CompositePlan) -> list[AggRow]:
+    """Rows SPARQL requires for GROUP-BY-ALL subqueries with no input.
+
+    MapReduce produces nothing for an empty group; the final-join stage
+    injects these default rows (COUNT=0, SUM=0) to preserve reference
+    semantics for roll-up subqueries.
+    """
+    rows = []
+    for subquery in plan.subqueries:
+        if subquery.group_by:
+            continue
+        row: list[tuple[Variable, Term]] = []
+        for agg in subquery.aggregates:
+            accumulator = make_accumulator(agg.func, agg.distinct)
+            result = accumulator.result()
+            if result is UNBOUND:
+                continue
+            row.append((agg.alias, _to_term(result)))
+        if subquery.having is not None and not evaluate_filter(
+            subquery.having, dict(row)
+        ):
+            continue
+        rows.append(AggRow(subquery.subquery_id, tuple(row)))
+    return rows

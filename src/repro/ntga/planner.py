@@ -1,0 +1,402 @@
+"""NTGA query planners: RAPID+ (sequential) and RAPIDAnalytics (shared).
+
+*RAPID+* evaluates each grouping subquery independently: one α-less
+TG join cycle per star-join of its graph pattern, then one TG_AgJ
+cycle, then a final map-only join of the aggregated results — the
+paper's Figure 6(a) workflow.
+
+*RAPIDAnalytics* rewrites overlapping graph patterns into a composite
+pattern evaluated once, fuses the independent Agg-Joins into a single
+parallel TG_AgJ cycle, and joins the aggregated triplegroups map-only —
+Figure 6(b).  When the patterns do not overlap it falls back to the
+sequential plan, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.query_model import AnalyticalQuery
+from repro.errors import OverlapError
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.ntga.composite import (
+    CompositePlan,
+    build_composite_n,
+    single_pattern_plan,
+)
+from repro.ntga.physical import (
+    AggRow,
+    TripleGroupStore,
+    build_agg_join_job,
+    build_alpha_join_job,
+    derive_join_steps,
+    empty_group_rows,
+    shared_prefilters,
+)
+from repro.rdf.terms import Term, Variable
+from repro.sparql.expressions import (
+    ExpressionError,
+    evaluate as evaluate_expression,
+)
+
+
+def _to_term(value: object) -> Term:
+    from repro.rdf.terms import IRI, Literal
+
+    if isinstance(value, (IRI, Literal)):
+        return value
+    return Literal.from_python(value)  # type: ignore[arg-type]
+
+
+def _compatible(left: dict, right: dict) -> bool:
+    for variable, term in left.items():
+        other = right.get(variable)
+        if other is not None and other != term:
+            return False
+    return True
+
+
+def build_final_join_job(
+    name: str,
+    query: AnalyticalQuery,
+    agg_inputs: tuple[str, ...],
+    subquery_count: int,
+    output: str,
+) -> MapReduceJob:
+    """Map-only TG_Join of aggregated triplegroups plus the outer
+    SELECT's expression extensions and projection.
+
+    Empty-group default rows are injected into the agg files before this
+    job runs (:func:`inject_default_rows`), so they flow through the
+    normal input stream.
+    """
+    extends = query.outer_extends
+    projection = set(query.projection)
+
+    def mapper_factory(side_data: dict[str, list[Any]]):
+        rows_by_subquery: dict[int, list[dict[Variable, Term]]] = {
+            i: [] for i in range(subquery_count)
+        }
+        for records in side_data.values():
+            for record in records:
+                if isinstance(record, AggRow):
+                    rows_by_subquery[record.subquery_id].append(record.as_dict())
+
+        def mapper(record: Any) -> Iterable[dict[Variable, Term]]:
+            if not isinstance(record, AggRow) or record.subquery_id != 0:
+                return
+            partials = [record.as_dict()]
+            for subquery_id in range(1, subquery_count):
+                partials = [
+                    {**left, **right}
+                    for left in partials
+                    for right in rows_by_subquery[subquery_id]
+                    if _compatible(left, right)
+                ]
+                if not partials:
+                    return
+            for merged in partials:
+                for alias, expression in extends:
+                    try:
+                        merged[alias] = _to_term(evaluate_expression(expression, merged))
+                    except ExpressionError:
+                        pass
+                yield {
+                    variable: term
+                    for variable, term in merged.items()
+                    if variable in projection
+                }
+
+        return mapper
+
+    return MapReduceJob(
+        name=name,
+        inputs=(agg_inputs[0],),
+        output=output,
+        mapper_factory=mapper_factory,
+        side_inputs=tuple(agg_inputs),
+        labels=("TG_Join",),
+    )
+
+
+@dataclass
+class NTGAPlan:
+    """A compiled NTGA workflow.
+
+    ``final_join_index`` marks the map-only TG_Join job (if any); the
+    engine injects empty-group default rows into the agg outputs after
+    the preceding jobs complete and before the final join runs.
+    """
+
+    jobs: list[MapReduceJob]
+    final_output: str
+    #: Default rows (GROUP BY ALL over empty input) that the engine must
+    #: splice in if the corresponding subquery produced nothing.
+    defaults_by_plan: list[tuple[CompositePlan, str]] = field(default_factory=list)
+    final_join_index: int | None = None
+    description: str = ""
+
+
+def plan_rapid_analytics(
+    query: AnalyticalQuery,
+    store: TripleGroupStore,
+    prefix: str = "ra",
+    fuse_aggregations: bool = True,
+) -> NTGAPlan:
+    """Build the RAPIDAnalytics workflow (falls back to sequential when
+    the graph patterns do not overlap).
+
+    ``fuse_aggregations=False`` evaluates the composite pattern once but
+    runs one Agg-Join cycle *per subquery* — the paper's Figure 6(a)
+    workflow — instead of the fused parallel operator of Figure 6(b).
+    Used by the ablation study isolating the parallel-aggregation
+    contribution.
+    """
+    if len(query.subqueries) == 1:
+        composite = single_pattern_plan(query.subqueries[0])
+    else:
+        try:
+            composite = build_composite_n(query.subqueries)
+        except OverlapError:
+            return plan_rapid_plus(query, store, prefix=prefix)
+
+    jobs: list[MapReduceJob] = []
+    prefilters = shared_prefilters(composite.subqueries)
+    detail_path: str | None = None
+    joined = frozenset({0})
+    if len(composite.stars) > 1:
+        steps = derive_join_steps(composite)
+        previous: str | None = None
+        for index, step in enumerate(steps):
+            output = f"{prefix}/join{index}"
+            jobs.append(
+                build_alpha_join_job(
+                    name=f"{prefix}:alpha-join-{index}",
+                    step=step,
+                    plan=composite,
+                    store=store,
+                    previous_output=previous,
+                    joined_so_far=joined,
+                    output=output,
+                    prefilters=prefilters,
+                )
+            )
+            joined = joined | {step.new_star}
+            previous = output
+        detail_path = previous
+
+    defaults: list[tuple[CompositePlan, str]] = []
+    if fuse_aggregations or len(composite.subqueries) == 1:
+        agg_output = f"{prefix}/agg"
+        agg_outputs: tuple[str, ...] = (agg_output,)
+        jobs.append(
+            build_agg_join_job(
+                name=f"{prefix}:agg-join",
+                plan=composite,
+                detail_input=detail_path,
+                store=store,
+                output=agg_output,
+                prefilters=prefilters,
+            )
+        )
+        defaults.append((composite, agg_output))
+    else:
+        # Figure 6(a): one Agg-Join cycle per subquery over the same
+        # composite detail (sequential aggregation evaluation).
+        outputs = []
+        for subquery in composite.subqueries:
+            sub_plan = CompositePlan(composite.stars, (subquery,))
+            output = f"{prefix}/agg{subquery.subquery_id}"
+            jobs.append(
+                build_agg_join_job(
+                    name=f"{prefix}:agg-join-{subquery.subquery_id}",
+                    plan=sub_plan,
+                    detail_input=detail_path,
+                    store=store,
+                    output=output,
+                    prefilters=prefilters,
+                )
+            )
+            defaults.append((sub_plan, output))
+            outputs.append(output)
+        agg_outputs = tuple(outputs)
+
+    final_join_index: int | None = None
+    if len(query.subqueries) > 1 or query.outer_extends:
+        final_output = f"{prefix}/result"
+        final_join_index = len(jobs)
+        jobs.append(
+            build_final_join_job(
+                name=f"{prefix}:final-join",
+                query=query,
+                agg_inputs=agg_outputs,
+                subquery_count=len(query.subqueries),
+                output=final_output,
+            )
+        )
+    else:
+        final_output = agg_outputs[0]
+    return NTGAPlan(
+        jobs=jobs,
+        final_output=final_output,
+        defaults_by_plan=defaults,
+        final_join_index=final_join_index,
+        description=composite.describe(),
+    )
+
+
+def plan_rapid_plus(
+    query: AnalyticalQuery, store: TripleGroupStore, prefix: str = "rp"
+) -> NTGAPlan:
+    """Build the sequential RAPID+ workflow: each subquery evaluated on
+    its own, then a map-only join of the aggregated results."""
+    jobs: list[MapReduceJob] = []
+    agg_outputs: list[str] = []
+    defaults: list[tuple[CompositePlan, str]] = []
+    for index, subquery in enumerate(query.subqueries):
+        composite = single_pattern_plan(subquery)
+        sub_prefix = f"{prefix}/sq{index}"
+        prefilters = shared_prefilters(composite.subqueries)
+        detail_path: str | None = None
+        if len(composite.stars) > 1:
+            steps = derive_join_steps(composite)
+            previous: str | None = None
+            joined = frozenset({0})
+            for step_index, step in enumerate(steps):
+                output = f"{sub_prefix}/join{step_index}"
+                jobs.append(
+                    build_alpha_join_job(
+                        name=f"{prefix}:sq{index}:join-{step_index}",
+                        step=step,
+                        plan=composite,
+                        store=store,
+                        previous_output=previous,
+                        joined_so_far=joined,
+                        output=output,
+                        prefilters=prefilters,
+                    )
+                )
+                joined = joined | {step.new_star}
+                previous = output
+            detail_path = previous
+        agg_output = f"{sub_prefix}/agg"
+        jobs.append(
+            build_agg_join_job(
+                name=f"{prefix}:sq{index}:agg",
+                plan=composite,
+                detail_input=detail_path,
+                store=store,
+                output=agg_output,
+                prefilters=prefilters,
+            )
+        )
+        agg_outputs.append(agg_output)
+        defaults.append((composite, agg_output))
+
+    # RAPID+ agg jobs tag every subquery with id 0 (each plan is its own
+    # composite); the file a row came from identifies its subquery.
+    final_join_index: int | None = None
+    if len(query.subqueries) > 1 or query.outer_extends:
+        final_output = f"{prefix}/result"
+        final_join_index = len(jobs)
+        jobs.append(
+            build_multi_file_result_join(
+                name=f"{prefix}:final-join",
+                query=query,
+                agg_outputs=tuple(agg_outputs),
+                output=final_output,
+            )
+        )
+    else:
+        final_output = agg_outputs[0]
+    return NTGAPlan(
+        jobs=jobs,
+        final_output=final_output,
+        defaults_by_plan=defaults,
+        final_join_index=final_join_index,
+        description=f"sequential evaluation of {len(query.subqueries)} subqueries",
+    )
+
+
+def build_multi_file_result_join(
+    name: str,
+    query: AnalyticalQuery,
+    agg_outputs: tuple[str, ...],
+    output: str,
+) -> MapReduceJob:
+    """Map-only join of per-subquery aggregated outputs.
+
+    Unlike the fused plan, each input file holds rows tagged with
+    subquery id 0; the file itself identifies the subquery.  The Hive
+    planners reuse this job for their final combination phase — the
+    operation (broadcast join of tiny aggregate tables plus outer
+    expressions) is identical across engines.
+    """
+    extends = query.outer_extends
+    projection = set(query.projection)
+    count = len(agg_outputs)
+
+    def mapper_factory(side_data: dict[str, list[Any]]):
+        rows_by_subquery: dict[int, list[dict[Variable, Term]]] = {}
+        for index, path in enumerate(agg_outputs):
+            rows_by_subquery[index] = [
+                record.as_dict()
+                for record in side_data.get(path, [])
+                if isinstance(record, AggRow)
+            ]
+
+        def mapper(record: Any) -> Iterable[dict[Variable, Term]]:
+            if not isinstance(record, AggRow):
+                return
+            partials = [record.as_dict()]
+            for index in range(1, count):
+                partials = [
+                    {**left, **right}
+                    for left in partials
+                    for right in rows_by_subquery[index]
+                    if _compatible(left, right)
+                ]
+                if not partials:
+                    return
+            for merged in partials:
+                for alias, expression in extends:
+                    try:
+                        merged[alias] = _to_term(evaluate_expression(expression, merged))
+                    except ExpressionError:
+                        pass
+                yield {
+                    variable: term
+                    for variable, term in merged.items()
+                    if variable in projection
+                }
+
+        return mapper
+
+    return MapReduceJob(
+        name=name,
+        inputs=(agg_outputs[0],),
+        output=output,
+        mapper_factory=mapper_factory,
+        side_inputs=agg_outputs[1:],
+        labels=("TG_Join",),
+    )
+
+
+def inject_default_rows(plan: NTGAPlan, hdfs: HDFS) -> None:
+    """Splice SPARQL's empty-group defaults into agg outputs when a
+    GROUP-BY-ALL subquery produced no rows (see
+    :func:`repro.ntga.physical.empty_group_rows`)."""
+    for composite, path in plan.defaults_by_plan:
+        if not hdfs.exists(path):
+            continue
+        file = hdfs.read(path)
+        present = {
+            record.subquery_id for record in file.records if isinstance(record, AggRow)
+        }
+        missing = [
+            row for row in empty_group_rows(composite) if row.subquery_id not in present
+        ]
+        if missing:
+            hdfs.write(path, list(file.records) + missing)

@@ -1,0 +1,274 @@
+"""The (Nested) TripleGroup data model.
+
+A *triplegroup* (paper Section 2.3) is a group of triples sharing a
+subject — the unit of data the NTGA operators manipulate.  Star
+subpattern matches are triplegroups; graph pattern matches are *joined*
+triplegroups pairing one triplegroup per star plus the join-variable
+bindings fixed when the pair was formed.
+
+Joined triplegroups keep multi-valued properties **nested** (the triples
+stay grouped, not expanded into rows).  This is NTGA's "concise
+denormalized representation": a publication with 10 MeSH headings and 5
+authors is one nested record rather than 50 flat rows, which is exactly
+why the paper's approach survives query MG13 while naive Hive exhausts
+HDFS space.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Iterable, Iterator
+
+from repro.core.query_model import PropKey, StarPattern, prop_key_of
+from repro.errors import ReproError
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triples import RDF_TYPE, Triple
+
+
+@dataclass(frozen=True)
+class TripleGroup:
+    """Triples sharing one subject."""
+
+    subject: Term
+    triples: tuple[Triple, ...]
+
+    def __post_init__(self) -> None:
+        for triple in self.triples:
+            if triple.subject != self.subject:
+                raise ReproError(
+                    f"triple {triple} does not share triplegroup subject {self.subject}"
+                )
+
+    def props(self) -> frozenset[PropKey]:
+        """``props(tg)``: the property keys present in this group.
+
+        ``rdf:type`` triples contribute a type-qualified key per class,
+        mirroring the paper's ``ty18`` notation.
+        """
+        keys = set()
+        for triple in self.triples:
+            if triple.property == RDF_TYPE:
+                keys.add(PropKey(triple.property, triple.object))
+            else:
+                keys.add(PropKey(triple.property))
+        return frozenset(keys)
+
+    def objects_for(self, key: PropKey) -> tuple[Term, ...]:
+        """All object values for a property key (order = triple order)."""
+        if key.type_object is not None:
+            return tuple(
+                t.object
+                for t in self.triples
+                if t.property == key.property and t.object == key.type_object
+            )
+        return tuple(t.object for t in self.triples if t.property == key.property)
+
+    def project(self, keys: frozenset[PropKey]) -> "TripleGroup":
+        """Keep only triples matching the given property keys."""
+        kept = []
+        plain = {k.property for k in keys if k.type_object is None}
+        typed = {(k.property, k.type_object) for k in keys if k.type_object is not None}
+        for triple in self.triples:
+            if triple.property in plain or (triple.property, triple.object) in typed:
+                kept.append(triple)
+        return TripleGroup(self.subject, tuple(kept))
+
+    def estimated_size(self) -> int:
+        """Serialized size of the *grouped* text representation.
+
+        The subject is written once for the whole group — this is the
+        denormalization that makes triplegroups concise relative to flat
+        rows when properties are multi-valued.
+        """
+        from repro.mapreduce.cost import estimate_size
+
+        size = estimate_size(self.subject) + 4
+        for triple in self.triples:
+            size += estimate_size(triple.property) + estimate_size(triple.object) + 2
+        return size
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.triples)
+
+
+@dataclass(frozen=True)
+class JoinedTripleGroup:
+    """A match of (part of) a composite graph pattern.
+
+    ``components`` holds one triplegroup per star (indexed by star
+    position in the composite graph pattern).  ``fixed`` records the
+    join-variable bindings chosen when the components were paired; when
+    a join key was one value of a multi-valued property, expansion must
+    honour that choice rather than re-expanding every value.
+    """
+
+    components: tuple[tuple[int, TripleGroup], ...]
+    fixed: tuple[tuple[Variable, Term], ...] = ()
+
+    def component(self, star_index: int) -> TripleGroup | None:
+        for index, group in self.components:
+            if index == star_index:
+                return group
+        return None
+
+    def props(self) -> frozenset[PropKey]:
+        """Union of component property-key sets (for α conditions)."""
+        keys: frozenset[PropKey] = frozenset()
+        for _, group in self.components:
+            keys |= group.props()
+        return keys
+
+    def props_by_star(self) -> dict[int, frozenset[PropKey]]:
+        return {index: group.props() for index, group in self.components}
+
+    def fixed_bindings(self) -> dict[Variable, Term]:
+        return dict(self.fixed)
+
+    def merge(
+        self, other: "JoinedTripleGroup", extra_fixed: Iterable[tuple[Variable, Term]] = ()
+    ) -> "JoinedTripleGroup":
+        return JoinedTripleGroup(
+            self.components + other.components,
+            tuple(dict(self.fixed + other.fixed + tuple(extra_fixed)).items()),
+        )
+
+    def estimated_size(self) -> int:
+        from repro.mapreduce.cost import estimate_size
+
+        size = sum(group.estimated_size() for _, group in self.components)
+        size += sum(estimate_size(t) for _, t in self.fixed)
+        return size + 8
+
+    @classmethod
+    def single(
+        cls, star_index: int, group: TripleGroup, fixed: Iterable[tuple[Variable, Term]] = ()
+    ) -> "JoinedTripleGroup":
+        return cls(((star_index, group),), tuple(fixed))
+
+
+def group_by_subject(triples: Iterable[Triple]) -> list[TripleGroup]:
+    """The NTGA pre-processing step: subject triplegroups."""
+    grouped: dict[Term, list[Triple]] = defaultdict(list)
+    for triple in triples:
+        grouped[triple.subject].append(triple)
+    return [TripleGroup(subject, tuple(ts)) for subject, ts in grouped.items()]
+
+
+def equivalence_class(group: TripleGroup) -> frozenset:
+    """The storage equivalence class: the set of property IRIs."""
+    return frozenset(t.property for t in group.triples)
+
+
+# ---------------------------------------------------------------------------
+# Binding expansion
+# ---------------------------------------------------------------------------
+
+
+def star_solutions(
+    star: StarPattern,
+    group: TripleGroup,
+    fixed: dict[Variable, Term] | None = None,
+) -> list[dict[Variable, Term]]:
+    """All solution mappings of *star* against one triplegroup.
+
+    Multi-valued properties expand by cross product, exactly as SPARQL
+    BGP semantics requires; ``fixed`` bindings (join choices) restrict
+    the expansion.
+    """
+    fixed = fixed or {}
+    solutions: list[dict[Variable, Term]] = [{}]
+    if isinstance(star.subject, Variable):
+        required = fixed.get(star.subject)
+        if required is not None and required != group.subject:
+            return []
+        solutions = [{star.subject: group.subject}]
+    elif star.subject != group.subject:
+        return []
+
+    for pattern in star.patterns:
+        key = prop_key_of(pattern)
+        is_optional = key in star.optional_props
+        candidates = group.objects_for(key)
+        obj = pattern.object
+        if isinstance(obj, Variable):
+            required = fixed.get(obj)
+            if required is not None:
+                candidates = tuple(c for c in candidates if c == required)
+            if not candidates:
+                if is_optional:
+                    continue  # left-join semantics: variable stays unbound
+                return []
+            next_solutions = []
+            for solution in solutions:
+                bound = solution.get(obj)
+                if bound is not None:
+                    if bound in candidates:
+                        next_solutions.append(solution)
+                    continue
+                for candidate in candidates:
+                    extended = dict(solution)
+                    extended[obj] = candidate
+                    next_solutions.append(extended)
+            solutions = next_solutions
+        else:
+            if key.type_object is None:
+                candidates = tuple(c for c in candidates if c == obj)
+            if not candidates and not is_optional:
+                return []
+        if not solutions:
+            return []
+    for solution in solutions:
+        for variable, term in fixed.items():
+            solution.setdefault(variable, term)
+    return solutions
+
+
+def joined_solutions(
+    stars: tuple[StarPattern, ...],
+    joined: JoinedTripleGroup,
+    star_indices: dict[int, int] | None = None,
+) -> list[dict[Variable, Term]]:
+    """Solution mappings of a multi-star pattern against a joined TG.
+
+    *star_indices* maps positions in *stars* to component indices of the
+    joined triplegroup (identity when omitted).  Components not covered
+    by *stars* are ignored — this is how an original graph pattern is
+    expanded from a composite match without inheriting the other
+    pattern's multiplicity.
+    """
+    fixed = joined.fixed_bindings()
+    per_star: list[list[dict[Variable, Term]]] = []
+    for position, star in enumerate(stars):
+        component_index = (
+            star_indices[position] if star_indices is not None else position
+        )
+        group = joined.component(component_index)
+        if group is None:
+            return []
+        expansions = star_solutions(star, group, fixed)
+        if not expansions:
+            return []
+        per_star.append(expansions)
+
+    solutions: list[dict[Variable, Term]] = []
+    for combination in iter_product(*per_star):
+        merged: dict[Variable, Term] = {}
+        consistent = True
+        for partial in combination:
+            for variable, term in partial.items():
+                existing = merged.get(variable)
+                if existing is None:
+                    merged[variable] = term
+                elif existing != term:
+                    consistent = False
+                    break
+            if not consistent:
+                break
+        if consistent:
+            solutions.append(merged)
+    return solutions

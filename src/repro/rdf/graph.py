@@ -1,0 +1,150 @@
+"""An in-memory, indexed RDF graph.
+
+The graph maintains three hash indexes (SPO, POS, OSP) so that any
+triple-pattern lookup touches only matching candidates.  It is the
+storage substrate for the reference SPARQL evaluator, and the source
+from which the engines derive their physical layouts (vertically
+partitioned tables for Hive, subject triplegroups for NTGA).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.rdf.terms import IRI, Term, Variable
+from repro.rdf.triples import Triple, TriplePattern
+
+
+class Graph:
+    """A set of triples with SPO/POS/OSP indexes.
+
+    >>> g = Graph()
+    >>> _ = g.add(Triple(IRI("urn:s"), IRI("urn:p"), IRI("urn:o")))
+    >>> len(g)
+    1
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._triples: set[Triple] = set()
+        self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns False when it was already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        s, p, o = triple.subject, triple.property, triple.object
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number actually added."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove a triple; returns False when it was not present."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        s, p, o = triple.subject, triple.property, triple.object
+        self._spo[s][p].discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def triples(
+        self,
+        subject: Term | None = None,
+        property: Term | None = None,
+        object: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the given concrete components.
+
+        ``None`` means "any".  The most selective available index is
+        chosen based on which components are bound.
+        """
+        s, p, o = subject, property, object
+        if s is not None:
+            by_property = self._spo.get(s)
+            if not by_property:
+                return
+            properties = (p,) if p is not None else tuple(by_property)
+            for prop in properties:
+                for obj in by_property.get(prop, ()):
+                    if o is None or obj == o:
+                        yield Triple(s, prop, obj)
+        elif p is not None:
+            by_object = self._pos.get(p)
+            if not by_object:
+                return
+            objects = (o,) if o is not None else tuple(by_object)
+            for obj in objects:
+                for subj in by_object.get(obj, ()):
+                    yield Triple(subj, p, obj)
+        elif o is not None:
+            by_subject = self._osp.get(o)
+            if not by_subject:
+                return
+            for subj, props in by_subject.items():
+                for prop in props:
+                    yield Triple(subj, prop, o)
+        else:
+            yield from self._triples
+
+    def match(self, pattern: TriplePattern) -> Iterator[dict[Variable, Term]]:
+        """All variable bindings under which *pattern* matches the graph."""
+        lookup = [
+            component if not isinstance(component, Variable) else None
+            for component in pattern
+        ]
+        for triple in self.triples(*lookup):
+            bindings = pattern.bind(triple)
+            if bindings is not None:
+                yield bindings
+
+    def subjects(self, property: Term | None = None, object: Term | None = None) -> set[Term]:
+        return {t.subject for t in self.triples(None, property, object)}
+
+    def objects(self, subject: Term | None = None, property: Term | None = None) -> set[Term]:
+        return {t.object for t in self.triples(subject, property, None)}
+
+    def properties(self) -> set[IRI]:
+        """All distinct property IRIs in the graph."""
+        return {p for p in self._pos if isinstance(p, IRI)}
+
+    def property_counts(self) -> dict[IRI, int]:
+        """Triple count per property — the VP table sizes for Hive."""
+        counts: dict[IRI, int] = {}
+        for prop, by_object in self._pos.items():
+            if isinstance(prop, IRI):
+                counts[prop] = sum(len(subjects) for subjects in by_object.values())
+        return counts
+
+    def subject_grouped(self) -> dict[Term, list[Triple]]:
+        """Triples grouped by subject — the NTGA pre-processing layout."""
+        grouped: dict[Term, list[Triple]] = defaultdict(list)
+        for triple in self._triples:
+            grouped[triple.subject].append(triple)
+        return dict(grouped)
+
+    def copy(self) -> "Graph":
+        return Graph(self._triples)
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self._triples)} triples)"

@@ -1,0 +1,104 @@
+"""Namespace management: prefix registration and CURIE expansion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RDFError
+from repro.rdf.terms import IRI
+
+
+@dataclass
+class Namespace:
+    """A namespace base IRI that builds terms via attribute/index access.
+
+    >>> bsbm = Namespace("http://bsbm.example.org/vocabulary/")
+    >>> bsbm.price
+    <http://bsbm.example.org/vocabulary/price>
+    """
+
+    base: str
+
+    def term(self, local: str) -> IRI:
+        return IRI(self.base + local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+
+@dataclass
+class NamespaceManager:
+    """Registry of prefix → namespace bindings, with CURIE expansion."""
+
+    _bindings: dict[str, Namespace] = field(default_factory=dict)
+
+    def bind(self, prefix: str, base: str | Namespace) -> Namespace:
+        namespace = base if isinstance(base, Namespace) else Namespace(base)
+        self._bindings[prefix] = namespace
+        return namespace
+
+    def namespace(self, prefix: str) -> Namespace:
+        try:
+            return self._bindings[prefix]
+        except KeyError:
+            raise RDFError(f"unknown namespace prefix: {prefix!r}") from None
+
+    def expand(self, curie: str) -> IRI:
+        """Expand ``prefix:local`` into a full IRI."""
+        if ":" not in curie:
+            raise RDFError(f"not a CURIE (missing ':'): {curie!r}")
+        prefix, local = curie.split(":", 1)
+        return self.namespace(prefix).term(local)
+
+    def shrink(self, iri: IRI) -> str:
+        """Compact an IRI to CURIE form when a registered prefix matches.
+
+        Falls back to the ``<...>`` form when no prefix applies.  The
+        longest matching base wins so nested namespaces compact correctly.
+        """
+        best_prefix = None
+        best_base = ""
+        for prefix, namespace in self._bindings.items():
+            if iri in namespace and len(namespace.base) > len(best_base):
+                best_prefix, best_base = prefix, namespace.base
+        if best_prefix is None:
+            return iri.n3()
+        return f"{best_prefix}:{iri.value[len(best_base):]}"
+
+    def prefixes(self) -> dict[str, str]:
+        return {prefix: ns.base for prefix, ns in self._bindings.items()}
+
+
+#: Well-known namespaces used throughout the reproduction.
+RDF_NS = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS_NS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+BSBM_NS = Namespace("http://bsbm.example.org/vocabulary/")
+BSBM_INST_NS = Namespace("http://bsbm.example.org/instances/")
+CHEM_NS = Namespace("http://chem2bio2rdf.example.org/vocabulary/")
+CHEM_INST_NS = Namespace("http://chem2bio2rdf.example.org/instances/")
+PUBMED_NS = Namespace("http://pubmed.example.org/vocabulary/")
+PUBMED_INST_NS = Namespace("http://pubmed.example.org/instances/")
+
+
+def default_manager() -> NamespaceManager:
+    """A manager pre-loaded with the benchmark namespaces."""
+    manager = NamespaceManager()
+    manager.bind("rdf", RDF_NS)
+    manager.bind("rdfs", RDFS_NS)
+    manager.bind("xsd", XSD_NS)
+    manager.bind("bsbm", BSBM_NS)
+    manager.bind("bsbm-inst", BSBM_INST_NS)
+    manager.bind("chem", CHEM_NS)
+    manager.bind("chem-inst", CHEM_INST_NS)
+    manager.bind("pubmed", PUBMED_NS)
+    manager.bind("pubmed-inst", PUBMED_INST_NS)
+    return manager

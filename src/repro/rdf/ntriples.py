@@ -1,0 +1,116 @@
+"""N-Triples serialization and parsing.
+
+Supports the W3C N-Triples grammar restricted to the constructs the
+benchmark datasets use: IRIs, blank nodes, and plain / typed /
+language-tagged literals with the standard string escapes.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import IO, Iterable, Iterator
+
+from repro.errors import NTriplesParseError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term
+from repro.rdf.triples import Triple
+
+_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\x00-\x20]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z][A-Za-z0-9]*)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'  # lexical form with escapes
+    r"(?:\^\^<([^<>\s]+)>|@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*))?"  # datatype or lang
+)
+
+_UNESCAPE_MAP = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+_UNESCAPE_RE = re.compile(r"\\[ntr\"\\]|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8}")
+
+
+def _unescape(text: str) -> str:
+    def replace(match: re.Match) -> str:
+        token = match.group(0)
+        if token in _UNESCAPE_MAP:
+            return _UNESCAPE_MAP[token]
+        return chr(int(token[2:], 16))
+
+    return _UNESCAPE_RE.sub(replace, text)
+
+
+def _parse_term(text: str, position: int, line_number: int) -> tuple[Term, int]:
+    """Parse one term starting at *position*; returns (term, next position)."""
+    while position < len(text) and text[position] in " \t":
+        position += 1
+    if position >= len(text):
+        raise NTriplesParseError("unexpected end of line", line_number)
+    head = text[position]
+    if head == "<":
+        match = _IRI_RE.match(text, position)
+        if not match:
+            raise NTriplesParseError(f"malformed IRI at column {position}", line_number)
+        return IRI(match.group(1)), match.end()
+    if head == "_":
+        match = _BNODE_RE.match(text, position)
+        if not match:
+            raise NTriplesParseError(f"malformed blank node at column {position}", line_number)
+        return BNode(match.group(1)), match.end()
+    if head == '"':
+        match = _LITERAL_RE.match(text, position)
+        if not match:
+            raise NTriplesParseError(f"malformed literal at column {position}", line_number)
+        lexical = _unescape(match.group(1))
+        datatype, language = match.group(2), match.group(3)
+        return Literal(lexical, datatype=datatype, language=language), match.end()
+    raise NTriplesParseError(f"unexpected character {head!r} at column {position}", line_number)
+
+
+def parse_line(line: str, line_number: int = 0) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    subject, position = _parse_term(stripped, 0, line_number)
+    if isinstance(subject, Literal):
+        raise NTriplesParseError("literal in subject position", line_number)
+    prop, position = _parse_term(stripped, position, line_number)
+    if not isinstance(prop, IRI):
+        raise NTriplesParseError("property must be an IRI", line_number)
+    obj, position = _parse_term(stripped, position, line_number)
+    remainder = stripped[position:].strip()
+    if remainder != ".":
+        raise NTriplesParseError(f"expected terminating '.', got {remainder!r}", line_number)
+    return Triple(subject, prop, obj)
+
+
+def parse(source: str | IO[str]) -> Iterator[Triple]:
+    """Parse N-Triples text (a string or readable file object)."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    for line_number, line in enumerate(stream, start=1):
+        triple = parse_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def parse_graph(source: str | IO[str]) -> Graph:
+    """Parse N-Triples input into a new :class:`Graph`."""
+    return Graph(parse(source))
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples as N-Triples text (one triple per line)."""
+    return "".join(triple.n3() + "\n" for triple in triples)
+
+
+def write(triples: Iterable[Triple], stream: IO[str]) -> int:
+    """Write triples to *stream*; returns the number written."""
+    count = 0
+    for triple in triples:
+        stream.write(triple.n3() + "\n")
+        count += 1
+    return count

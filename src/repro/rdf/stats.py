@@ -1,0 +1,123 @@
+"""Dataset profiling: the statistics that drive the paper's trade-offs.
+
+``GraphStats`` summarizes a graph the way a query planner (or a reader
+of the paper's Section 5) needs: per-property triple counts (VP table
+sizes — the map-join decision input), multi-valuedness (the MeSH-heading
+blowup factor), class sizes (rdf:type selectivity, the lo/hi query
+variants), and the subject equivalence-class histogram (the NTGA
+storage layout).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Term
+from repro.rdf.triples import RDF_TYPE
+
+
+@dataclass(frozen=True)
+class PropertyStats:
+    property: IRI
+    triples: int
+    distinct_subjects: int
+    distinct_objects: int
+
+    @property
+    def avg_fanout(self) -> float:
+        """Average objects per subject — >1 means multi-valued."""
+        if self.distinct_subjects == 0:
+            return 0.0
+        return self.triples / self.distinct_subjects
+
+    @property
+    def is_multi_valued(self) -> bool:
+        return self.triples > self.distinct_subjects
+
+
+@dataclass
+class GraphStats:
+    total_triples: int
+    properties: dict[IRI, PropertyStats] = field(default_factory=dict)
+    class_sizes: dict[Term, int] = field(default_factory=dict)
+    equivalence_class_histogram: Counter = field(default_factory=Counter)
+
+    def property_stats(self, prop: IRI) -> PropertyStats | None:
+        return self.properties.get(prop)
+
+    def class_selectivity(self, cls: Term) -> float:
+        """Fraction of typed subjects that belong to *cls*."""
+        total = sum(self.class_sizes.values())
+        if total == 0:
+            return 0.0
+        return self.class_sizes.get(cls, 0) / total
+
+    def most_multi_valued(self, limit: int = 5) -> list[PropertyStats]:
+        ranked = sorted(
+            self.properties.values(), key=lambda s: s.avg_fanout, reverse=True
+        )
+        return ranked[:limit]
+
+    def largest_properties(self, limit: int = 5) -> list[PropertyStats]:
+        ranked = sorted(
+            self.properties.values(), key=lambda s: s.triples, reverse=True
+        )
+        return ranked[:limit]
+
+    def describe(self, limit: int = 8) -> str:
+        lines = [f"{self.total_triples} triples, {len(self.properties)} properties"]
+        lines.append("largest properties (VP table sizes):")
+        for stats in self.largest_properties(limit):
+            flag = " [multi-valued]" if stats.is_multi_valued else ""
+            lines.append(
+                f"  {stats.property.local_name():24s} {stats.triples:8d} triples, "
+                f"fanout {stats.avg_fanout:.2f}{flag}"
+            )
+        if self.class_sizes:
+            lines.append("classes (rdf:type selectivity):")
+            for cls, size in sorted(self.class_sizes.items(), key=lambda kv: -kv[1])[:limit]:
+                name = cls.local_name() if isinstance(cls, IRI) else str(cls)
+                lines.append(f"  {name:24s} {size:8d} ({self.class_selectivity(cls):.1%})")
+        lines.append(
+            f"subject equivalence classes: {len(self.equivalence_class_histogram)}"
+        )
+        return "\n".join(lines)
+
+
+def profile(graph: Graph) -> GraphStats:
+    """Compute full statistics in one pass over the graph."""
+    triples_per_property: Counter = Counter()
+    subjects_per_property: dict[IRI, set] = defaultdict(set)
+    objects_per_property: dict[IRI, set] = defaultdict(set)
+    class_sizes: Counter = Counter()
+    subject_properties: dict[Term, set] = defaultdict(set)
+
+    for triple in graph:
+        prop = triple.property
+        triples_per_property[prop] += 1
+        subjects_per_property[prop].add(triple.subject)
+        objects_per_property[prop].add(triple.object)
+        subject_properties[triple.subject].add(prop)
+        if prop == RDF_TYPE:
+            class_sizes[triple.object] += 1
+
+    properties = {
+        prop: PropertyStats(
+            property=prop,
+            triples=count,
+            distinct_subjects=len(subjects_per_property[prop]),
+            distinct_objects=len(objects_per_property[prop]),
+        )
+        for prop, count in triples_per_property.items()
+    }
+    histogram: Counter = Counter(
+        frozenset(props) for props in subject_properties.values()
+    )
+    return GraphStats(
+        total_triples=len(graph),
+        properties=properties,
+        class_sizes=dict(class_sizes),
+        equivalence_class_histogram=histogram,
+    )

@@ -1,0 +1,145 @@
+"""Triples and triple patterns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RDFError
+from repro.rdf.terms import (
+    IRI,
+    BNode,
+    Literal,
+    Term,
+    TermOrVar,
+    Variable,
+    is_concrete,
+)
+
+RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+#: Component roles within a triple, in positional order.
+ROLES = ("subject", "property", "object")
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A concrete RDF triple (subject, property, object)."""
+
+    subject: Term
+    property: Term
+    object: Term
+
+    def __post_init__(self) -> None:
+        if isinstance(self.subject, Literal):
+            raise RDFError("a triple subject cannot be a literal")
+        for component in (self.subject, self.property, self.object):
+            if isinstance(component, Variable):
+                raise RDFError("a concrete triple cannot contain variables")
+        if not isinstance(self.property, IRI):
+            raise RDFError("a triple property must be an IRI")
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.property
+        yield self.object
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.property.n3()} {self.object.n3()} ."
+
+    def __str__(self) -> str:
+        return self.n3()
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple with at least one variable (or fully concrete, for ASK-style use).
+
+    Components may be variables or concrete terms.  ``prop`` is the
+    paper's ``prop(tp)`` convenience accessor; it returns the concrete
+    property IRI or ``None`` for unbound-property patterns (which the
+    paper, and this library, exclude from composite optimization).
+    """
+
+    subject: TermOrVar
+    property: TermOrVar
+    object: TermOrVar
+
+    def __iter__(self) -> Iterator[TermOrVar]:
+        yield self.subject
+        yield self.property
+        yield self.object
+
+    def variables(self) -> frozenset[Variable]:
+        """``var(tp)``: the set of variables in this pattern."""
+        return frozenset(c for c in self if isinstance(c, Variable))
+
+    def prop(self) -> IRI | None:
+        """The bound property IRI, or None when the property is a variable."""
+        return self.property if isinstance(self.property, IRI) else None
+
+    def is_bound_property(self) -> bool:
+        return isinstance(self.property, IRI)
+
+    def is_rdf_type(self) -> bool:
+        return self.property == RDF_TYPE
+
+    def role_of(self, variable: Variable) -> str:
+        """``role(?v)``: which component *variable* occupies.
+
+        When the variable appears in several components the subject role
+        wins (the paper's star patterns never need the ambiguous case).
+        Raises :class:`RDFError` when the variable does not occur at all.
+        """
+        for role, component in zip(ROLES, self):
+            if component == variable:
+                return role
+        raise RDFError(f"{variable} does not occur in {self}")
+
+    def matches(self, triple: Triple) -> bool:
+        """True when *triple* matches this pattern (ignoring cross-component
+        variable consistency, which :meth:`bind` enforces)."""
+        return self.bind(triple) is not None
+
+    def bind(self, triple: Triple) -> dict[Variable, Term] | None:
+        """Match against a concrete triple, returning variable bindings.
+
+        Returns None when the triple does not match, including the case
+        where one variable would need two different values.
+        """
+        bindings: dict[Variable, Term] = {}
+        for pattern_component, triple_component in zip(self, triple):
+            if isinstance(pattern_component, Variable):
+                bound = bindings.get(pattern_component)
+                if bound is None:
+                    bindings[pattern_component] = triple_component
+                elif bound != triple_component:
+                    return None
+            elif pattern_component != triple_component:
+                return None
+        return bindings
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.property.n3()} {self.object.n3()} ."
+
+    def __str__(self) -> str:
+        return self.n3()
+
+
+def join_variables(tp1: TriplePattern, tp2: TriplePattern) -> frozenset[Variable]:
+    """Variables shared between two triple patterns (the paper's jv)."""
+    return tp1.variables() & tp2.variables()
+
+
+__all__ = [
+    "RDF_TYPE",
+    "ROLES",
+    "Triple",
+    "TriplePattern",
+    "join_variables",
+    "IRI",
+    "BNode",
+    "Literal",
+    "Variable",
+    "is_concrete",
+]

@@ -1,0 +1,235 @@
+"""Translation of the SPARQL AST into an algebra tree.
+
+The algebra follows the SPARQL 1.1 specification's operator vocabulary
+(BGP, Join, LeftJoin, Union, Filter, Group/Aggregate, Extend, Project,
+Distinct, OrderBy, Slice) restricted to the supported subset.  The
+reference evaluator interprets this tree directly; the optimizing
+engines instead consume the analytical query model extracted in
+:mod:`repro.core.query_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import UnsupportedQueryError
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.ast import (
+    AggregateExpr,
+    FilterPattern,
+    GroupGraphPattern,
+    OptionalPattern,
+    OrderCondition,
+    ProjectionExpression,
+    ProjectionItem,
+    SelectQuery,
+    SubSelect,
+    TriplesBlock,
+    UnionPattern,
+)
+from repro.sparql.expressions import Expression, VarExpr
+
+
+@dataclass(frozen=True)
+class BGP:
+    patterns: tuple[TriplePattern, ...]
+
+
+@dataclass(frozen=True)
+class Join:
+    left: "AlgebraNode"
+    right: "AlgebraNode"
+
+
+@dataclass(frozen=True)
+class LeftJoin:
+    left: "AlgebraNode"
+    right: "AlgebraNode"
+    condition: Expression | None = None
+
+
+@dataclass(frozen=True)
+class AlgebraUnion:
+    left: "AlgebraNode"
+    right: "AlgebraNode"
+
+
+@dataclass(frozen=True)
+class Filter:
+    condition: Expression
+    input: "AlgebraNode"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Grouping plus aggregate/projection computation.
+
+    ``group_vars`` of None means GROUP BY ALL — one group containing
+    every solution (the paper's roll-up subqueries).  Each binding maps
+    an output variable to an expression that may contain aggregate
+    nodes.
+    """
+
+    input: "AlgebraNode"
+    group_vars: tuple[Variable, ...] | None
+    bindings: tuple[tuple[Variable, ProjectionExpression], ...]
+
+
+@dataclass(frozen=True)
+class Extend:
+    input: "AlgebraNode"
+    variable: Variable
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class Project:
+    input: "AlgebraNode"
+    variables: tuple[Variable, ...]
+
+
+@dataclass(frozen=True)
+class Distinct:
+    input: "AlgebraNode"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    input: "AlgebraNode"
+    conditions: tuple[OrderCondition, ...]
+
+
+@dataclass(frozen=True)
+class Slice:
+    input: "AlgebraNode"
+    offset: int
+    limit: int | None
+
+
+AlgebraNode = Union[
+    BGP,
+    Join,
+    LeftJoin,
+    AlgebraUnion,
+    Filter,
+    Aggregate,
+    Extend,
+    Project,
+    Distinct,
+    OrderBy,
+    Slice,
+]
+
+_EMPTY_BGP = BGP(())
+
+
+def _is_empty(node: AlgebraNode) -> bool:
+    return isinstance(node, BGP) and not node.patterns
+
+
+def _join(left: AlgebraNode, right: AlgebraNode) -> AlgebraNode:
+    if _is_empty(left):
+        return right
+    if _is_empty(right):
+        return left
+    # Merge adjacent BGPs so a triples block split across statements
+    # still evaluates as one basic graph pattern.
+    if isinstance(left, BGP) and isinstance(right, BGP):
+        return BGP(left.patterns + right.patterns)
+    return Join(left, right)
+
+
+def translate_group(pattern: GroupGraphPattern) -> AlgebraNode:
+    """Translate a group graph pattern, applying its FILTERs last."""
+    node: AlgebraNode = _EMPTY_BGP
+    filters: list[Expression] = []
+    for element in pattern.elements:
+        if isinstance(element, TriplesBlock):
+            node = _join(node, BGP(element.patterns))
+        elif isinstance(element, FilterPattern):
+            filters.append(element.expression)
+        elif isinstance(element, OptionalPattern):
+            node = LeftJoin(node, translate_group(element.pattern))
+        elif isinstance(element, UnionPattern):
+            union = AlgebraUnion(translate_group(element.left), translate_group(element.right))
+            node = _join(node, union)
+        elif isinstance(element, SubSelect):
+            node = _join(node, translate_query(element.query))
+        elif isinstance(element, GroupGraphPattern):
+            node = _join(node, translate_group(element))
+        else:
+            raise UnsupportedQueryError(f"unsupported pattern element {element!r}")
+    for condition in filters:
+        node = Filter(condition, node)
+    return node
+
+
+def _contains_aggregate(expression: ProjectionExpression) -> bool:
+    if isinstance(expression, AggregateExpr):
+        return True
+    from repro.sparql.expressions import BinaryExpr, FunctionExpr, UnaryExpr
+
+    if isinstance(expression, UnaryExpr):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, BinaryExpr):
+        return _contains_aggregate(expression.left) or _contains_aggregate(expression.right)
+    if isinstance(expression, FunctionExpr):
+        return any(_contains_aggregate(argument) for argument in expression.args)
+    return False
+
+
+def translate_query(query: SelectQuery) -> AlgebraNode:
+    """Translate a full SELECT query (or subquery) into algebra."""
+    node = translate_group(query.where)
+    if query.select_star:
+        if query.is_grouped():
+            raise UnsupportedQueryError("SELECT * cannot be combined with grouping")
+    elif query.is_grouped():
+        bindings = tuple((item.alias, item.expression) for item in query.projection)
+        _check_grouped_projection(query.projection, query.group_by)
+        node = Aggregate(node, query.group_by, bindings)
+        node = Project(node, query.projected_variables())
+    else:
+        for item in query.projection:
+            if isinstance(item.expression, AggregateExpr) or _contains_aggregate(item.expression):
+                raise UnsupportedQueryError(
+                    "aggregates outside a grouped query are not supported"
+                )
+            is_bare_variable = (
+                isinstance(item.expression, VarExpr) and item.expression.variable == item.alias
+            )
+            if not is_bare_variable:
+                node = Extend(node, item.alias, item.expression)
+        node = Project(node, query.projected_variables())
+    if query.having is not None:
+        node = Filter(query.having, node)
+    if query.distinct:
+        node = Distinct(node)
+    if query.order_by:
+        node = OrderBy(node, query.order_by)
+    if query.limit is not None or query.offset:
+        node = Slice(node, query.offset, query.limit)
+    return node
+
+
+def _check_grouped_projection(
+    projection: tuple[ProjectionItem, ...], group_vars: tuple[Variable, ...] | None
+) -> None:
+    """Reject projection of a non-grouped, non-aggregated variable."""
+    allowed = set(group_vars or ())
+    for item in projection:
+        if _contains_aggregate(item.expression):
+            continue
+        if isinstance(item.expression, VarExpr) and item.expression.variable in allowed:
+            continue
+        from repro.sparql.expressions import expression_variables
+
+        if isinstance(item.expression, AggregateExpr):
+            continue
+        free = expression_variables(item.expression) - allowed
+        if free:
+            raise UnsupportedQueryError(
+                f"projection of non-grouped variable(s) {sorted(v.name for v in free)}"
+            )

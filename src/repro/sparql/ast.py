@@ -1,0 +1,145 @@
+"""Abstract syntax tree for the supported SPARQL subset.
+
+The subset covers everything the paper's query workload (Figure 7 and
+the appendix) needs: SELECT with expressions and aliases, nested
+subqueries, basic graph patterns with predicate/object lists, FILTER
+(including REGEX), OPTIONAL, UNION, GROUP BY, and the five SPARQL 1.1
+aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.expressions import Expression
+
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """An aggregate call such as ``COUNT(DISTINCT ?x)`` or ``COUNT(*)``.
+
+    ``arg`` is None for ``COUNT(*)``.
+    """
+
+    func: str
+    arg: Expression | None = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unknown aggregate function {self.func!r}")
+        if self.arg is None and self.func != "COUNT":
+            raise ValueError(f"{self.func} requires an argument")
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.func}({inner})"
+
+
+#: Projection expressions may mix plain expressions and aggregates.
+ProjectionExpression = Union[Expression, AggregateExpr]
+
+
+@dataclass(frozen=True)
+class ProjectionItem:
+    """One item of a SELECT clause.
+
+    Either a bare variable (``expression`` is a VarExpr and ``alias`` is
+    that same variable) or an aliased expression ``(expr AS ?alias)``.
+    """
+
+    expression: ProjectionExpression
+    alias: Variable
+
+
+@dataclass(frozen=True)
+class TriplesBlock:
+    patterns: tuple[TriplePattern, ...]
+
+
+@dataclass(frozen=True)
+class FilterPattern:
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class OptionalPattern:
+    pattern: "GroupGraphPattern"
+
+
+@dataclass(frozen=True)
+class UnionPattern:
+    left: "GroupGraphPattern"
+    right: "GroupGraphPattern"
+
+
+@dataclass(frozen=True)
+class SubSelect:
+    query: "SelectQuery"
+
+
+PatternElement = Union[
+    TriplesBlock, FilterPattern, OptionalPattern, UnionPattern, SubSelect, "GroupGraphPattern"
+]
+
+
+@dataclass(frozen=True)
+class GroupGraphPattern:
+    elements: tuple[PatternElement, ...]
+
+    def triple_patterns(self) -> tuple[TriplePattern, ...]:
+        """All triple patterns at this level (not descending into subselects)."""
+        collected: list[TriplePattern] = []
+        for element in self.elements:
+            if isinstance(element, TriplesBlock):
+                collected.extend(element.patterns)
+            elif isinstance(element, GroupGraphPattern):
+                collected.extend(element.triple_patterns())
+        return tuple(collected)
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed SELECT query (top level or subquery)."""
+
+    projection: tuple[ProjectionItem, ...]
+    where: GroupGraphPattern
+    select_star: bool = False
+    distinct: bool = False
+    group_by: tuple[Variable, ...] | None = None
+    having: Expression | None = None
+    order_by: tuple[OrderCondition, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+    prefixes: dict[str, str] = field(default_factory=dict, hash=False, compare=False)
+
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item.expression, AggregateExpr) for item in self.projection)
+
+    def is_grouped(self) -> bool:
+        """True when this query performs grouping/aggregation."""
+        return self.group_by is not None or self.has_aggregates()
+
+    def projected_variables(self) -> tuple[Variable, ...]:
+        return tuple(item.alias for item in self.projection)
+
+    def subselects(self) -> tuple["SelectQuery", ...]:
+        """Immediate subqueries inside the WHERE clause."""
+        return tuple(
+            element.query
+            for element in self.where.elements
+            if isinstance(element, SubSelect)
+        )

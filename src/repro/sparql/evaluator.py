@@ -1,0 +1,382 @@
+"""Reference in-memory evaluator for the SPARQL algebra.
+
+This evaluator is the correctness oracle: every distributed engine in
+the library (Hive naive, Hive MQO, RAPID+, RAPIDAnalytics) must return
+the same multiset of solutions as this evaluator on every query.  It
+favours clarity over performance; the engines are where the paper's
+optimizations live.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.errors import SparqlEvaluationError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.aggregates import UNBOUND, make_accumulator
+from repro.sparql.algebra import (
+    Aggregate,
+    AlgebraNode,
+    AlgebraUnion,
+    BGP,
+    Distinct,
+    Extend,
+    Filter,
+    Join,
+    LeftJoin,
+    OrderBy,
+    Project,
+    Slice,
+    translate_query,
+)
+from repro.sparql.ast import AggregateExpr, OrderCondition, SelectQuery
+from repro.sparql.expressions import (
+    BinaryExpr,
+    Bindings,
+    ConstExpr,
+    Expression,
+    ExpressionError,
+    FunctionExpr,
+    UnaryExpr,
+    evaluate as evaluate_expression,
+    evaluate_filter,
+)
+from repro.sparql.parser import parse_query
+
+Row = Bindings  # Variable -> Term
+Rows = list[Row]
+
+
+def _python_to_term(value: object) -> Term:
+    if isinstance(value, (IRI, BNode, Literal)):
+        return value
+    if isinstance(value, (bool, int, float, str)):
+        return Literal.from_python(value)
+    raise SparqlEvaluationError(f"cannot convert {value!r} to an RDF term")
+
+
+# ---------------------------------------------------------------------------
+# BGP matching
+# ---------------------------------------------------------------------------
+
+
+def _pattern_selectivity(pattern: TriplePattern, bound: set[Variable]) -> int:
+    """Higher is more selective: count of concrete-or-bound components."""
+    score = 0
+    for component in pattern:
+        if not isinstance(component, Variable) or component in bound:
+            score += 1
+    return score
+
+
+def _substitute(pattern: TriplePattern, row: Row) -> TriplePattern:
+    def resolve(component):
+        if isinstance(component, Variable):
+            return row.get(component, component)
+        return component
+
+    return TriplePattern(resolve(pattern.subject), resolve(pattern.property), resolve(pattern.object))
+
+
+def evaluate_bgp(patterns: Sequence[TriplePattern], graph: Graph) -> Rows:
+    """Match a basic graph pattern, choosing join order greedily by
+    the number of bound components."""
+    rows: Rows = [{}]
+    remaining = list(patterns)
+    bound: set[Variable] = set()
+    while remaining:
+        remaining.sort(key=lambda p: _pattern_selectivity(p, bound), reverse=True)
+        pattern = remaining.pop(0)
+        next_rows: Rows = []
+        for row in rows:
+            concrete = _substitute(pattern, row)
+            for bindings in graph.match(concrete):
+                merged = dict(row)
+                merged.update(bindings)
+                next_rows.append(merged)
+        rows = next_rows
+        if not rows:
+            return []
+        bound |= pattern.variables()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Solution mapping combinators
+# ---------------------------------------------------------------------------
+
+
+def compatible(left: Row, right: Row) -> bool:
+    """SPARQL solution-mapping compatibility."""
+    for variable, term in left.items():
+        other = right.get(variable)
+        if other is not None and other != term:
+            return False
+    return True
+
+
+def merge_rows(left: Row, right: Row) -> Row:
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+def hash_join(left: Rows, right: Rows) -> Rows:
+    """Join two solution multisets on their shared variables.
+
+    Uses a hash join on the shared variables when every row binds all of
+    them, falling back to a nested-loop compatibility join otherwise
+    (needed in the presence of OPTIONAL-produced partial rows).
+    """
+    if not left or not right:
+        return []
+    left_vars = set().union(*(row.keys() for row in left))
+    right_vars = set().union(*(row.keys() for row in right))
+    shared = left_vars & right_vars
+    if not shared:
+        return [merge_rows(l, r) for l in left for r in right]
+    shared_tuple = tuple(sorted(shared, key=lambda v: v.name))
+    fully_bound = all(
+        all(v in row for v in shared_tuple) for row in left
+    ) and all(all(v in row for v in shared_tuple) for row in right)
+    if not fully_bound:
+        return [merge_rows(l, r) for l in left for r in right if compatible(l, r)]
+    index: dict[tuple, Rows] = defaultdict(list)
+    for row in right:
+        index[tuple(row[v] for v in shared_tuple)].append(row)
+    output: Rows = []
+    for row in left:
+        key = tuple(row[v] for v in shared_tuple)
+        for match in index.get(key, ()):
+            output.append(merge_rows(row, match))
+    return output
+
+
+def left_join(left: Rows, right: Rows, condition: Expression | None) -> Rows:
+    output: Rows = []
+    for l in left:
+        matched = False
+        for r in right:
+            if not compatible(l, r):
+                continue
+            merged = merge_rows(l, r)
+            if condition is None or evaluate_filter(condition, merged):
+                output.append(merged)
+                matched = True
+        if not matched:
+            output.append(dict(l))
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Grouping and aggregation
+# ---------------------------------------------------------------------------
+
+
+def _group_key(row: Row, group_vars: tuple[Variable, ...]) -> tuple:
+    return tuple(row.get(variable) for variable in group_vars)
+
+
+def _compute_aggregate(aggregate: AggregateExpr, rows: Rows) -> object:
+    accumulator = make_accumulator(aggregate.func, aggregate.distinct)
+    if aggregate.arg is None:  # COUNT(*)
+        for _ in rows:
+            accumulator.update(None)
+        return accumulator.result()
+    for row in rows:
+        try:
+            value = evaluate_expression(aggregate.arg, row)
+        except ExpressionError:
+            continue  # unbound/erroring rows do not contribute
+        if isinstance(value, IRI):
+            value = value  # IRIs count for COUNT/MIN/MAX-on-strings? keep term
+        accumulator.update(value if not isinstance(value, IRI) else value.value)
+    return accumulator.result()
+
+
+def _resolve_aggregates(expression, group_rows: Rows):
+    """Replace AggregateExpr nodes with computed constants."""
+    if isinstance(expression, AggregateExpr):
+        value = _compute_aggregate(expression, group_rows)
+        if value is UNBOUND:
+            return None
+        return ConstExpr(_python_to_term(value))
+    if isinstance(expression, UnaryExpr):
+        inner = _resolve_aggregates(expression.operand, group_rows)
+        return None if inner is None else UnaryExpr(expression.op, inner)
+    if isinstance(expression, BinaryExpr):
+        left = _resolve_aggregates(expression.left, group_rows)
+        right = _resolve_aggregates(expression.right, group_rows)
+        if left is None or right is None:
+            return None
+        return BinaryExpr(expression.op, left, right)
+    if isinstance(expression, FunctionExpr):
+        resolved = tuple(_resolve_aggregates(a, group_rows) for a in expression.args)
+        if any(r is None for r in resolved):
+            return None
+        return FunctionExpr(expression.name, resolved)
+    return expression
+
+
+def evaluate_aggregate(node: Aggregate, rows: Rows) -> Rows:
+    if node.group_vars is None:
+        groups: dict[tuple, Rows] = {(): rows}  # GROUP BY ALL: always one group
+        group_vars: tuple[Variable, ...] = ()
+    else:
+        group_vars = node.group_vars
+        groups = defaultdict(list)
+        for row in rows:
+            groups[_group_key(row, group_vars)].append(row)
+        if not rows:
+            groups = {}
+    output: Rows = []
+    for key, group_rows in groups.items():
+        representative: Row = {
+            variable: term for variable, term in zip(group_vars, key) if term is not None
+        }
+        result_row: Row = {}
+        for alias, expression in node.bindings:
+            resolved = _resolve_aggregates(expression, group_rows)
+            if resolved is None:
+                continue  # aggregate produced no value (e.g. MIN of empty)
+            try:
+                value = evaluate_expression(resolved, representative)
+            except ExpressionError:
+                continue  # leave the alias unbound, per SPARQL extend semantics
+            result_row[alias] = _python_to_term(value)
+        output.append(result_row)
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Ordering
+# ---------------------------------------------------------------------------
+
+
+def _order_key(conditions: tuple[OrderCondition, ...]):
+    def type_rank(value: object) -> int:
+        if isinstance(value, bool):
+            return 1
+        if isinstance(value, (int, float)):
+            return 2
+        if isinstance(value, str):
+            return 3
+        if isinstance(value, IRI):
+            return 4
+        return 5
+
+    def key(row: Row):
+        parts = []
+        for condition in conditions:
+            try:
+                value = evaluate_expression(condition.expression, row)
+            except ExpressionError:
+                parts.append((0, 0, ""))  # unbound sorts first
+                continue
+            rank = type_rank(value)
+            if isinstance(value, IRI):
+                comparable: object = value.value
+            elif isinstance(value, bool):
+                comparable = int(value)
+            else:
+                comparable = value
+            if condition.descending and isinstance(comparable, (int, float)):
+                comparable = -comparable
+                parts.append((rank, 0, comparable))
+            else:
+                parts.append((rank, 0, comparable))
+        return tuple(parts)
+
+    return key
+
+
+def _sort_rows(rows: Rows, conditions: tuple[OrderCondition, ...]) -> Rows:
+    # Stable multi-pass sort: apply conditions right-to-left so string
+    # descending order also works (Python sort has no per-key reverse).
+    ordered = list(rows)
+    for condition in reversed(conditions):
+        ordered.sort(key=_order_key((OrderCondition(condition.expression, False),)))
+        if condition.descending:
+            ordered.reverse()
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Main dispatch
+# ---------------------------------------------------------------------------
+
+
+def evaluate_algebra(node: AlgebraNode, graph: Graph) -> Rows:
+    """Evaluate an algebra tree over *graph*, returning solution rows."""
+    if isinstance(node, BGP):
+        return evaluate_bgp(node.patterns, graph)
+    if isinstance(node, Join):
+        return hash_join(evaluate_algebra(node.left, graph), evaluate_algebra(node.right, graph))
+    if isinstance(node, LeftJoin):
+        return left_join(
+            evaluate_algebra(node.left, graph),
+            evaluate_algebra(node.right, graph),
+            node.condition,
+        )
+    if isinstance(node, AlgebraUnion):
+        return evaluate_algebra(node.left, graph) + evaluate_algebra(node.right, graph)
+    if isinstance(node, Filter):
+        return [
+            row
+            for row in evaluate_algebra(node.input, graph)
+            if evaluate_filter(node.condition, row)
+        ]
+    if isinstance(node, Aggregate):
+        return evaluate_aggregate(node, evaluate_algebra(node.input, graph))
+    if isinstance(node, Extend):
+        output: Rows = []
+        for row in evaluate_algebra(node.input, graph):
+            extended = dict(row)
+            try:
+                extended[node.variable] = _python_to_term(
+                    evaluate_expression(node.expression, row)
+                )
+            except ExpressionError:
+                pass  # leave unbound
+            output.append(extended)
+        return output
+    if isinstance(node, Project):
+        keep = set(node.variables)
+        return [
+            {variable: term for variable, term in row.items() if variable in keep}
+            for row in evaluate_algebra(node.input, graph)
+        ]
+    if isinstance(node, Distinct):
+        seen: set[frozenset] = set()
+        output = []
+        for row in evaluate_algebra(node.input, graph):
+            key = frozenset(row.items())
+            if key not in seen:
+                seen.add(key)
+                output.append(row)
+        return output
+    if isinstance(node, OrderBy):
+        return _sort_rows(evaluate_algebra(node.input, graph), node.conditions)
+    if isinstance(node, Slice):
+        rows = evaluate_algebra(node.input, graph)
+        end = None if node.limit is None else node.offset + node.limit
+        return rows[node.offset : end]
+    raise SparqlEvaluationError(f"unknown algebra node {type(node).__name__}")
+
+
+def evaluate_query(query: SelectQuery | str, graph: Graph) -> Rows:
+    """Parse (if needed), translate, and evaluate a query over *graph*."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    return evaluate_algebra(translate_query(query), graph)
+
+
+def rows_to_multiset(rows: Iterable[Row]) -> dict[frozenset, int]:
+    """Canonical multiset form of a solution sequence (for comparisons)."""
+    counts: dict[frozenset, int] = defaultdict(int)
+    for row in rows:
+        counts[frozenset(row.items())] += 1
+    return dict(counts)

@@ -1,0 +1,507 @@
+"""Recursive-descent parser for the supported SPARQL subset.
+
+The grammar is the fragment exercised by the paper's workload:
+
+* ``PREFIX`` declarations
+* ``SELECT [DISTINCT] (var | (expr [AS] ?alias))+ | *``
+* ``WHERE { ... }`` with triples blocks (``;`` and ``,`` abbreviations,
+  ``a`` for ``rdf:type``), ``FILTER`` (comparisons, logicals, ``REGEX``,
+  ``BOUND``, ``STR``), ``OPTIONAL``, ``UNION``, nested groups, and
+  nested ``SELECT`` subqueries
+* ``GROUP BY``, ``HAVING``, ``ORDER BY``, ``LIMIT``, ``OFFSET``
+* aggregates ``COUNT/SUM/AVG/MIN/MAX`` with optional ``DISTINCT`` and
+  ``COUNT(*)``
+
+The paper's appendix writes projections like ``(COUNT(?pr2) ?cntF)``
+without ``AS``; both forms are accepted.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SparqlSyntaxError, UnsupportedQueryError
+from repro.rdf.terms import IRI, Literal, TermOrVar, Variable, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf.triples import RDF_TYPE, TriplePattern
+from repro.sparql.ast import (
+    AggregateExpr,
+    FilterPattern,
+    GroupGraphPattern,
+    OptionalPattern,
+    OrderCondition,
+    PatternElement,
+    ProjectionExpression,
+    ProjectionItem,
+    SelectQuery,
+    SubSelect,
+    TriplesBlock,
+    UnionPattern,
+)
+from repro.sparql.expressions import (
+    BinaryExpr,
+    ConstExpr,
+    Expression,
+    FunctionExpr,
+    UnaryExpr,
+    VarExpr,
+)
+from repro.sparql.tokenizer import Token, tokenize
+
+_COMPARISON_OPS = ("=", "!=", "<", ">", "<=", ">=")
+_BUILTIN_FUNCTIONS = ("REGEX", "BOUND", "STR")
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], prefixes: dict[str, str] | None = None):
+        self._tokens = tokens
+        self._index = 0
+        self._prefixes: dict[str, str] = dict(prefixes or {})
+
+    # -- token stream helpers ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> SparqlSyntaxError:
+        token = self._peek()
+        return SparqlSyntaxError(f"{message} (found {token})", token.position)
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if token.kind == "PUNCT" and token.text == text:
+            return self._advance()
+        raise self._error(f"expected {text!r}")
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if token.is_keyword(word):
+            return self._advance()
+        raise self._error(f"expected keyword {word}")
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().kind == "PUNCT" and self._peek().text == text:
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        self._parse_prologue()
+        query = self._parse_select_query()
+        if self._peek().kind != "EOF":
+            raise self._error("unexpected trailing input")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self._accept_keyword("PREFIX"):
+            ns_token = self._peek()
+            if ns_token.kind != "PNAME_NS":
+                raise self._error("expected a prefix name after PREFIX")
+            self._advance()
+            iri_token = self._peek()
+            if iri_token.kind != "IRIREF":
+                raise self._error("expected an IRI after the prefix name")
+            self._advance()
+            self._prefixes[ns_token.text[:-1]] = iri_token.text[1:-1]
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _parse_select_query(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        self._accept_keyword("REDUCED")
+        select_star = False
+        projection: list[ProjectionItem] = []
+        if self._accept_punct("*"):
+            select_star = True
+        else:
+            while True:
+                item = self._try_parse_projection_item()
+                if item is None:
+                    break
+                projection.append(item)
+            if not projection:
+                raise self._error("SELECT requires at least one projection item")
+        self._accept_keyword("WHERE")
+        where = self._parse_group_graph_pattern()
+        group_by, having, order_by, limit, offset = self._parse_solution_modifiers()
+        return SelectQuery(
+            projection=tuple(projection),
+            where=where,
+            select_star=select_star,
+            distinct=distinct,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            prefixes=dict(self._prefixes),
+        )
+
+    def _try_parse_projection_item(self) -> ProjectionItem | None:
+        token = self._peek()
+        if token.kind == "VAR":
+            self._advance()
+            variable = Variable(token.text[1:])
+            return ProjectionItem(VarExpr(variable), variable)
+        if token.kind == "PUNCT" and token.text == "(":
+            self._advance()
+            expression = self._parse_projection_expression()
+            self._accept_keyword("AS")
+            alias_token = self._peek()
+            if alias_token.kind != "VAR":
+                raise self._error("expected an alias variable in projection")
+            self._advance()
+            self._expect_punct(")")
+            return ProjectionItem(expression, Variable(alias_token.text[1:]))
+        return None
+
+    def _parse_projection_expression(self) -> ProjectionExpression:
+        return self._parse_or_expression()
+
+    # -- solution modifiers ------------------------------------------------------
+
+    def _parse_solution_modifiers(self):
+        group_by: tuple[Variable, ...] | None = None
+        having: Expression | None = None
+        order_by: list[OrderCondition] = []
+        limit: int | None = None
+        offset = 0
+        while True:
+            if self._accept_keyword("GROUP"):
+                self._expect_keyword("BY")
+                variables: list[Variable] = []
+                while self._peek().kind == "VAR":
+                    variables.append(Variable(self._advance().text[1:]))
+                if not variables:
+                    raise self._error("GROUP BY requires at least one variable")
+                group_by = tuple(variables)
+            elif self._accept_keyword("HAVING"):
+                self._expect_punct("(")
+                having = self._parse_or_expression()
+                self._expect_punct(")")
+            elif self._accept_keyword("ORDER"):
+                self._expect_keyword("BY")
+                order_by.extend(self._parse_order_conditions())
+            elif self._accept_keyword("LIMIT"):
+                limit = self._parse_integer()
+            elif self._accept_keyword("OFFSET"):
+                offset = self._parse_integer()
+            else:
+                break
+        return group_by, having, tuple(order_by), limit, offset
+
+    def _parse_order_conditions(self) -> list[OrderCondition]:
+        conditions: list[OrderCondition] = []
+        while True:
+            if self._accept_keyword("ASC"):
+                self._expect_punct("(")
+                conditions.append(OrderCondition(self._parse_or_expression(), False))
+                self._expect_punct(")")
+            elif self._accept_keyword("DESC"):
+                self._expect_punct("(")
+                conditions.append(OrderCondition(self._parse_or_expression(), True))
+                self._expect_punct(")")
+            elif self._peek().kind == "VAR":
+                variable = Variable(self._advance().text[1:])
+                conditions.append(OrderCondition(VarExpr(variable), False))
+            else:
+                break
+        if not conditions:
+            raise self._error("ORDER BY requires at least one condition")
+        return conditions
+
+    def _parse_integer(self) -> int:
+        token = self._peek()
+        if token.kind != "NUMBER" or "." in token.text or "e" in token.text.lower():
+            raise self._error("expected an integer")
+        self._advance()
+        return int(token.text)
+
+    # -- group graph patterns ------------------------------------------------------
+
+    def _parse_group_graph_pattern(self) -> GroupGraphPattern:
+        self._expect_punct("{")
+        elements: list[PatternElement] = []
+        while not (self._peek().kind == "PUNCT" and self._peek().text == "}"):
+            element = self._parse_pattern_element()
+            # A trailing UNION binds the two most recent group patterns.
+            if self._accept_keyword("UNION"):
+                right = self._parse_group_or_subselect()
+                if not isinstance(element, GroupGraphPattern) or not isinstance(
+                    right, GroupGraphPattern
+                ):
+                    raise UnsupportedQueryError("UNION requires plain group patterns")
+                element = UnionPattern(element, right)
+            elements.append(element)
+            self._accept_punct(".")
+        self._expect_punct("}")
+        return GroupGraphPattern(tuple(elements))
+
+    def _parse_pattern_element(self) -> PatternElement:
+        token = self._peek()
+        if token.is_keyword("FILTER"):
+            self._advance()
+            return FilterPattern(self._parse_filter_constraint())
+        if token.is_keyword("OPTIONAL"):
+            self._advance()
+            return OptionalPattern(self._parse_group_graph_pattern())
+        if token.kind == "PUNCT" and token.text == "{":
+            return self._parse_group_or_subselect()
+        return self._parse_triples_block()
+
+    def _parse_group_or_subselect(self) -> PatternElement:
+        if self._peek(1).is_keyword("SELECT"):
+            self._expect_punct("{")
+            subquery = self._parse_select_query()
+            self._expect_punct("}")
+            return SubSelect(subquery)
+        return self._parse_group_graph_pattern()
+
+    def _parse_filter_constraint(self) -> Expression:
+        # FILTER(expr) or FILTER regex(...) / FILTER bound(...)
+        if self._peek().kind == "KEYWORD" and self._peek().text in _BUILTIN_FUNCTIONS:
+            return self._parse_primary_expression()  # function call form
+        self._expect_punct("(")
+        expression = self._parse_or_expression()
+        self._expect_punct(")")
+        return expression
+
+    # -- triples ----------------------------------------------------------------
+
+    def _parse_triples_block(self) -> TriplesBlock:
+        patterns: list[TriplePattern] = []
+        while True:
+            subject = self._parse_term(allow_literal=False)
+            patterns.extend(self._parse_property_list(subject))
+            if not self._accept_punct("."):
+                break
+            token = self._peek()
+            starts_triple = token.kind in ("VAR", "IRIREF", "PNAME") or token.is_keyword("A")
+            if not starts_triple:
+                break
+        return TriplesBlock(tuple(patterns))
+
+    def _parse_property_list(self, subject: TermOrVar) -> list[TriplePattern]:
+        patterns: list[TriplePattern] = []
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term(allow_literal=True)
+                patterns.append(TriplePattern(subject, predicate, obj))
+                if not self._accept_punct(","):
+                    break
+            if not self._accept_punct(";"):
+                break
+            # Allow a dangling ';' before '.' as real SPARQL does.
+            token = self._peek()
+            if not (
+                token.kind in ("VAR", "IRIREF", "PNAME") or token.is_keyword("A")
+            ):
+                break
+        return patterns
+
+    def _parse_verb(self) -> TermOrVar:
+        token = self._peek()
+        if token.is_keyword("A"):
+            self._advance()
+            return RDF_TYPE
+        return self._parse_term(allow_literal=False)
+
+    def _parse_term(self, allow_literal: bool) -> TermOrVar:
+        token = self._peek()
+        if token.kind == "VAR":
+            self._advance()
+            return Variable(token.text[1:])
+        if token.kind == "IRIREF":
+            self._advance()
+            return IRI(token.text[1:-1])
+        if token.kind == "PNAME":
+            self._advance()
+            return self._expand_pname(token)
+        if allow_literal:
+            literal = self._try_parse_literal()
+            if literal is not None:
+                return literal
+        raise self._error("expected an RDF term")
+
+    def _expand_pname(self, token: Token) -> IRI:
+        prefix, local = token.text.split(":", 1)
+        base = self._prefixes.get(prefix)
+        if base is None:
+            raise SparqlSyntaxError(f"undeclared prefix {prefix!r}", token.position)
+        return IRI(base + local)
+
+    def _try_parse_literal(self) -> Literal | None:
+        token = self._peek()
+        if token.kind == "STRING":
+            self._advance()
+            lexical = _unescape_string(token.text[1:-1])
+            next_token = self._peek()
+            if next_token.kind == "LANGTAG":
+                self._advance()
+                return Literal(lexical, language=next_token.text[1:])
+            if next_token.kind == "DTYPE":
+                self._advance()
+                dtype_token = self._peek()
+                if dtype_token.kind == "IRIREF":
+                    self._advance()
+                    return Literal(lexical, datatype=dtype_token.text[1:-1])
+                if dtype_token.kind == "PNAME":
+                    self._advance()
+                    return Literal(lexical, datatype=self._expand_pname(dtype_token).value)
+                raise self._error("expected a datatype IRI after '^^'")
+            return Literal(lexical)
+        if token.kind == "NUMBER":
+            self._advance()
+            return _number_literal(token.text)
+        if token.is_keyword("TRUE") or token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(token.text.lower(), datatype="http://www.w3.org/2001/XMLSchema#boolean")
+        if token.kind == "PUNCT" and token.text == "-" and self._peek(1).kind == "NUMBER":
+            self._advance()
+            number = self._advance()
+            return _number_literal("-" + number.text)
+        return None
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _parse_or_expression(self) -> ProjectionExpression:
+        left = self._parse_and_expression()
+        while self._peek().kind == "OP" and self._peek().text == "||":
+            self._advance()
+            left = BinaryExpr("||", left, self._parse_and_expression())
+        return left
+
+    def _parse_and_expression(self) -> ProjectionExpression:
+        left = self._parse_relational_expression()
+        while self._peek().kind == "OP" and self._peek().text == "&&":
+            self._advance()
+            left = BinaryExpr("&&", left, self._parse_relational_expression())
+        return left
+
+    def _parse_relational_expression(self) -> ProjectionExpression:
+        left = self._parse_additive_expression()
+        token = self._peek()
+        op = None
+        if token.kind == "OP" and token.text in _COMPARISON_OPS:
+            op = token.text
+        elif token.kind == "PUNCT" and token.text == "=":
+            op = "="
+        if op is not None:
+            self._advance()
+            return BinaryExpr(op, left, self._parse_additive_expression())
+        return left
+
+    def _parse_additive_expression(self) -> ProjectionExpression:
+        left = self._parse_multiplicative_expression()
+        while self._peek().kind == "PUNCT" and self._peek().text in ("+", "-"):
+            op = self._advance().text
+            left = BinaryExpr(op, left, self._parse_multiplicative_expression())
+        return left
+
+    def _parse_multiplicative_expression(self) -> ProjectionExpression:
+        left = self._parse_unary_expression()
+        while self._peek().kind == "PUNCT" and self._peek().text in ("*", "/"):
+            op = self._advance().text
+            left = BinaryExpr(op, left, self._parse_unary_expression())
+        return left
+
+    def _parse_unary_expression(self) -> ProjectionExpression:
+        token = self._peek()
+        if token.kind == "OP" and token.text == "!":
+            self._advance()
+            return UnaryExpr("!", self._parse_unary_expression())
+        if token.kind == "PUNCT" and token.text in ("+", "-"):
+            self._advance()
+            return UnaryExpr(token.text, self._parse_unary_expression())
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> ProjectionExpression:
+        token = self._peek()
+        if token.kind == "PUNCT" and token.text == "(":
+            self._advance()
+            expression = self._parse_or_expression()
+            self._expect_punct(")")
+            return expression
+        if token.kind == "VAR":
+            self._advance()
+            return VarExpr(Variable(token.text[1:]))
+        if token.kind == "KEYWORD" and token.text in _AGGREGATES:
+            return self._parse_aggregate()
+        if token.kind == "KEYWORD" and token.text in _BUILTIN_FUNCTIONS:
+            self._advance()
+            self._expect_punct("(")
+            args: list[Expression] = []
+            if not (self._peek().kind == "PUNCT" and self._peek().text == ")"):
+                args.append(self._require_plain(self._parse_or_expression()))
+                while self._accept_punct(","):
+                    args.append(self._require_plain(self._parse_or_expression()))
+            self._expect_punct(")")
+            return FunctionExpr(token.text, tuple(args))
+        literal = self._try_parse_literal()
+        if literal is not None:
+            return ConstExpr(literal)
+        if token.kind == "IRIREF":
+            self._advance()
+            return ConstExpr(IRI(token.text[1:-1]))
+        if token.kind == "PNAME":
+            self._advance()
+            return ConstExpr(self._expand_pname(token))
+        raise self._error("expected an expression")
+
+    def _parse_aggregate(self) -> AggregateExpr:
+        func = self._advance().text
+        self._expect_punct("(")
+        distinct = self._accept_keyword("DISTINCT")
+        if self._accept_punct("*"):
+            if func != "COUNT":
+                raise self._error("only COUNT accepts '*'")
+            self._expect_punct(")")
+            return AggregateExpr("COUNT", None, distinct)
+        argument = self._require_plain(self._parse_or_expression())
+        self._expect_punct(")")
+        return AggregateExpr(func, argument, distinct)
+
+    @staticmethod
+    def _require_plain(expression: ProjectionExpression) -> Expression:
+        if isinstance(expression, AggregateExpr):
+            raise UnsupportedQueryError("nested aggregates are not supported")
+        return expression
+
+
+_STRING_UNESCAPES = {"\\n": "\n", "\\t": "\t", "\\r": "\r", '\\"': '"', "\\\\": "\\"}
+
+
+def _unescape_string(text: str) -> str:
+    result = text
+    for escaped, plain in _STRING_UNESCAPES.items():
+        result = result.replace(escaped, plain)
+    return result
+
+
+def _number_literal(text: str) -> Literal:
+    if "." in text or "e" in text.lower():
+        return Literal(text, datatype=XSD_DOUBLE)
+    return Literal(text, datatype=XSD_INTEGER)
+
+
+def parse_query(text: str, prefixes: dict[str, str] | None = None) -> SelectQuery:
+    """Parse SPARQL text into a :class:`SelectQuery` AST.
+
+    *prefixes* pre-seeds the prefix table (the query's own ``PREFIX``
+    declarations extend/override it).
+    """
+    return _Parser(tokenize(text), prefixes).parse_query()

@@ -1,0 +1,141 @@
+"""Serialization of the SPARQL AST back to query text.
+
+``serialize_query(parse_query(text))`` produces a semantically
+equivalent query; ``parse_query(serialize_query(ast))`` reproduces the
+AST exactly (property-tested).  Useful for logging rewritten queries
+and for presenting composite patterns to users.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SparqlError
+from repro.rdf.terms import IRI, Literal, TermOrVar, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.ast import (
+    AggregateExpr,
+    FilterPattern,
+    GroupGraphPattern,
+    OptionalPattern,
+    ProjectionExpression,
+    SelectQuery,
+    SubSelect,
+    TriplesBlock,
+    UnionPattern,
+)
+from repro.sparql.expressions import (
+    BinaryExpr,
+    ConstExpr,
+    FunctionExpr,
+    UnaryExpr,
+    VarExpr,
+)
+
+_INDENT = "  "
+
+
+def term_text(term: TermOrVar) -> str:
+    if isinstance(term, (IRI, Variable)):
+        return term.n3()
+    if isinstance(term, Literal):
+        return term.n3()
+    return term.n3()  # BNode
+
+
+def expression_text(expression: ProjectionExpression) -> str:
+    if isinstance(expression, VarExpr):
+        return expression.variable.n3()
+    if isinstance(expression, ConstExpr):
+        return term_text(expression.term)
+    if isinstance(expression, UnaryExpr):
+        return f"{expression.op}({expression_text(expression.operand)})"
+    if isinstance(expression, BinaryExpr):
+        return (
+            f"({expression_text(expression.left)} {expression.op} "
+            f"{expression_text(expression.right)})"
+        )
+    if isinstance(expression, FunctionExpr):
+        args = ", ".join(expression_text(argument) for argument in expression.args)
+        return f"{expression.name}({args})"
+    if isinstance(expression, AggregateExpr):
+        inner = "*" if expression.arg is None else expression_text(expression.arg)
+        if expression.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expression.func}({inner})"
+    raise SparqlError(f"cannot serialize expression {expression!r}")
+
+
+def _triple_text(pattern: TriplePattern) -> str:
+    return (
+        f"{term_text(pattern.subject)} {term_text(pattern.property)} "
+        f"{term_text(pattern.object)} ."
+    )
+
+
+def _group_text(group: GroupGraphPattern, depth: int) -> str:
+    pad = _INDENT * depth
+    inner_pad = _INDENT * (depth + 1)
+    lines = [pad + "{"]
+    for element in group.elements:
+        if isinstance(element, TriplesBlock):
+            for pattern in element.patterns:
+                lines.append(inner_pad + _triple_text(pattern))
+        elif isinstance(element, FilterPattern):
+            lines.append(inner_pad + f"FILTER ({expression_text(element.expression)})")
+        elif isinstance(element, OptionalPattern):
+            lines.append(inner_pad + "OPTIONAL")
+            lines.append(_group_text(element.pattern, depth + 1))
+        elif isinstance(element, UnionPattern):
+            lines.append(_group_text(element.left, depth + 1))
+            lines.append(inner_pad + "UNION")
+            lines.append(_group_text(element.right, depth + 1))
+        elif isinstance(element, SubSelect):
+            lines.append(inner_pad + "{")
+            lines.append(_query_text(element.query, depth + 2))
+            lines.append(inner_pad + "}")
+        elif isinstance(element, GroupGraphPattern):
+            lines.append(_group_text(element, depth + 1))
+        else:
+            raise SparqlError(f"cannot serialize pattern element {element!r}")
+    lines.append(pad + "}")
+    return "\n".join(lines)
+
+
+def _query_text(query: SelectQuery, depth: int) -> str:
+    pad = _INDENT * depth
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    if query.select_star:
+        parts.append("*")
+    else:
+        for item in query.projection:
+            is_bare = (
+                isinstance(item.expression, VarExpr)
+                and item.expression.variable == item.alias
+            )
+            if is_bare:
+                parts.append(item.alias.n3())
+            else:
+                parts.append(f"({expression_text(item.expression)} AS {item.alias.n3()})")
+    lines = [pad + " ".join(parts)]
+    lines.append(_group_text(query.where, depth))
+    if query.group_by:
+        lines.append(pad + "GROUP BY " + " ".join(v.n3() for v in query.group_by))
+    if query.having is not None:
+        lines.append(pad + f"HAVING ({expression_text(query.having)})")
+    if query.order_by:
+        conditions = []
+        for condition in query.order_by:
+            keyword = "DESC" if condition.descending else "ASC"
+            conditions.append(f"{keyword}({expression_text(condition.expression)})")
+        lines.append(pad + "ORDER BY " + " ".join(conditions))
+    if query.limit is not None:
+        lines.append(pad + f"LIMIT {query.limit}")
+    if query.offset:
+        lines.append(pad + f"OFFSET {query.offset}")
+    return "\n".join(lines)
+
+
+def serialize_query(query: SelectQuery) -> str:
+    """Render a parsed query back to SPARQL text (full IRIs, no prefixes)."""
+    return _query_text(query, 0) + "\n"

@@ -1,0 +1,90 @@
+"""Catalog tests: the workload's structure matches Figure 7."""
+
+import pytest
+
+from repro.bench.catalog import (
+    CATALOG,
+    get_query,
+    multi_grouping_queries,
+    queries_for_dataset,
+    single_grouping_queries,
+)
+from repro.core.query_model import parse_analytical
+from repro.errors import DatasetError
+
+
+def test_catalog_completeness():
+    expected = {f"G{i}" for i in (1, 2, 3, 4, 5, 6, 7, 8, 9)}
+    expected |= {f"MG{i}" for i in list(range(1, 5)) + list(range(6, 19))}
+    assert set(CATALOG) == expected
+
+
+def test_every_query_parses_into_declared_structure():
+    """The star-size/grouping metadata must match the actual SPARQL."""
+    for query in CATALOG.values():
+        analytical = parse_analytical(query.sparql)
+        assert len(analytical.subqueries) == len(query.structure), query.qid
+        for subquery, declared in zip(analytical.subqueries, query.structure):
+            actual_sizes = tuple(len(star) for star in subquery.pattern.stars)
+            assert actual_sizes == declared.star_sizes, query.qid
+            assert len(subquery.group_by) == len(declared.group_by), query.qid
+
+
+@pytest.mark.parametrize(
+    "qid,gp1,gp1_groups,gp2,gp2_groups",
+    [
+        # Figure 7 rows (star tp counts and grouping keys).
+        ("MG1", (3, 2), ("feature",), (2, 2), ()),
+        ("MG3", (3, 3, 1), ("feature", "country"), (2, 3, 1), ("country",)),
+        ("MG6", (4, 2, 2), ("cid", "gene"), (4, 2, 2), ("cid",)),
+        ("MG8", (4, 2, 2), ("cid", "gene"), (4, 2, 2), ()),
+        ("MG9", (1, 2), ("gene",), (1, 2), ()),
+        ("MG10", (3, 1), ("disease", "gene"), (2, 1), ("gene",)),
+        ("MG11", (2, 2), ("country",), (2, 1), ()),
+        ("MG12", (2, 2), ("country", "pubType"), (2, 1), ("country",)),
+        ("MG13", (3, 1), ("author", "pubType"), (3, 1), ("pubType",)),
+        ("MG15", (3, 1), ("authorlastname",), (3, 1), ()),
+        ("MG17", (3, 2), ("country",), (3, 1), ()),
+        ("MG18", (3, 2), ("author", "country"), (2, 2), ("country",)),
+    ],
+)
+def test_figure7_rows(qid, gp1, gp1_groups, gp2, gp2_groups):
+    query = get_query(qid)
+    assert query.structure[0].star_sizes == gp1
+    assert query.structure[0].group_by == gp1_groups
+    assert query.structure[1].star_sizes == gp2
+    assert query.structure[1].group_by == gp2_groups
+
+
+def test_selectivity_variants():
+    assert get_query("MG1").selectivity == "lo"
+    assert get_query("MG2").selectivity == "hi"
+    assert get_query("MG15").selectivity == "lo"
+    assert get_query("MG16").selectivity == "hi"
+
+
+def test_dataset_partition():
+    assert {q.qid for q in queries_for_dataset("bsbm")} == {
+        "G1", "G2", "G3", "G4", "MG1", "MG2", "MG3", "MG4",
+    }
+    assert {q.qid for q in queries_for_dataset("chem")} == {
+        "G5", "G6", "G7", "G8", "G9", "MG6", "MG7", "MG8", "MG9", "MG10",
+    }
+    assert {q.qid for q in queries_for_dataset("pubmed")} == {
+        f"MG{i}" for i in range(11, 19)
+    }
+
+
+def test_grouping_split():
+    assert len(single_grouping_queries()) == 9
+    assert len(multi_grouping_queries()) == 17
+
+
+def test_structure_label():
+    assert get_query("MG1").structure[0].label() == "3:2 {feature}"
+    assert get_query("MG1").structure[1].label() == "2:2 ALL"
+
+
+def test_unknown_query_raises():
+    with pytest.raises(DatasetError):
+        get_query("MG99")

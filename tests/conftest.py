@@ -1,0 +1,89 @@
+"""Shared fixtures: small benchmark graphs and row-comparison helpers."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import bsbm, chem2bio2rdf, pubmed
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triples import RDF_TYPE, Triple
+
+EX = "http://ex.org/"
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+def canonical_rows(rows) -> Counter:
+    """Engine-independent multiset form of solution rows."""
+    return Counter(
+        frozenset((variable.name, str(term)) for variable, term in row.items())
+        for row in rows
+    )
+
+
+@pytest.fixture(scope="session")
+def bsbm_small() -> Graph:
+    return bsbm.generate(bsbm.BSBMConfig(products=80, vendors=10, offers_per_product=2))
+
+
+@pytest.fixture(scope="session")
+def chem_tiny() -> Graph:
+    return chem2bio2rdf.generate(chem2bio2rdf.preset("tiny"))
+
+
+@pytest.fixture(scope="session")
+def pubmed_tiny() -> Graph:
+    return pubmed.generate(pubmed.preset("tiny"))
+
+
+@pytest.fixture(scope="session")
+def product_graph() -> Graph:
+    """A hand-built MG1-style micro dataset with known aggregates.
+
+    6 products of type PT1; product 3 has no feature (contributes only
+    to roll-ups); product 5 has two features (multi-valued); each
+    product has two offers with prices 100*(i+1) and 100*(i+1)+1.
+    """
+    graph = Graph()
+    triples = []
+    for i in range(6):
+        product = ex(f"prod{i}")
+        triples.append(Triple(product, RDF_TYPE, ex("PT1")))
+        triples.append(Triple(product, ex("label"), Literal(f"product {i}")))
+        if i != 3:
+            triples.append(Triple(product, ex("feature"), ex(f"feat{i % 2}")))
+        if i == 5:
+            triples.append(Triple(product, ex("feature"), ex("feat0")))
+        for j in range(2):
+            offer = ex(f"offer{i}_{j}")
+            triples.append(Triple(offer, ex("product"), product))
+            triples.append(Triple(offer, ex("price"), Literal.from_python(100 * (i + 1) + j)))
+    graph.add_all(triples)
+    return graph
+
+
+MG1_STYLE_QUERY = """
+PREFIX ex: <http://ex.org/>
+SELECT ?f ?sumF ?cntF ?sumT ?cntT {
+  { SELECT ?f (SUM(?pr2) AS ?sumF) (COUNT(?pr2) AS ?cntF) {
+      ?p2 a ex:PT1 ; ex:label ?l2 ; ex:feature ?f .
+      ?o2 ex:product ?p2 ; ex:price ?pr2 .
+    } GROUP BY ?f
+  }
+  { SELECT (SUM(?pr) AS ?sumT) (COUNT(?pr) AS ?cntT) {
+      ?p1 a ex:PT1 ; ex:label ?l1 .
+      ?o1 ex:product ?p1 ; ex:price ?pr .
+    }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def mg1_style_query() -> str:
+    return MG1_STYLE_QUERY

@@ -1,0 +1,105 @@
+"""CLI tests (invoked in-process through repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_catalog_lists_queries(capsys):
+    code, out, _ = run_cli(capsys, "catalog")
+    assert code == 0
+    assert "MG1" in out and "MG18" in out and "G9" in out
+
+
+def test_catalog_verbose(capsys):
+    code, out, _ = run_cli(capsys, "catalog", "-v")
+    assert code == 0
+    assert "avg price per feature" in out
+
+
+def test_explain_command(capsys):
+    code, out, _ = run_cli(capsys, "explain", "MG1")
+    assert code == 0
+    assert "rapid-analytics plan (3 MR cycles)" in out
+
+
+def test_run_catalog_query(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "G1", "--dataset", "bsbm", "--preset", "tiny", "--limit", "2"
+    )
+    assert code == 0
+    assert "cycles=2" in out
+    assert "rows" in out
+
+
+def test_compare_command(capsys):
+    code, out, _ = run_cli(capsys, "compare", "G1", "--preset", "tiny")
+    assert code == 0
+    for engine in ("hive-naive", "hive-mqo", "rapid-plus", "rapid-analytics"):
+        assert engine in out
+
+
+def test_run_sparql_file(tmp_path, capsys):
+    query_file = tmp_path / "query.rq"
+    query_file.write_text(
+        "PREFIX bsbm: <http://bsbm.example.org/vocabulary/>\n"
+        "SELECT ?c (COUNT(?v) AS ?n) { ?v bsbm:country ?c } GROUP BY ?c\n"
+    )
+    code, out, _ = run_cli(
+        capsys, "run", str(query_file), "--dataset", "bsbm", "--preset", "tiny"
+    )
+    assert code == 0
+    assert "rows" in out
+
+
+def test_generate_and_query_ntriples(tmp_path, capsys):
+    data_file = tmp_path / "data.nt"
+    code, out, _ = run_cli(capsys, "generate", "bsbm", str(data_file), "--preset", "tiny")
+    assert code == 0
+    assert "wrote" in out
+    assert data_file.exists()
+
+    code, out, _ = run_cli(capsys, "run", "G1", "--data", str(data_file))
+    assert code == 0
+    assert "cycles=2" in out
+
+
+def test_run_csv_format(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "G3", "--preset", "tiny", "--format", "csv"
+    )
+    assert code == 0
+    header = out.splitlines()[0]
+    assert set(header.split(",")) == {"f", "cnt", "sum"}
+    assert len(out.splitlines()) > 1
+
+
+def test_stats_command(capsys):
+    code, out, _ = run_cli(capsys, "stats", "--dataset", "pubmed", "--preset", "tiny")
+    assert code == 0
+    assert "multi-valued" in out
+    assert "mesh_heading" in out
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    code, _, err = run_cli(capsys, "bench", "figure99")
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_missing_file_reports_error(capsys):
+    code, _, err = run_cli(capsys, "run", "/nonexistent/query.rq")
+    assert code == 1
+    assert "error:" in err
+
+
+def test_parser_rejects_bad_engine():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "G1", "--engine", "spark"])

@@ -1,0 +1,61 @@
+"""Tests for the EXPLAIN facility."""
+
+import pytest
+
+from repro.core.explain import describe_analytical, explain
+from repro.core.query_model import parse_analytical
+from repro.errors import PlanningError
+from tests.conftest import MG1_STYLE_QUERY
+
+
+def test_describe_analytical_structure():
+    text = describe_analytical(parse_analytical(MG1_STYLE_QUERY))
+    assert "GP1: stars 3:2, GROUP BY {f}" in text
+    assert "GP2: stars 2:2, GROUP BY ALL" in text
+    assert "SUM(?pr2) AS ?sumF" in text
+    assert "projection:" in text
+
+
+def test_explain_rapid_analytics_needs_no_graph():
+    text = explain(MG1_STYLE_QUERY, engine="rapid-analytics")
+    assert "rapid-analytics plan (3 MR cycles)" in text
+    assert "TG_AlphaJoin" in text
+    assert "TG_AgJ" in text
+    assert "alpha_0: feature != ∅" in text
+
+
+def test_explain_rapid_plus():
+    text = explain(MG1_STYLE_QUERY, engine="rapid-plus")
+    assert "rapid-plus plan (5 MR cycles)" in text
+
+
+def test_explain_hive_requires_graph():
+    with pytest.raises(PlanningError):
+        explain(MG1_STYLE_QUERY, engine="hive-naive")
+
+
+def test_explain_hive_with_graph(product_graph):
+    text = explain(MG1_STYLE_QUERY, engine="hive-naive", graph=product_graph)
+    assert "hive-naive plan (9 MR cycles" in text
+    assert "group-by" in text
+
+
+def test_explain_reference():
+    text = explain(MG1_STYLE_QUERY, engine="reference")
+    assert "in-memory" in text
+
+
+def test_explain_unknown_engine():
+    with pytest.raises(PlanningError):
+        explain(MG1_STYLE_QUERY, engine="spark")
+
+
+def test_explain_outer_expressions():
+    query = """
+    SELECT (?a / ?b AS ?ratio) {
+      { SELECT (SUM(?x) AS ?a) { ?s <urn:p> ?x } }
+      { SELECT (SUM(?y) AS ?b) { ?t <urn:q> ?y } }
+    }
+    """
+    text = describe_analytical(parse_analytical(query))
+    assert "outer expressions: ?ratio" in text

@@ -1,0 +1,50 @@
+"""Engine-level tests for the Hive engines."""
+
+import pytest
+
+from repro.core.engines import to_analytical
+from repro.core.results import EngineConfig
+from repro.errors import HDFSOutOfSpaceError, PlanningError
+from repro.hive.engine import HiveEngine, hive_mqo_engine, hive_naive_engine
+from repro.hive.executor import HiveExecutor
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runner import MapReduceRunner
+
+
+def test_engine_names_and_modes():
+    assert hive_naive_engine().name == "hive-naive"
+    assert hive_mqo_engine().name == "hive-mqo"
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(PlanningError):
+        HiveExecutor(HDFS(), object(), MapReduceRunner(HDFS()), EngineConfig(), "spark")
+
+
+def test_report_plan_matches_cycles(product_graph, mg1_style_query):
+    report = hive_naive_engine().execute(to_analytical(mg1_style_query), product_graph)
+    assert len(report.plan) == report.cycles
+    assert report.load_bytes > 0
+    assert "VP tables" in report.plan_description
+
+
+def test_capacity_too_small_for_load_fails(product_graph, mg1_style_query):
+    config = EngineConfig(hdfs_capacity=1)
+    with pytest.raises(HDFSOutOfSpaceError):
+        hive_naive_engine().execute(to_analytical(mg1_style_query), product_graph, config)
+
+
+def test_mqo_plan_contains_composite_jobs(product_graph, mg1_style_query):
+    report = hive_mqo_engine().execute(to_analytical(mg1_style_query), product_graph)
+    assert any("mqo-star" in name for name in report.plan)
+    assert any("group-by" in name for name in report.plan)
+
+
+def test_engine_instances_are_stateless(product_graph, mg1_style_query):
+    """Two runs of the same engine object must not interfere."""
+    engine = HiveEngine("naive")
+    analytical = to_analytical(mg1_style_query)
+    first = engine.execute(analytical, product_graph)
+    second = engine.execute(analytical, product_graph)
+    assert first.cycles == second.cycles
+    assert len(first.rows) == len(second.rows)

@@ -1,0 +1,85 @@
+"""Unit tests for Hive executor internals (record conversion, filters)."""
+
+import pytest
+
+from repro.hive.executor import (
+    _BoundFilter,
+    _compatible_merge,
+    _project,
+    _pushable,
+    _vp_row,
+)
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.expressions import BinaryExpr, ConstExpr, VarExpr
+
+S, O = Variable("s"), Variable("o")
+P = IRI("urn:p")
+
+
+def gt(variable, value):
+    return BinaryExpr(">", VarExpr(variable), ConstExpr(Literal.from_python(value)))
+
+
+class TestVPRow:
+    def test_plain_record(self):
+        tp = TriplePattern(S, P, O)
+        row = _vp_row(tp, (IRI("urn:a"), Literal("x")), [])
+        assert row == {S: IRI("urn:a"), O: Literal("x")}
+
+    def test_type_record_single_column(self):
+        tp = TriplePattern(S, IRI("urn:type"), IRI("urn:C"))
+        row = _vp_row(tp, (IRI("urn:a"),), [])
+        assert row == {S: IRI("urn:a")}
+
+    def test_concrete_object_match_and_mismatch(self):
+        tp = TriplePattern(S, P, Literal("News"))
+        assert _vp_row(tp, (IRI("urn:a"), Literal("News")), []) == {S: IRI("urn:a")}
+        assert _vp_row(tp, (IRI("urn:a"), Literal("Review")), []) is None
+
+    def test_concrete_subject(self):
+        tp = TriplePattern(IRI("urn:a"), P, O)
+        assert _vp_row(tp, (IRI("urn:a"), Literal("x")), []) == {O: Literal("x")}
+        assert _vp_row(tp, (IRI("urn:b"), Literal("x")), []) is None
+
+    def test_same_variable_subject_object(self):
+        tp = TriplePattern(S, P, S)
+        assert _vp_row(tp, (IRI("urn:a"), IRI("urn:a")), []) == {S: IRI("urn:a")}
+        assert _vp_row(tp, (IRI("urn:a"), IRI("urn:b")), []) is None
+
+    def test_pushed_filter(self):
+        tp = TriplePattern(S, P, O)
+        filters = [gt(O, 10)]
+        assert _vp_row(tp, (IRI("urn:a"), Literal.from_python(20)), filters) is not None
+        assert _vp_row(tp, (IRI("urn:a"), Literal.from_python(5)), filters) is None
+
+
+class TestPushable:
+    def test_single_variable_filter_on_object(self):
+        tp = TriplePattern(S, P, O)
+        filters = [gt(O, 1), gt(S, 1), BinaryExpr("<", VarExpr(O), VarExpr(S))]
+        pushed = _pushable(filters, tp)
+        assert pushed == [filters[0]]
+
+    def test_concrete_object_pushes_nothing(self):
+        tp = TriplePattern(S, P, Literal("x"))
+        assert _pushable([gt(O, 1)], tp) == []
+
+
+class TestRowHelpers:
+    def test_compatible_merge(self):
+        left = {S: IRI("urn:a")}
+        right = {S: IRI("urn:a"), O: Literal("x")}
+        assert _compatible_merge(left, right) == right
+        conflicting = {S: IRI("urn:b")}
+        assert _compatible_merge(left, conflicting) is None
+
+    def test_project(self):
+        row = {S: IRI("urn:a"), O: Literal("x")}
+        assert _project(row, frozenset({S})) == {S: IRI("urn:a")}
+        assert _project(row, None) == row
+
+    def test_bound_filter_is_frozen_marker(self):
+        marker = _BoundFilter(S)
+        assert marker.variable == S
+        assert _BoundFilter(S) == marker

@@ -1,0 +1,78 @@
+"""Unit tests for vertically partitioned storage."""
+
+import pytest
+
+from repro.core.query_model import PropKey
+from repro.errors import PlanningError
+from repro.hive.tables import VPStore, load_vertical_partitions
+from repro.mapreduce.hdfs import HDFS
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triples import RDF_TYPE, Triple
+
+
+@pytest.fixture
+def loaded():
+    graph = Graph(
+        [
+            Triple(IRI("urn:a"), RDF_TYPE, IRI("urn:C1")),
+            Triple(IRI("urn:b"), RDF_TYPE, IRI("urn:C2")),
+            Triple(IRI("urn:a"), IRI("urn:p"), Literal("x")),
+            Triple(IRI("urn:b"), IRI("urn:p"), Literal("y")),
+            Triple(IRI("urn:a"), IRI("urn:q"), Literal("z")),
+        ]
+    )
+    hdfs = HDFS()
+    return hdfs, load_vertical_partitions(graph, hdfs)
+
+
+def test_plain_property_tables(loaded):
+    hdfs, store = loaded
+    path = store.path_for(PropKey(IRI("urn:p")))
+    records = hdfs.read(path).records
+    assert set(records) == {(IRI("urn:a"), Literal("x")), (IRI("urn:b"), Literal("y"))}
+
+
+def test_type_partitions_per_class(loaded):
+    hdfs, store = loaded
+    c1 = store.path_for(PropKey(RDF_TYPE, IRI("urn:C1")))
+    c2 = store.path_for(PropKey(RDF_TYPE, IRI("urn:C2")))
+    assert c1 != c2
+    assert hdfs.read(c1).records == [(IRI("urn:a"),)]
+
+
+def test_tables_are_orc_compressed(loaded):
+    hdfs, store = loaded
+    file = hdfs.read(store.path_for(PropKey(IRI("urn:p"))))
+    assert file.compressed
+    assert file.size_bytes < file.raw_bytes
+
+
+def test_missing_property_falls_back_to_empty(loaded):
+    hdfs, store = loaded
+    path = store.path_for(PropKey(IRI("urn:nope")))
+    assert path == store.empty_path
+    assert hdfs.read(path).records == []
+
+
+def test_missing_class_falls_back_to_empty(loaded):
+    _, store = loaded
+    assert store.path_for(PropKey(RDF_TYPE, IRI("urn:C999"))) == store.empty_path
+
+
+def test_has(loaded):
+    _, store = loaded
+    assert store.has(PropKey(IRI("urn:p")))
+    assert not store.has(PropKey(IRI("urn:nope")))
+    assert store.has(PropKey(RDF_TYPE, IRI("urn:C1")))
+
+
+def test_unconfigured_store_raises():
+    store = VPStore()
+    with pytest.raises(PlanningError):
+        store.path_for(PropKey(IRI("urn:p")))
+
+
+def test_total_bytes_accumulates(loaded):
+    _, store = loaded
+    assert store.total_bytes > 0

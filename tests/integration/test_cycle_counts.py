@@ -1,0 +1,74 @@
+"""Integration: MR cycle counts match the paper's in-text numbers.
+
+Section 5 states, for the BSBM workload:
+
+* G1-G4: Hive needs 4 MR cycles, RAPIDAnalytics 2;
+* MG1-MG2: naive Hive 9, MQO 7, RAPID+ 5, RAPIDAnalytics 3;
+* MG3-MG4: naive Hive 11, MQO 8, RAPID+ 7, RAPIDAnalytics 4;
+* MG6 (Chem2Bio2RDF): naive Hive 13 cycles (11 map-only with map-joins),
+  MQO 8 (6 map-only), RAPID+ 7, RAPIDAnalytics 4.
+
+These counts fall out of plan *structure*, so they are asserted exactly.
+"""
+
+import pytest
+
+from repro.bench.catalog import get_query
+from repro.bench.harness import bsbm_config, chem_config
+from repro.core.engines import make_engine, to_analytical
+
+BSBM_EXPECTED = {
+    # qid -> {engine: total cycles}
+    "G1": {"hive-naive": 4, "rapid-analytics": 2},
+    "G2": {"hive-naive": 4, "rapid-analytics": 2},
+    "G3": {"hive-naive": 4, "rapid-analytics": 2},
+    "G4": {"hive-naive": 4, "rapid-analytics": 2},
+    "MG1": {"hive-naive": 9, "hive-mqo": 7, "rapid-plus": 5, "rapid-analytics": 3},
+    "MG2": {"hive-naive": 9, "hive-mqo": 7, "rapid-plus": 5, "rapid-analytics": 3},
+    "MG3": {"hive-naive": 11, "hive-mqo": 8, "rapid-plus": 7, "rapid-analytics": 4},
+    "MG4": {"hive-naive": 11, "hive-mqo": 8, "rapid-plus": 7, "rapid-analytics": 4},
+}
+
+
+@pytest.mark.parametrize("qid", sorted(BSBM_EXPECTED))
+def test_bsbm_cycle_counts(bsbm_small, qid):
+    analytical = to_analytical(get_query(qid).sparql)
+    for engine, expected in BSBM_EXPECTED[qid].items():
+        report = make_engine(engine).execute(analytical, bsbm_small, bsbm_config())
+        assert report.cycles == expected, (
+            f"{qid} on {engine}: {report.cycles} cycles, paper says {expected}"
+        )
+
+
+def test_mg6_cycle_counts(chem_tiny):
+    """MG6 with map-join-friendly VP tables (the paper's chem setup)."""
+    analytical = to_analytical(get_query("MG6").sparql)
+    config = chem_config()
+    naive = make_engine("hive-naive").execute(analytical, chem_tiny, config)
+    assert naive.cycles == 13
+    assert naive.map_only_cycles == 11  # "13 MR cycles (11 map-only)"
+    mqo = make_engine("hive-mqo").execute(analytical, chem_tiny, config)
+    assert mqo.cycles == 8
+    assert mqo.map_only_cycles == 6  # "8 MR cycles (6 map-only)"
+    plus = make_engine("rapid-plus").execute(analytical, chem_tiny, config)
+    assert plus.cycles == 7
+    analytics = make_engine("rapid-analytics").execute(analytical, chem_tiny, config)
+    assert analytics.cycles == 4  # "RAPIDAnalytics requires a total of 4"
+
+
+def test_rapid_analytics_always_fewest_cycles(bsbm_small, chem_tiny, pubmed_tiny, request):
+    """Across the whole workload RAPIDAnalytics never needs more cycles
+    than any other engine."""
+    from repro.bench.catalog import CATALOG
+
+    graphs = {"bsbm": bsbm_small, "chem": chem_tiny, "pubmed": pubmed_tiny}
+    for qid, query in CATALOG.items():
+        analytical = to_analytical(query.sparql)
+        graph = graphs[query.dataset]
+        cycles = {
+            engine: make_engine(engine).execute(analytical, graph).cycles
+            for engine in ("hive-naive", "hive-mqo", "rapid-plus", "rapid-analytics")
+        }
+        best = cycles["rapid-analytics"]
+        assert best == min(cycles.values()), f"{qid}: {cycles}"
+        assert cycles["rapid-plus"] <= cycles["hive-naive"], f"{qid}: {cycles}"

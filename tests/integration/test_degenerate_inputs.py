@@ -1,0 +1,85 @@
+"""Robustness sweep: every engine on degenerate inputs.
+
+Empty graphs, graphs missing whole entity classes, and graphs where
+every pattern matches exactly once — the places distributed plans
+usually break (empty shuffles, missing partitions, default rows)."""
+
+import pytest
+
+from repro.bench.catalog import CATALOG
+from repro.core.engines import PAPER_ENGINES, make_engine, to_analytical
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triples import RDF_TYPE, Triple
+from tests.conftest import canonical_rows
+
+EMPTY = Graph()
+
+
+@pytest.mark.parametrize("engine", PAPER_ENGINES)
+@pytest.mark.parametrize("qid", ["G1", "MG1", "MG6", "MG11", "MG15"])
+def test_empty_graph_matches_reference(engine, qid):
+    analytical = to_analytical(CATALOG[qid].sparql)
+    expected = canonical_rows(make_engine("reference").execute(analytical, EMPTY).rows)
+    report = make_engine(engine).execute(analytical, EMPTY)
+    assert canonical_rows(report.rows) == expected, (qid, engine)
+
+
+def test_empty_graph_rollup_yields_default_row():
+    """GROUP BY ALL over nothing still produces COUNT=0/SUM=0."""
+    analytical = to_analytical(CATALOG["G1"].sparql)
+    for engine in ("reference",) + PAPER_ENGINES:
+        report = make_engine(engine).execute(analytical, EMPTY)
+        assert len(report.rows) == 1, engine
+        values = {v.name: t.python_value() for v, t in report.rows[0].items()}
+        assert values == {"cnt": 0, "sum": 0}, engine
+
+
+@pytest.fixture(scope="module")
+def single_match_graph():
+    """Exactly one product, one feature, one offer."""
+    ex = "http://bsbm.example.org/vocabulary/"
+    inst = "http://bsbm.example.org/instances/"
+    graph = Graph()
+    graph.add_all(
+        [
+            Triple(IRI(inst + "Product0"), RDF_TYPE, IRI(ex + "ProductType1")),
+            Triple(IRI(inst + "Product0"), IRI(ex + "label"), Literal("only")),
+            Triple(IRI(inst + "Product0"), IRI(ex + "productFeature"), IRI(inst + "F0")),
+            Triple(IRI(inst + "Offer0"), IRI(ex + "product"), IRI(inst + "Product0")),
+            Triple(IRI(inst + "Offer0"), IRI(ex + "price"), Literal.from_python(42)),
+        ]
+    )
+    return graph
+
+
+@pytest.mark.parametrize("engine", PAPER_ENGINES)
+def test_single_match_graph(engine, single_match_graph):
+    analytical = to_analytical(CATALOG["MG1"].sparql)
+    expected = canonical_rows(
+        make_engine("reference").execute(analytical, single_match_graph).rows
+    )
+    report = make_engine(engine).execute(analytical, single_match_graph)
+    assert canonical_rows(report.rows) == expected
+    assert len(report.rows) == 1
+
+
+@pytest.mark.parametrize("engine", PAPER_ENGINES)
+def test_partial_schema_graph(engine):
+    """Products exist but no offers at all: grouped subquery is empty,
+    the roll-up returns the default row, and the final join of an empty
+    side yields no rows — on every engine."""
+    ex = "http://bsbm.example.org/vocabulary/"
+    inst = "http://bsbm.example.org/instances/"
+    graph = Graph(
+        [
+            Triple(IRI(inst + "Product0"), RDF_TYPE, IRI(ex + "ProductType1")),
+            Triple(IRI(inst + "Product0"), IRI(ex + "label"), Literal("x")),
+            Triple(IRI(inst + "Product0"), IRI(ex + "productFeature"), IRI(inst + "F0")),
+        ]
+    )
+    analytical = to_analytical(CATALOG["MG1"].sparql)
+    expected = canonical_rows(make_engine("reference").execute(analytical, graph).rows)
+    report = make_engine(engine).execute(analytical, graph)
+    assert canonical_rows(report.rows) == expected
+    assert report.rows == []

@@ -1,0 +1,144 @@
+"""Integration tests for extended SPARQL features across all engines:
+HAVING, DISTINCT aggregates, AVG/MIN/MAX, and outer DISTINCT."""
+
+import pytest
+
+from repro.core.engines import PAPER_ENGINES, make_engine, to_analytical
+from repro.core.query_model import parse_analytical
+from repro.errors import UnsupportedQueryError
+from tests.conftest import canonical_rows
+
+
+def assert_all_engines_match(query: str, graph) -> list:
+    analytical = to_analytical(query)
+    reference = make_engine("reference").execute(analytical, graph)
+    expected = canonical_rows(reference.rows)
+    for engine in PAPER_ENGINES:
+        report = make_engine(engine).execute(analytical, graph)
+        assert canonical_rows(report.rows) == expected, engine
+    return reference.rows
+
+
+class TestHaving:
+    def test_having_single_grouping(self, product_graph):
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT ?f (COUNT(?pr) AS ?c) {
+          ?p a ex:PT1 ; ex:label ?l ; ex:feature ?f .
+          ?o ex:product ?p ; ex:price ?pr .
+        } GROUP BY ?f HAVING (?c > 4)
+        """
+        rows = assert_all_engines_match(query, product_graph)
+        assert rows  # some group survives
+        unfiltered = make_engine("reference").execute(
+            to_analytical(query.replace("HAVING (?c > 4)", "")), product_graph
+        )
+        assert len(rows) < len(unfiltered.rows)
+
+    def test_having_inside_multi_grouping(self, product_graph):
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT ?f ?cf ?ct {
+          { SELECT ?f (COUNT(?pr2) AS ?cf) {
+              ?p2 a ex:PT1 ; ex:label ?l2 ; ex:feature ?f .
+              ?o2 ex:product ?p2 ; ex:price ?pr2 .
+            } GROUP BY ?f HAVING (?cf > 4)
+          }
+          { SELECT (COUNT(?pr) AS ?ct) {
+              ?p1 a ex:PT1 ; ex:label ?l1 .
+              ?o1 ex:product ?p1 ; ex:price ?pr .
+            }
+          }
+        }
+        """
+        assert_all_engines_match(query, product_graph)
+
+    def test_having_eliminating_rollup_default_row(self, product_graph):
+        """HAVING that rejects the empty-group default (COUNT=0 > 0 fails)
+        must remove the GROUP-BY-ALL row on every engine."""
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT (COUNT(?pr) AS ?c) {
+          ?p a ex:NoSuchType ; ex:label ?l .
+          ?o ex:product ?p ; ex:price ?pr .
+        } HAVING (?c > 0)
+        """
+        analytical = to_analytical(query)
+        for engine in ("reference",) + PAPER_ENGINES:
+            report = make_engine(engine).execute(analytical, product_graph)
+            assert report.rows == [], engine
+
+    def test_having_with_unknown_variable_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_analytical(
+                "SELECT (COUNT(?x) AS ?c) { ?s <urn:p> ?x } HAVING (?zz > 1)"
+            )
+
+    def test_outer_having_rejected(self, mg1_style_query):
+        with pytest.raises(UnsupportedQueryError):
+            parse_analytical(mg1_style_query + " HAVING (?cntT > 0)")
+
+
+class TestAggregateFunctions:
+    @pytest.mark.parametrize(
+        "aggregates",
+        [
+            "(AVG(?pr) AS ?a)",
+            "(MIN(?pr) AS ?lo) (MAX(?pr) AS ?hi)",
+            "(COUNT(DISTINCT ?pr) AS ?d)",
+            "(SUM(?pr) AS ?s) (AVG(?pr) AS ?a) (MIN(?pr) AS ?lo) (MAX(?pr) AS ?hi) (COUNT(*) AS ?n)",
+        ],
+    )
+    def test_aggregate_matrix_grouped(self, product_graph, aggregates):
+        query = f"""
+        PREFIX ex: <http://ex.org/>
+        SELECT ?f {aggregates} {{
+          ?p a ex:PT1 ; ex:label ?l ; ex:feature ?f .
+          ?o ex:product ?p ; ex:price ?pr .
+        }} GROUP BY ?f
+        """
+        assert_all_engines_match(query, product_graph)
+
+    def test_distinct_sum_multi_grouping(self, product_graph):
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT ?f ?d ?t {
+          { SELECT ?f (SUM(DISTINCT ?pr2) AS ?d) {
+              ?p2 a ex:PT1 ; ex:label ?l2 ; ex:feature ?f .
+              ?o2 ex:product ?p2 ; ex:price ?pr2 .
+            } GROUP BY ?f
+          }
+          { SELECT (COUNT(DISTINCT ?f1) AS ?t) {
+              ?p1 a ex:PT1 ; ex:feature ?f1 .
+            }
+          }
+        }
+        """
+        assert_all_engines_match(query, product_graph)
+
+
+class TestOuterDistinct:
+    def test_distinct_projection(self, product_graph):
+        """DISTINCT over a projection that drops the distinguishing column."""
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT DISTINCT ?ct {
+          { SELECT ?f (COUNT(?pr2) AS ?cf) {
+              ?p2 a ex:PT1 ; ex:feature ?f .
+              ?o2 ex:product ?p2 ; ex:price ?pr2 .
+            } GROUP BY ?f
+          }
+          { SELECT (COUNT(?pr) AS ?ct) {
+              ?p1 a ex:PT1 ; ex:label ?l1 .
+              ?o1 ex:product ?p1 ; ex:price ?pr .
+            }
+          }
+        }
+        """
+        analytical = to_analytical(query)
+        assert analytical.distinct
+        reference = make_engine("reference").execute(analytical, product_graph)
+        assert len(reference.rows) == 1
+        for engine in PAPER_ENGINES:
+            report = make_engine(engine).execute(analytical, product_graph)
+            assert canonical_rows(report.rows) == canonical_rows(reference.rows), engine

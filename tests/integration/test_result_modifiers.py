@@ -1,0 +1,77 @@
+"""Outer ORDER BY / LIMIT / OFFSET on analytical queries, all engines."""
+
+import pytest
+
+from repro.core.engines import PAPER_ENGINES, make_engine, to_analytical
+from repro.core.query_model import parse_analytical
+from repro.errors import UnsupportedQueryError
+from repro.rdf.terms import Variable
+
+ORDERED = """
+PREFIX ex: <http://ex.org/>
+SELECT ?f (SUM(?pr) AS ?s) {
+  ?p a ex:PT1 ; ex:label ?l ; ex:feature ?f .
+  ?o ex:product ?p ; ex:price ?pr .
+} GROUP BY ?f ORDER BY DESC(?s)
+"""
+
+LIMITED = ORDERED + " LIMIT 1"
+
+OFFSET_MULTI = """
+PREFIX ex: <http://ex.org/>
+SELECT ?f ?cf ?ct {
+  { SELECT ?f (COUNT(?pr2) AS ?cf) {
+      ?p2 a ex:PT1 ; ex:label ?l2 ; ex:feature ?f .
+      ?o2 ex:product ?p2 ; ex:price ?pr2 .
+    } GROUP BY ?f
+  }
+  { SELECT (COUNT(?pr) AS ?ct) {
+      ?p1 a ex:PT1 ; ex:label ?l1 .
+      ?o1 ex:product ?p1 ; ex:price ?pr .
+    }
+  }
+} ORDER BY ?f LIMIT 1 OFFSET 1
+"""
+
+
+def test_model_captures_modifiers():
+    analytical = parse_analytical(LIMITED)
+    assert analytical.has_modifiers()
+    assert analytical.limit == 1
+    assert analytical.order_by[0].descending
+
+
+def test_order_by_unknown_variable_rejected():
+    with pytest.raises(UnsupportedQueryError):
+        parse_analytical(
+            "SELECT (COUNT(?x) AS ?c) { ?s <urn:p> ?x } ORDER BY ?zz"
+        )
+
+
+@pytest.mark.parametrize("query", [ORDERED, LIMITED, OFFSET_MULTI])
+def test_engines_agree_on_row_sequence(query, product_graph):
+    """With modifiers, the *ordered list* (not just multiset) must agree."""
+    analytical = to_analytical(query)
+    reference = make_engine("reference").execute(analytical, product_graph)
+    expected = [sorted((v.name, str(t)) for v, t in row.items()) for row in reference.rows]
+    assert reference.rows, "test query must produce rows"
+    for engine in PAPER_ENGINES:
+        report = make_engine(engine).execute(analytical, product_graph)
+        actual = [sorted((v.name, str(t)) for v, t in row.items()) for row in report.rows]
+        assert actual == expected, engine
+
+
+def test_descending_order_applied(product_graph):
+    report = make_engine("rapid-analytics").execute(to_analytical(ORDERED), product_graph)
+    sums = [
+        next(t.python_value() for v, t in row.items() if v.name == "s")
+        for row in report.rows
+    ]
+    assert sums == sorted(sums, reverse=True)
+
+
+def test_limit_truncates(product_graph):
+    full = make_engine("reference").execute(to_analytical(ORDERED), product_graph)
+    limited = make_engine("rapid-analytics").execute(to_analytical(LIMITED), product_graph)
+    assert len(limited.rows) == 1
+    assert len(full.rows) > 1

@@ -1,0 +1,111 @@
+"""Unit tests for cost model and size estimation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size
+from repro.rdf.terms import BNode, IRI, Literal
+from repro.rdf.triples import Triple
+
+
+class TestEstimateSize:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, 5, 2.5, "hello", IRI("urn:a"), BNode("b"), Literal("x"),
+         Literal("5", datatype="urn:int"), Literal("x", language="en"),
+         (1, 2), [1, 2], {1: 2}, {1, 2}],
+    )
+    def test_positive(self, value):
+        assert estimate_size(value) > 0
+
+    def test_string_scales_with_length(self):
+        assert estimate_size("x" * 100) > estimate_size("x")
+
+    def test_triple_sums_components(self):
+        triple = Triple(IRI("urn:s"), IRI("urn:p"), Literal("o"))
+        assert estimate_size(triple) >= (
+            estimate_size(triple.subject)
+            + estimate_size(triple.property)
+            + estimate_size(triple.object)
+        )
+
+    def test_respects_estimated_size_protocol(self):
+        class Sized:
+            def estimated_size(self):
+                return 1234
+
+        assert estimate_size(Sized()) == 1234
+
+    def test_deterministic(self):
+        value = {"a": [1, 2, (IRI("urn:x"), Literal("y"))]}
+        assert estimate_size(value) == estimate_size(value)
+
+
+class TestClusterConfig:
+    def test_slots(self):
+        cluster = ClusterConfig(nodes=5, map_slots_per_node=3, reduce_slots_per_node=2)
+        assert cluster.map_slots == 15
+        assert cluster.reduce_slots == 10
+
+    def test_splits(self):
+        cluster = ClusterConfig(block_size=100)
+        assert cluster.splits_for(0) == 1
+        assert cluster.splits_for(100) == 1
+        assert cluster.splits_for(101) == 2
+        assert cluster.splits_for(1000) == 10
+
+
+class TestCostModel:
+    def _cost(self, **kwargs):
+        defaults = dict(
+            input_bytes=0, shuffle_bytes=0, output_bytes=0, map_tasks=1, reduce_tasks=0
+        )
+        defaults.update(kwargs)
+        return CostModel().job_cost(ClusterConfig(), **defaults)
+
+    def test_startup_floor(self):
+        assert self._cost() >= CostModel().map_only_startup
+        assert self._cost(reduce_tasks=1) >= CostModel().job_startup
+
+    def test_map_only_startup_is_cheaper(self):
+        assert CostModel().map_only_startup < CostModel().job_startup
+
+    def test_monotone_in_input(self):
+        assert self._cost(input_bytes=10**6, map_tasks=1) > self._cost(input_bytes=10**3, map_tasks=1)
+
+    def test_monotone_in_shuffle(self):
+        base = self._cost(reduce_tasks=1)
+        assert self._cost(shuffle_bytes=10**6, reduce_tasks=1) > base
+
+    def test_map_only_cheaper_than_full(self):
+        full = self._cost(input_bytes=1000, shuffle_bytes=1000, output_bytes=100, reduce_tasks=4)
+        map_only = self._cost(input_bytes=1000, output_bytes=100, reduce_tasks=0)
+        assert map_only < full
+
+    def test_more_mappers_faster_scan(self):
+        """The paper's ORC observation: fewer mappers = worse utilization."""
+        few = self._cost(input_bytes=10**7, map_tasks=1)
+        many = self._cost(input_bytes=10**7, map_tasks=20)
+        assert many < few
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    input_bytes=st.integers(0, 10**8),
+    shuffle_bytes=st.integers(0, 10**8),
+    output_bytes=st.integers(0, 10**8),
+    map_tasks=st.integers(1, 200),
+    reduce_tasks=st.integers(0, 50),
+)
+def test_cost_always_positive_and_finite(input_bytes, shuffle_bytes, output_bytes, map_tasks, reduce_tasks):
+    cost = CostModel().job_cost(
+        ClusterConfig(),
+        input_bytes=input_bytes,
+        shuffle_bytes=shuffle_bytes,
+        output_bytes=output_bytes,
+        map_tasks=map_tasks,
+        reduce_tasks=reduce_tasks,
+    )
+    assert cost > 0
+    assert cost < float("inf")

@@ -1,0 +1,39 @@
+"""Unit tests for job counters."""
+
+from repro.mapreduce.counters import Counters
+
+
+def test_increment_and_get():
+    counters = Counters()
+    counters.increment("x")
+    counters.increment("x", 4)
+    assert counters.get("x") == 5
+    assert counters["x"] == 5
+
+
+def test_missing_counter_is_zero():
+    assert Counters().get("nope") == 0
+
+
+def test_merge():
+    a, b = Counters(), Counters()
+    a.increment("x", 2)
+    b.increment("x", 3)
+    b.increment("y", 1)
+    a.merge(b)
+    assert a.get("x") == 5
+    assert a.get("y") == 1
+
+
+def test_iteration_sorted():
+    counters = Counters()
+    counters.increment("zz")
+    counters.increment("aa")
+    assert [name for name, _ in counters] == ["aa", "zz"]
+
+
+def test_as_dict_and_repr():
+    counters = Counters()
+    counters.increment("a", 7)
+    assert counters.as_dict() == {"a": 7}
+    assert "a=7" in repr(counters)

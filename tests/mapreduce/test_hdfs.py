@@ -1,0 +1,83 @@
+"""Unit tests for the simulated HDFS."""
+
+import pytest
+
+from repro.errors import HDFSError, HDFSOutOfSpaceError
+from repro.mapreduce.hdfs import HDFS
+
+
+def test_write_and_read():
+    hdfs = HDFS()
+    file = hdfs.write("a/b", [1, 2, 3])
+    assert file.records == [1, 2, 3]
+    assert hdfs.read("a/b").size_bytes == file.size_bytes
+
+
+def test_read_missing_raises():
+    with pytest.raises(HDFSError):
+        HDFS().read("nope")
+
+
+def test_exists_and_delete():
+    hdfs = HDFS()
+    hdfs.write("x", [1])
+    assert hdfs.exists("x")
+    hdfs.delete("x")
+    assert not hdfs.exists("x")
+    hdfs.delete("x")  # idempotent
+
+
+def test_overwrite_replaces():
+    hdfs = HDFS()
+    hdfs.write("x", [1, 2, 3])
+    hdfs.write("x", [9])
+    assert hdfs.read("x").records == [9]
+    assert hdfs.used_bytes() == hdfs.read("x").size_bytes
+
+
+def test_compression_reduces_stored_size_keeps_raw():
+    hdfs = HDFS()
+    raw_file = hdfs.write("raw", ["x" * 100] * 10)
+    compressed = hdfs.write("orc", ["x" * 100] * 10, compressed=True)
+    assert compressed.size_bytes < raw_file.size_bytes
+    assert compressed.raw_bytes == raw_file.raw_bytes
+    assert compressed.compressed
+
+
+def test_capacity_enforced():
+    hdfs = HDFS(capacity=50)
+    hdfs.write("a", ["x" * 20])
+    with pytest.raises(HDFSOutOfSpaceError) as exc_info:
+        hdfs.write("b", ["y" * 200])
+    assert exc_info.value.capacity == 50
+
+
+def test_capacity_counts_replaced_file_as_freed():
+    hdfs = HDFS(capacity=120)
+    hdfs.write("a", ["x" * 100])
+    # Replacing the same path frees its old bytes first.
+    hdfs.write("a", ["y" * 100])
+    assert hdfs.exists("a")
+
+
+def test_available_bytes():
+    hdfs = HDFS(capacity=1000)
+    assert hdfs.available_bytes() == 1000
+    hdfs.write("a", [1])
+    assert hdfs.available_bytes() < 1000
+    assert HDFS().available_bytes() is None
+
+
+def test_listdir_prefix():
+    hdfs = HDFS()
+    hdfs.write("vp/a", [])
+    hdfs.write("vp/b", [])
+    hdfs.write("other", [])
+    assert hdfs.listdir("vp/") == ["vp/a", "vp/b"]
+
+
+def test_total_records():
+    hdfs = HDFS()
+    hdfs.write("a", [1, 2])
+    hdfs.write("b", [3])
+    assert hdfs.total_records() == 3

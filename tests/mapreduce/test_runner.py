@@ -1,0 +1,224 @@
+"""Unit and property tests for the MapReduce runner."""
+
+from collections import Counter, defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MapReduceError
+from repro.mapreduce.cost import ClusterConfig
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runner import MapReduceRunner
+
+
+def make_runner(hdfs=None, **cluster_kwargs):
+    return MapReduceRunner(hdfs or HDFS(), ClusterConfig(**cluster_kwargs))
+
+
+def wordcount_job(combiner=False):
+    return MapReduceJob(
+        name="wc",
+        inputs=("in",),
+        output="out",
+        mapper=lambda record: [(record, 1)],
+        reducer=lambda key, values: [(key, sum(values))],
+        combiner=(lambda key, values: [(key, sum(values))]) if combiner else None,
+    )
+
+
+class TestBasicExecution:
+    def test_wordcount(self):
+        hdfs = HDFS()
+        hdfs.write("in", ["a", "b", "a", "c", "a"])
+        stats = make_runner(hdfs).run_job(wordcount_job())
+        assert dict(hdfs.read("out").records) == {"a": 3, "b": 1, "c": 1}
+        assert not stats.map_only
+        assert stats.input_records == 5
+
+    def test_map_only(self):
+        hdfs = HDFS()
+        hdfs.write("in", [1, 2, 3])
+        job = MapReduceJob(
+            name="mo", inputs=("in",), output="out", mapper=lambda r: [r * 10]
+        )
+        stats = make_runner(hdfs).run_job(job)
+        assert stats.map_only
+        assert stats.shuffle_bytes == 0
+        assert hdfs.read("out").records == [10, 20, 30]
+
+    def test_full_job_requires_kv_pairs(self):
+        hdfs = HDFS()
+        hdfs.write("in", [1])
+        job = MapReduceJob(
+            name="bad",
+            inputs=("in",),
+            output="out",
+            mapper=lambda r: [r],  # not a pair
+            reducer=lambda k, v: [],
+        )
+        with pytest.raises(MapReduceError):
+            make_runner(hdfs).run_job(job)
+
+    def test_tagged_inputs(self):
+        hdfs = HDFS()
+        hdfs.write("left", [1])
+        hdfs.write("right", [2])
+        seen = []
+        job = MapReduceJob(
+            name="tagged",
+            inputs=("left", "right"),
+            output="out",
+            mapper=lambda pair: seen.append(pair) or [],
+            tag_inputs=True,
+        )
+        make_runner(hdfs).run_job(job)
+        assert ("left", 1) in seen and ("right", 2) in seen
+
+    def test_side_inputs_with_factory(self):
+        hdfs = HDFS()
+        hdfs.write("in", [1, 2])
+        hdfs.write("lookup", [(1, "one"), (2, "two")])
+
+        def factory(side):
+            table = dict(side["lookup"])
+            return lambda record: [table[record]]
+
+        job = MapReduceJob(
+            name="join",
+            inputs=("in",),
+            output="out",
+            mapper_factory=factory,
+            side_inputs=("lookup",),
+        )
+        stats = make_runner(hdfs).run_job(job)
+        assert hdfs.read("out").records == ["one", "two"]
+        assert stats.side_input_bytes > 0
+
+
+class TestJobValidation:
+    def test_needs_exactly_one_mapper_kind(self):
+        with pytest.raises(MapReduceError):
+            MapReduceJob(name="x", inputs=("a",), output="o")
+        with pytest.raises(MapReduceError):
+            MapReduceJob(
+                name="x",
+                inputs=("a",),
+                output="o",
+                mapper=lambda r: [],
+                mapper_factory=lambda side: (lambda r: []),
+            )
+
+    def test_side_inputs_need_factory(self):
+        with pytest.raises(MapReduceError):
+            MapReduceJob(
+                name="x", inputs=("a",), output="o", mapper=lambda r: [], side_inputs=("s",)
+            )
+
+    def test_map_only_cannot_combine(self):
+        with pytest.raises(MapReduceError):
+            MapReduceJob(
+                name="x",
+                inputs=("a",),
+                output="o",
+                mapper=lambda r: [],
+                combiner=lambda k, v: [],
+            )
+
+    def test_needs_input(self):
+        with pytest.raises(MapReduceError):
+            MapReduceJob(name="x", inputs=(), output="o", mapper=lambda r: [])
+
+
+class TestCombiner:
+    def test_combiner_reduces_shuffle(self):
+        records = ["a"] * 100 + ["b"] * 50
+        hdfs1, hdfs2 = HDFS(), HDFS()
+        hdfs1.write("in", records)
+        hdfs2.write("in", records)
+        plain = make_runner(hdfs1, block_size=64).run_job(wordcount_job(combiner=False))
+        combined = make_runner(hdfs2, block_size=64).run_job(wordcount_job(combiner=True))
+        assert combined.shuffle_bytes < plain.shuffle_bytes
+        assert hdfs1.read("out").records == hdfs2.read("out").records
+
+
+class TestWorkflow:
+    def test_chained_jobs(self):
+        hdfs = HDFS()
+        hdfs.write("in", list(range(10)))
+        job1 = MapReduceJob(
+            name="evens", inputs=("in",), output="mid", mapper=lambda r: [r] if r % 2 == 0 else []
+        )
+        job2 = MapReduceJob(
+            name="sum",
+            inputs=("mid",),
+            output="out",
+            mapper=lambda r: [("all", r)],
+            reducer=lambda k, v: [sum(v)],
+        )
+        stats = make_runner(hdfs).run_workflow([job1, job2])
+        assert hdfs.read("out").records == [20]
+        assert stats.cycles == 2
+        assert stats.map_only_cycles == 1
+        assert stats.full_cycles == 1
+        assert stats.total_cost > 0
+        assert "TOTAL" in stats.describe()
+
+    def test_counters_accumulate(self):
+        hdfs = HDFS()
+        hdfs.write("in", ["a", "b"])
+        stats = make_runner(hdfs).run_workflow([wordcount_job()])
+        assert stats.counters["mr_cycles"] == 1
+        assert stats.counters["map_input_records"] == 2
+
+
+# -- property tests ------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    records=st.lists(st.tuples(st.sampled_from("abcdef"), st.integers(-100, 100)), max_size=80),
+    block_size=st.integers(16, 4096),
+    use_combiner=st.booleans(),
+)
+def test_mapreduce_groupby_equals_in_memory(records, block_size, use_combiner):
+    """map+shuffle+reduce ≡ in-memory groupby-sum, combiner or not."""
+    hdfs = HDFS()
+    hdfs.write("in", records)
+    job = MapReduceJob(
+        name="sum",
+        inputs=("in",),
+        output="out",
+        mapper=lambda pair: [pair],
+        reducer=lambda key, values: [(key, sum(values))],
+        combiner=(lambda key, values: [(key, sum(values))]) if use_combiner else None,
+    )
+    make_runner(hdfs, block_size=block_size).run_job(job)
+    expected = defaultdict(int)
+    for key, value in records:
+        expected[key] += value
+    assert dict(hdfs.read("out").records) == dict(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=st.lists(st.integers(-50, 50), max_size=60), block_size=st.integers(8, 512))
+def test_map_only_preserves_multiset(records, block_size):
+    hdfs = HDFS()
+    hdfs.write("in", records)
+    job = MapReduceJob(name="id", inputs=("in",), output="out", mapper=lambda r: [r])
+    make_runner(hdfs, block_size=block_size).run_job(job)
+    assert Counter(hdfs.read("out").records) == Counter(records)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from("abc"), min_size=1, max_size=60))
+def test_stats_invariants(records):
+    hdfs = HDFS()
+    hdfs.write("in", records)
+    stats = make_runner(hdfs, block_size=32).run_job(wordcount_job(combiner=True))
+    assert stats.map_tasks >= 1
+    assert stats.reduce_tasks >= 1
+    assert stats.cost_seconds > 0
+    assert stats.input_records == len(records)
+    assert stats.output_records == len(set(records))

@@ -1,0 +1,280 @@
+"""Composite graph pattern construction tests (paper Section 3)."""
+
+import pytest
+
+from repro.core.query_model import PropKey, parse_analytical
+from repro.errors import OverlapError
+from repro.ntga.composite import (
+    build_composite,
+    build_composite_n,
+    single_pattern_plan,
+)
+from repro.rdf.terms import IRI, Variable
+from repro.rdf.triples import RDF_TYPE
+
+
+def composite_for(sparql: str):
+    query = parse_analytical(sparql)
+    return build_composite(query.subqueries[0], query.subqueries[1])
+
+
+MG1 = """
+PREFIX ex: <http://ex.org/>
+SELECT ?f ?sumF ?sumT {
+  { SELECT ?f (SUM(?pr2) AS ?sumF) {
+      ?p2 a ex:PT1 ; ex:label ?l2 ; ex:feature ?f .
+      ?o2 ex:product ?p2 ; ex:price ?pr2 .
+    } GROUP BY ?f
+  }
+  { SELECT (SUM(?pr) AS ?sumT) {
+      ?p1 a ex:PT1 ; ex:label ?l1 .
+      ?o1 ex:product ?p1 ; ex:price ?pr .
+    }
+  }
+}
+"""
+
+
+def prop(name):
+    return PropKey(IRI("http://ex.org/" + name))
+
+
+class TestMG1Composite:
+    def test_primary_and_secondary_properties(self):
+        plan = composite_for(MG1)
+        product_star, offer_star = plan.stars
+        assert product_star.p_prim == frozenset(
+            {PropKey(RDF_TYPE, IRI("http://ex.org/PT1")), prop("label")}
+        )
+        assert product_star.p_sec == frozenset({prop("feature")})
+        assert offer_star.p_prim == frozenset({prop("product"), prop("price")})
+        assert offer_star.p_sec == frozenset()
+
+    def test_alpha_conditions(self):
+        plan = composite_for(MG1)
+        alpha_feature, alpha_rollup = plan.alphas()
+        assert alpha_feature.required == frozenset({prop("feature")})
+        assert alpha_rollup.required == frozenset()
+
+    def test_gp2_variables_canonicalized_to_gp1(self):
+        plan = composite_for(MG1)
+        rollup = plan.subqueries[1]
+        variables = set()
+        for star in rollup.stars:
+            variables |= star.variables()
+        # GP2's ?p1/?pr/?l1/?o1 become GP1's ?p2/?pr2/?l2/?o2.
+        assert Variable("pr2") in variables
+        assert Variable("pr") not in variables
+
+    def test_aggregate_variables_canonicalized(self):
+        plan = composite_for(MG1)
+        rollup = plan.subqueries[1]
+        assert rollup.aggregates[0].variable == Variable("pr2")
+        assert rollup.aggregates[0].alias == Variable("sumT")  # alias unchanged
+
+    def test_output_group_by_keeps_original_names(self):
+        plan = composite_for(MG1)
+        assert plan.subqueries[0].output_group_by == (Variable("f"),)
+        assert plan.subqueries[1].output_group_by == ()
+
+    def test_describe_mentions_alphas(self):
+        text = composite_for(MG1).describe()
+        assert "alpha_0" in text and "prim=" in text
+
+
+class TestNonOverlap:
+    def test_object_object_vs_object_subject_fails(self):
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT ?a ?b {
+          { SELECT (COUNT(?x) AS ?a) {
+              ?s ex:ve ?v . ?v ex:cn ?x .
+            }
+          }
+          { SELECT (COUNT(?y) AS ?b) {
+              ?s2 ex:ve ?w . ?t ex:cn ?w .
+            }
+          }
+        }
+        """
+        analytical = parse_analytical(query)
+        with pytest.raises(OverlapError):
+            build_composite(analytical.subqueries[0], analytical.subqueries[1])
+
+    def test_conflicting_constants_fail(self):
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT ?a ?b {
+          { SELECT (COUNT(?x) AS ?a) { ?s ex:t "News" ; ex:p ?x . } }
+          { SELECT (COUNT(?y) AS ?b) { ?s2 ex:t "Review" ; ex:p ?y . } }
+        }
+        """
+        analytical = parse_analytical(query)
+        with pytest.raises(OverlapError):
+            build_composite(analytical.subqueries[0], analytical.subqueries[1])
+
+    def test_constant_vs_variable_on_shared_property_fails(self):
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT ?a ?b {
+          { SELECT (COUNT(?x) AS ?a) { ?s ex:t "News" ; ex:p ?x . } }
+          { SELECT (COUNT(?y) AS ?b) { ?s2 ex:t ?anything ; ex:p ?y . } }
+        }
+        """
+        analytical = parse_analytical(query)
+        with pytest.raises(OverlapError):
+            build_composite(analytical.subqueries[0], analytical.subqueries[1])
+
+
+class TestTwoSidedSecondaries:
+    def test_mg12_shape(self):
+        """Secondary properties can come from BOTH patterns (MG12)."""
+        query = """
+        PREFIX pm: <http://pm.org/>
+        SELECT ?c ?x ?y {
+          { SELECT ?c (COUNT(?g) AS ?x) {
+              ?pub pm:pub_type ?pty ; pm:grant ?g .
+              ?g pm:grant_agency ?ga ; pm:grant_country ?c .
+            } GROUP BY ?c
+          }
+          { SELECT ?c (COUNT(?g1) AS ?y) {
+              ?pub1 pm:journal ?j1 ; pm:grant ?g1 .
+              ?g1 pm:grant_country ?c .
+            } GROUP BY ?c
+          }
+        }
+        """
+        analytical = parse_analytical(query)
+        plan = build_composite(analytical.subqueries[0], analytical.subqueries[1])
+        pub_star = plan.stars[0]
+        assert pub_star.p_prim == frozenset({PropKey(IRI("http://pm.org/grant"))})
+        assert pub_star.p_sec == frozenset(
+            {PropKey(IRI("http://pm.org/pub_type")), PropKey(IRI("http://pm.org/journal"))}
+        )
+        alpha1, alpha2 = plan.alphas()
+        assert PropKey(IRI("http://pm.org/pub_type")) in alpha1.required
+        assert PropKey(IRI("http://pm.org/journal")) in alpha2.required
+
+
+class TestVariableCollisions:
+    def test_leftover_gp2_variable_renamed_on_collision(self):
+        """A GP2 secondary variable colliding with a GP1 name gets a suffix."""
+        query = """
+        PREFIX ex: <http://ex.org/>
+        SELECT ?q ?r {
+          { SELECT (COUNT(?x) AS ?q) { ?s ex:p ?x ; ex:extra1 ?z . } }
+          { SELECT (COUNT(?y) AS ?r) { ?s2 ex:p ?y ; ex:extra2 ?z . } }
+        }
+        """
+        analytical = parse_analytical(query)
+        plan = build_composite(analytical.subqueries[0], analytical.subqueries[1])
+        star = plan.stars[0].pattern
+        object_vars = {
+            tp.object for tp in star.patterns if isinstance(tp.object, Variable)
+        }
+        # GP1's ?z (extra1) and GP2's ?z (extra2) must remain distinct.
+        assert Variable("z") in object_vars
+        assert Variable("z_2") in object_vars
+
+
+ROLLUP3 = """
+PREFIX ex: <http://ex.org/>
+SELECT ?f ?c ?a1 ?a2 ?a3 {
+  { SELECT ?f ?c (COUNT(?pr1) AS ?a1) {
+      ?p1 a ex:PT1 ; ex:feature ?f .
+      ?o1 ex:product ?p1 ; ex:price ?pr1 ; ex:vendor ?v1 .
+      ?v1 ex:country ?c .
+    } GROUP BY ?f ?c
+  }
+  { SELECT ?c (COUNT(?pr2) AS ?a2) {
+      ?p2 a ex:PT1 .
+      ?o2 ex:product ?p2 ; ex:price ?pr2 ; ex:vendor ?v2 .
+      ?v2 ex:country ?c .
+    } GROUP BY ?c
+  }
+  { SELECT (COUNT(?pr3) AS ?a3) {
+      ?p3 a ex:PT1 .
+      ?o3 ex:product ?p3 ; ex:price ?pr3 ; ex:vendor ?v3 .
+      ?v3 ex:country ?c3 .
+    }
+  }
+}
+"""
+
+
+class TestNWayComposite:
+    def test_three_way_rollup_structure(self):
+        query = parse_analytical(ROLLUP3)
+        plan = build_composite_n(query.subqueries)
+        assert len(plan.subqueries) == 3
+        # The richest pattern (with ?f) is the base; feature is secondary
+        # because the two roll-ups lack it.
+        product_star = plan.stars[0]
+        assert prop("feature") in product_star.p_sec
+        alpha_fine, alpha_country, alpha_all = (sq.alpha for sq in plan.subqueries)
+        assert prop("feature") in alpha_fine.required
+        assert alpha_country.required == frozenset()
+        assert alpha_all.required == frozenset()
+
+    def test_three_way_canonicalizes_group_vars(self):
+        query = parse_analytical(ROLLUP3)
+        plan = build_composite_n(query.subqueries)
+        # All three subqueries group through the same canonical country var.
+        fine, country, _all = plan.subqueries
+        assert fine.group_by[1] == country.group_by[0]
+        assert fine.output_group_by == (Variable("f"), Variable("c"))
+        assert country.output_group_by == (Variable("c"),)
+
+    def test_two_way_delegates_to_pairwise(self):
+        query = parse_analytical(MG1)
+        plan_n = build_composite_n(query.subqueries)
+        plan_2 = build_composite(query.subqueries[0], query.subqueries[1])
+        assert plan_n.stars == plan_2.stars
+
+    def test_rejects_single_subquery(self):
+        query = parse_analytical(MG1)
+        with pytest.raises(OverlapError):
+            build_composite_n(query.subqueries[:1])
+
+    def test_non_overlapping_third_pattern_rejected(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?a ?b ?c {
+              { SELECT (COUNT(?x1) AS ?a) { ?s1 ex:p ?x1 . ?x1 ex:q ?y1 . } }
+              { SELECT (COUNT(?x2) AS ?b) { ?s2 ex:p ?x2 . ?x2 ex:q ?y2 . } }
+              { SELECT (COUNT(?x3) AS ?c) { ?s3 ex:p ?x3 . ?t3 ex:q ?x3 . } }
+            }
+            """
+        )
+        with pytest.raises(OverlapError):
+            build_composite_n(query.subqueries)
+
+    def test_private_variables_stay_distinct_across_subqueries(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?a ?b ?c {
+              { SELECT (COUNT(?x1) AS ?a) { ?s1 ex:p ?x1 ; ex:extra1 ?z . } }
+              { SELECT (COUNT(?x2) AS ?b) { ?s2 ex:p ?x2 ; ex:extra2 ?z . } }
+              { SELECT (COUNT(?x3) AS ?c) { ?s3 ex:p ?x3 ; ex:extra3 ?z . } }
+            }
+            """
+        )
+        plan = build_composite_n(query.subqueries)
+        star = plan.stars[0].pattern
+        object_vars = [
+            tp.object for tp in star.patterns if isinstance(tp.object, Variable)
+        ]
+        assert len(object_vars) == len(set(object_vars))
+
+
+class TestSinglePatternPlan:
+    def test_degenerate_composite(self):
+        query = parse_analytical(
+            "SELECT (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:q> ?y . }"
+        )
+        plan = single_pattern_plan(query.subqueries[0])
+        assert len(plan.subqueries) == 1
+        assert plan.stars[0].p_sec == frozenset()
+        assert plan.subqueries[0].alpha.required == frozenset()

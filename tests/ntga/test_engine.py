@@ -1,0 +1,48 @@
+"""Engine-level tests for the NTGA engines."""
+
+import pytest
+
+from repro.core.engines import make_engine, to_analytical
+from repro.core.results import EngineConfig
+from repro.errors import HDFSOutOfSpaceError
+from repro.ntga.engine import deduplicate_rows, rapid_analytics_engine, rapid_plus_engine
+from repro.rdf.terms import Literal, Variable
+
+
+def test_engine_names():
+    assert rapid_analytics_engine().name == "rapid-analytics"
+    assert rapid_plus_engine().name == "rapid-plus"
+
+
+def test_report_contains_plan_and_description(product_graph, mg1_style_query):
+    report = rapid_analytics_engine().execute(
+        to_analytical(mg1_style_query), product_graph
+    )
+    assert len(report.plan) == report.cycles
+    assert "Stp'0" in report.plan_description
+    assert report.load_bytes > 0
+
+
+def test_capacity_too_small_for_load_fails_fast(product_graph, mg1_style_query):
+    config = EngineConfig(hdfs_capacity=10)
+    with pytest.raises(HDFSOutOfSpaceError):
+        rapid_analytics_engine().execute(
+            to_analytical(mg1_style_query), product_graph, config
+        )
+
+
+def test_deduplicate_rows_preserves_order():
+    a = {Variable("x"): Literal("1")}
+    b = {Variable("x"): Literal("2")}
+    assert deduplicate_rows([a, b, dict(a)]) == [a, b]
+
+
+def test_source_text_preserved(mg1_style_query):
+    analytical = to_analytical(mg1_style_query)
+    assert analytical.source_text == mg1_style_query
+
+
+def test_rapid_plus_report_plan_shape(product_graph, mg1_style_query):
+    report = rapid_plus_engine().execute(to_analytical(mg1_style_query), product_graph)
+    assert report.cycles == 5
+    assert "sequential" in report.plan_description

@@ -1,0 +1,149 @@
+"""Overlap detection tests replicating Figure 3 (AQ2 overlaps, AQ3 not)."""
+
+import pytest
+
+from repro.core.query_model import GraphPattern, decompose_stars
+from repro.ntga.overlap import (
+    find_correspondence,
+    patterns_overlap,
+    role_equivalent,
+    stars_overlap,
+)
+from repro.rdf.terms import IRI, Variable
+from repro.rdf.triples import RDF_TYPE, TriplePattern
+
+TY_PT18 = IRI("urn:PT18")
+PR, PC, VE, CN, PF = IRI("urn:pr"), IRI("urn:pc"), IRI("urn:ve"), IRI("urn:cn"), IRI("urn:pf")
+
+
+def var(name):
+    return Variable(name)
+
+
+def gp(*patterns):
+    return GraphPattern(decompose_stars(patterns))
+
+
+def aq2_gp1():
+    """?s1 ty PT18 . ?s2 pr ?s1 ; pc ?o1 ; ve ?o2."""
+    return gp(
+        TriplePattern(var("s1"), RDF_TYPE, TY_PT18),
+        TriplePattern(var("s2"), PR, var("s1")),
+        TriplePattern(var("s2"), PC, var("o1")),
+        TriplePattern(var("s2"), VE, var("o2")),
+    )
+
+
+def aq2_gp2():
+    """?s1 ty PT18 ; pf ?o3 . ?s2 pr ?s1 ; pc ?o4."""
+    return gp(
+        TriplePattern(var("s1"), RDF_TYPE, TY_PT18),
+        TriplePattern(var("s1"), PF, var("o3")),
+        TriplePattern(var("s2"), PR, var("s1")),
+        TriplePattern(var("s2"), PC, var("o4")),
+    )
+
+
+def aq3_gp1():
+    """?s3 pr ?s1 ; pc ?o5 ; ve ?s4 . ?s4 cn ?o6  (object-subject join)."""
+    return gp(
+        TriplePattern(var("s3"), PR, var("s1")),
+        TriplePattern(var("s3"), PC, var("o5")),
+        TriplePattern(var("s3"), VE, var("s4")),
+        TriplePattern(var("s4"), CN, var("o6")),
+    )
+
+
+def aq3_gp2():
+    """?s3 pr ?s1 ; pc ?o5 ; ve ?o6 . ?s4 cn ?o6  (object-OBJECT join)."""
+    return gp(
+        TriplePattern(var("s3"), PR, var("s1")),
+        TriplePattern(var("s3"), PC, var("o5")),
+        TriplePattern(var("s3"), VE, var("o6")),
+        TriplePattern(var("s4"), CN, var("o6")),
+    )
+
+
+class TestStarsOverlap:
+    def test_shared_properties_and_types(self):
+        gp1, gp2 = aq2_gp1(), aq2_gp2()
+        assert stars_overlap(gp1.stars[0], gp2.stars[0])  # both ty PT18
+        assert stars_overlap(gp1.stars[1], gp2.stars[1])  # {pr,pc} shared
+
+    def test_no_shared_properties(self):
+        gp1, gp2 = aq2_gp1(), aq2_gp2()
+        assert not stars_overlap(gp1.stars[0], gp2.stars[1])
+
+    def test_type_mismatch_blocks_overlap(self):
+        star1 = gp(
+            TriplePattern(var("s"), RDF_TYPE, TY_PT18),
+            TriplePattern(var("s"), PF, var("f")),
+        ).stars[0]
+        star2 = gp(
+            TriplePattern(var("t"), RDF_TYPE, IRI("urn:PT9")),
+            TriplePattern(var("t"), PF, var("g")),
+        ).stars[0]
+        assert not stars_overlap(star1, star2)
+
+    def test_type_on_only_one_side_blocks_overlap(self):
+        star1 = gp(
+            TriplePattern(var("s"), RDF_TYPE, TY_PT18),
+            TriplePattern(var("s"), PF, var("f")),
+        ).stars[0]
+        star2 = gp(TriplePattern(var("t"), PF, var("g")),).stars[0]
+        assert not stars_overlap(star1, star2)
+
+
+class TestRoleEquivalence:
+    def test_same_property_same_role(self):
+        tp1 = TriplePattern(var("s2"), PR, var("s1"))
+        tp2 = TriplePattern(var("t2"), PR, var("t1"))
+        assert role_equivalent(var("s1"), tp1, var("t1"), tp2)
+
+    def test_same_property_different_role(self):
+        tp1 = TriplePattern(var("s4"), CN, var("o6"))  # subject role
+        tp2 = TriplePattern(var("x"), CN, var("o6"))  # object role
+        assert not role_equivalent(var("s4"), tp1, var("o6"), tp2)
+
+    def test_different_property(self):
+        tp1 = TriplePattern(var("s"), PR, var("x"))
+        tp2 = TriplePattern(var("t"), VE, var("x"))
+        assert not role_equivalent(var("x"), tp1, var("x"), tp2)
+
+
+class TestGraphPatternOverlap:
+    def test_aq2_overlaps(self):
+        correspondence = find_correspondence(aq2_gp1(), aq2_gp2())
+        assert correspondence is not None
+        assert correspondence.pairs == (0, 1)
+        assert patterns_overlap(aq2_gp1(), aq2_gp2())
+
+    def test_aq3_does_not_overlap(self):
+        """Figure 3: object-subject vs object-object join structures."""
+        assert find_correspondence(aq3_gp1(), aq3_gp2()) is None
+
+    def test_symmetry_of_aq2(self):
+        assert patterns_overlap(aq2_gp2(), aq2_gp1())
+
+    def test_identical_patterns_overlap(self):
+        assert patterns_overlap(aq2_gp1(), aq2_gp1())
+
+    def test_different_star_counts_do_not_overlap(self):
+        single = gp(TriplePattern(var("s"), RDF_TYPE, TY_PT18))
+        assert not patterns_overlap(single, aq2_gp1())
+
+    def test_subject_role_join_uses_existential_candidates(self):
+        """When the join variable is a star's subject, any property pair
+        with matching properties witnesses role-equivalence (MG12 shape:
+        the two grant stars share only grant_country, not grant_agency)."""
+        agency, country, grant = IRI("urn:ga"), IRI("urn:gc"), IRI("urn:grant")
+        gp1 = gp(
+            TriplePattern(var("pub"), grant, var("g")),
+            TriplePattern(var("g"), agency, var("a")),
+            TriplePattern(var("g"), country, var("c")),
+        )
+        gp2 = gp(
+            TriplePattern(var("pub2"), grant, var("g2")),
+            TriplePattern(var("g2"), country, var("c2")),
+        )
+        assert patterns_overlap(gp1, gp2)

@@ -1,0 +1,318 @@
+"""Job-level unit tests for the NTGA physical operators."""
+
+import pytest
+
+from repro.core.query_model import PropKey, parse_analytical
+from repro.errors import PlanningError
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runner import MapReduceRunner
+from repro.ntga.composite import build_composite, single_pattern_plan
+from repro.ntga.physical import (
+    AggRow,
+    build_agg_join_job,
+    build_alpha_join_job,
+    derive_join_steps,
+    empty_group_rows,
+    load_triplegroups,
+    make_star_filter,
+    restricted_alphas,
+    shared_prefilters,
+)
+from repro.ntga.triplegroup import JoinedTripleGroup, TripleGroup
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import RDF_TYPE, Triple
+
+EX = "http://ex.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+def tg(name, *pairs):
+    subject = iri(name)
+    return TripleGroup(subject, tuple(Triple(subject, p, o) for p, o in pairs))
+
+
+MG1_QUERY = """
+PREFIX ex: <http://ex.org/>
+SELECT ?f ?sumF ?cntT {
+  { SELECT ?f (SUM(?pr2) AS ?sumF) {
+      ?p2 a ex:PT1 ; ex:label ?l2 ; ex:feature ?f .
+      ?o2 ex:product ?p2 ; ex:price ?pr2 .
+    } GROUP BY ?f
+  }
+  { SELECT (COUNT(?pr) AS ?cntT) {
+      ?p1 a ex:PT1 ; ex:label ?l1 .
+      ?o1 ex:product ?p1 ; ex:price ?pr .
+    }
+  }
+}
+"""
+
+
+@pytest.fixture
+def composite():
+    query = parse_analytical(MG1_QUERY)
+    return build_composite(query.subqueries[0], query.subqueries[1])
+
+
+class TestStarFilter:
+    def test_requires_primaries(self, composite):
+        product_filter = make_star_filter(composite.stars[0])
+        with_label = tg("p1", (RDF_TYPE, iri("PT1")), (iri("label"), Literal("x")))
+        without_label = tg("p2", (RDF_TYPE, iri("PT1")))
+        assert product_filter(with_label) is not None
+        assert product_filter(without_label) is None
+
+    def test_keeps_optional_properties(self, composite):
+        product_filter = make_star_filter(composite.stars[0])
+        group = tg(
+            "p1",
+            (RDF_TYPE, iri("PT1")),
+            (iri("label"), Literal("x")),
+            (iri("feature"), iri("f1")),
+        )
+        filtered = product_filter(group)
+        assert PropKey(iri("feature")) in filtered.props()
+
+    def test_projects_unrelated_properties(self, composite):
+        product_filter = make_star_filter(composite.stars[0])
+        group = tg(
+            "p1",
+            (RDF_TYPE, iri("PT1")),
+            (iri("label"), Literal("x")),
+            (iri("unrelated"), Literal("y")),
+        )
+        filtered = product_filter(group)
+        assert PropKey(iri("unrelated")) not in filtered.props()
+
+    def test_pushed_object_filter_drops_triples(self):
+        from repro.sparql.expressions import BinaryExpr, ConstExpr, VarExpr
+
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT (COUNT(?pr) AS ?c) { ?o ex:product ?p ; ex:price ?pr . FILTER(?pr > 100) }
+            """
+        )
+        plan = single_pattern_plan(query.subqueries[0])
+        star_filter = make_star_filter(plan.stars[0], plan.subqueries[0].filters)
+        group = tg(
+            "o1",
+            (iri("product"), iri("p1")),
+            (iri("price"), Literal.from_python(50)),
+            (iri("price"), Literal.from_python(150)),
+        )
+        filtered = star_filter(group)
+        assert filtered.objects_for(PropKey(iri("price"))) == (
+            Literal.from_python(150),
+        )
+
+    def test_pushed_filter_can_eliminate_group(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT (COUNT(?pr) AS ?c) { ?o ex:product ?p ; ex:price ?pr . FILTER(?pr > 100) }
+            """
+        )
+        plan = single_pattern_plan(query.subqueries[0])
+        star_filter = make_star_filter(plan.stars[0], plan.subqueries[0].filters)
+        group = tg("o1", (iri("product"), iri("p1")), (iri("price"), Literal.from_python(50)))
+        assert star_filter(group) is None
+
+
+class TestSharedPrefilters:
+    def test_intersection_of_subquery_filters(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?a ?b {
+              { SELECT (COUNT(?x) AS ?a) { ?s ex:p ?x . FILTER(?x > 5) } }
+              { SELECT (COUNT(?y) AS ?b) { ?t ex:p ?y . FILTER(?y > 5) } }
+            }
+            """
+        )
+        plan = build_composite(query.subqueries[0], query.subqueries[1])
+        shared = shared_prefilters(plan.subqueries)
+        assert len(shared) == 1  # canonicalization makes the filters identical
+
+    def test_differing_filters_not_shared(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?a ?b {
+              { SELECT (COUNT(?x) AS ?a) { ?s ex:p ?x . FILTER(?x > 5) } }
+              { SELECT (COUNT(?y) AS ?b) { ?t ex:p ?y . FILTER(?y > 99) } }
+            }
+            """
+        )
+        plan = build_composite(query.subqueries[0], query.subqueries[1])
+        assert shared_prefilters(plan.subqueries) == ()
+
+
+class TestJoinSteps:
+    def test_mg1_single_step(self, composite):
+        steps = derive_join_steps(composite)
+        assert len(steps) == 1
+        step = steps[0]
+        assert step.new_star == 1
+        assert step.primary.variable == Variable("p2")
+        assert step.primary.left_side.role == "subject"
+        assert step.primary.right_side.role == "object"
+
+    def test_three_star_two_steps(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?c (COUNT(?pr) AS ?n) {
+              ?p a ex:PT1 .
+              ?o ex:product ?p ; ex:price ?pr ; ex:vendor ?v .
+              ?v ex:country ?c .
+            } GROUP BY ?c
+            """
+        )
+        plan = single_pattern_plan(query.subqueries[0])
+        steps = derive_join_steps(plan)
+        assert [step.new_star for step in steps] == [1, 2]
+
+    def test_disconnected_pattern_rejected(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT (COUNT(?x) AS ?n) { ?s ex:p ?x . ?t ex:q ?y . }
+            """
+        )
+        plan = single_pattern_plan(query.subqueries[0])
+        with pytest.raises(PlanningError):
+            derive_join_steps(plan)
+
+    def test_object_object_join_sides(self):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT (COUNT(?gi) AS ?n) {
+              ?b ex:CID ?cid ; ex:gi ?gi .
+              ?u ex:gi ?gi ; ex:sym ?g .
+            }
+            """
+        )
+        plan = single_pattern_plan(query.subqueries[0])
+        (step,) = derive_join_steps(plan)
+        assert step.primary.left_side.role == "object"
+        assert step.primary.right_side.role == "object"
+
+
+class TestRestrictedAlphas:
+    def test_only_joined_stars_contribute(self, composite):
+        partial = restricted_alphas(composite, frozenset({1}))
+        # The feature secondary lives in star 0; with only star 1 joined
+        # neither subquery has restrictions yet.
+        assert all(a.required == frozenset() for a in partial)
+        full = restricted_alphas(composite, frozenset({0, 1}))
+        assert full[0].required == frozenset({PropKey(iri("feature"))})
+
+
+class TestJobExecution:
+    def _store(self, graph):
+        hdfs = HDFS()
+        return hdfs, load_triplegroups(graph, hdfs)
+
+    def _graph(self):
+        graph = Graph()
+        graph.add_all(
+            [
+                Triple(iri("p1"), RDF_TYPE, iri("PT1")),
+                Triple(iri("p1"), iri("label"), Literal("one")),
+                Triple(iri("p1"), iri("feature"), iri("f1")),
+                Triple(iri("o1"), iri("product"), iri("p1")),
+                Triple(iri("o1"), iri("price"), Literal.from_python(10)),
+                Triple(iri("p2"), RDF_TYPE, iri("PT1")),
+                Triple(iri("p2"), iri("label"), Literal("two")),
+                Triple(iri("o2"), iri("product"), iri("p2")),
+                Triple(iri("o2"), iri("price"), Literal.from_python(20)),
+            ]
+        )
+        return graph
+
+    def test_alpha_join_job_produces_joined_groups(self, composite):
+        hdfs, store = self._store(self._graph())
+        (step,) = derive_join_steps(composite)
+        job = build_alpha_join_job(
+            name="t:join",
+            step=step,
+            plan=composite,
+            store=store,
+            previous_output=None,
+            joined_so_far=frozenset({0}),
+            output="t/out",
+        )
+        MapReduceRunner(hdfs).run_job(job)
+        joined = hdfs.read("t/out").records
+        assert len(joined) == 2  # one per (product, offer) pair
+        assert all(isinstance(record, JoinedTripleGroup) for record in joined)
+        assert {record.component(1).subject for record in joined} == {iri("o1"), iri("o2")}
+
+    def test_agg_join_job_rows(self, composite):
+        hdfs, store = self._store(self._graph())
+        (step,) = derive_join_steps(composite)
+        join_job = build_alpha_join_job(
+            name="t:join", step=step, plan=composite, store=store,
+            previous_output=None, joined_so_far=frozenset({0}), output="t/joined",
+        )
+        agg_job = build_agg_join_job(
+            name="t:agg", plan=composite, detail_input="t/joined", store=store,
+            output="t/agg",
+        )
+        runner = MapReduceRunner(hdfs)
+        runner.run_workflow([join_job, agg_job])
+        rows = {
+            (record.subquery_id, record.as_dict().get(Variable("f")))
+            for record in hdfs.read("t/agg").records
+        }
+        # Subquery 0 groups by feature (only p1 has one); subquery 1 rolls up.
+        assert (0, iri("f1")) in rows
+        assert (1, None) in rows
+        roll_up = next(
+            record for record in hdfs.read("t/agg").records if record.subquery_id == 1
+        )
+        assert roll_up.as_dict()[Variable("cntT")].python_value() == 2
+
+    def test_agg_join_without_detail_needs_matching_files(self, composite):
+        hdfs = HDFS()
+        store = load_triplegroups(Graph(), hdfs)
+        job = build_agg_join_job(
+            name="t:agg", plan=single_pattern_plan(
+                parse_analytical(
+                    "PREFIX ex: <http://ex.org/> "
+                    "SELECT (COUNT(?f) AS ?c) { ?p ex:feature ?f }"
+                ).subqueries[0]
+            ),
+            detail_input=None, store=store, output="t/agg",
+        )
+        MapReduceRunner(hdfs).run_job(job)
+        assert hdfs.read("t/agg").records == []  # empty store, no groups
+
+
+class TestEmptyGroupRows:
+    def test_rollup_defaults(self, composite):
+        rows = empty_group_rows(composite)
+        assert len(rows) == 1  # only the GROUP-BY-ALL subquery
+        (default,) = rows
+        assert default.subquery_id == 1
+        assert default.as_dict()[Variable("cntT")].python_value() == 0
+
+    def test_grouped_subqueries_have_no_defaults(self):
+        query = parse_analytical(
+            "PREFIX ex: <http://ex.org/> "
+            "SELECT ?f (COUNT(?f) AS ?c) { ?p ex:feature ?f } GROUP BY ?f"
+        )
+        assert empty_group_rows(single_pattern_plan(query.subqueries[0])) == []
+
+
+class TestAggRow:
+    def test_as_dict_and_size(self):
+        row = AggRow(0, ((Variable("x"), Literal("v")),))
+        assert row.as_dict() == {Variable("x"): Literal("v")}
+        assert row.estimated_size() > 0

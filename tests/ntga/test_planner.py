@@ -1,0 +1,143 @@
+"""NTGA planner tests: plan shapes and workflow wiring."""
+
+import pytest
+
+from repro.core.query_model import parse_analytical
+from repro.mapreduce.hdfs import HDFS
+from repro.ntga.physical import load_triplegroups
+from repro.ntga.planner import plan_rapid_analytics, plan_rapid_plus
+
+
+@pytest.fixture
+def store(product_graph):
+    return load_triplegroups(product_graph, HDFS())
+
+
+def analytical(mg1_style_query):
+    return parse_analytical(mg1_style_query)
+
+
+class TestRapidAnalyticsPlan:
+    def test_mg1_shape(self, store, mg1_style_query):
+        plan = plan_rapid_analytics(parse_analytical(mg1_style_query), store)
+        # 1 α-join + 1 fused Agg-Join + 1 map-only TG_Join (Figure 6(b)).
+        assert len(plan.jobs) == 3
+        assert "alpha-join" in plan.jobs[0].name
+        assert "agg-join" in plan.jobs[1].name
+        assert "final-join" in plan.jobs[2].name
+        assert plan.final_join_index == 2
+        assert plan.jobs[2].is_map_only
+
+    def test_agg_job_has_combiner(self, store, mg1_style_query):
+        plan = plan_rapid_analytics(parse_analytical(mg1_style_query), store)
+        agg_job = plan.jobs[1]
+        assert agg_job.combiner is not None  # mapper-side hash aggregation
+
+    def test_single_grouping_two_jobs(self, store):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?f (COUNT(?pr) AS ?c) {
+              ?p a ex:PT1 ; ex:feature ?f .
+              ?o ex:product ?p ; ex:price ?pr .
+            } GROUP BY ?f
+            """
+        )
+        plan = plan_rapid_analytics(query, store)
+        assert len(plan.jobs) == 2
+        assert plan.final_join_index is None
+
+    def test_single_star_single_job(self, store):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?f (COUNT(?f) AS ?c) { ?p a ex:PT1 ; ex:feature ?f . } GROUP BY ?f
+            """
+        )
+        plan = plan_rapid_analytics(query, store)
+        assert len(plan.jobs) == 1  # filter fused into the Agg-Join map phase
+
+    def test_non_overlapping_falls_back_to_sequential(self, store):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?a ?b {
+              { SELECT (COUNT(?x) AS ?a) { ?s ex:ve ?v . ?v ex:cn ?x . } }
+              { SELECT (COUNT(?y) AS ?b) { ?s2 ex:ve ?w . ?t ex:cn ?w . } }
+            }
+            """
+        )
+        plan = plan_rapid_analytics(query, store)
+        assert "sequential" in plan.description
+
+    def test_three_overlapping_subqueries_use_nway_composite(self, store):
+        """The n-way extension: three identical patterns share one plan
+        (one fused Agg-Join, one final join — no per-subquery pipelines)."""
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?a ?b ?c {
+              { SELECT (COUNT(?x) AS ?a) { ?s ex:label ?x . } }
+              { SELECT (COUNT(?y) AS ?b) { ?t ex:label ?y . } }
+              { SELECT (COUNT(?z) AS ?c) { ?u ex:label ?z . } }
+            }
+            """
+        )
+        plan = plan_rapid_analytics(query, store)
+        assert "sequential" not in plan.description
+        assert len(plan.jobs) == 2  # fused Agg-Join + map-only final join
+
+    def test_three_non_overlapping_subqueries_fall_back(self, store):
+        query = parse_analytical(
+            """
+            PREFIX ex: <http://ex.org/>
+            SELECT ?a ?b ?c {
+              { SELECT (COUNT(?x) AS ?a) { ?s ex:ve ?v . ?v ex:cn ?x . } }
+              { SELECT (COUNT(?y) AS ?b) { ?s2 ex:ve ?w . ?t ex:cn ?w . } }
+              { SELECT (COUNT(?z) AS ?c) { ?u ex:label ?z . } }
+            }
+            """
+        )
+        plan = plan_rapid_analytics(query, store)
+        assert "sequential" in plan.description
+
+
+class TestRapidPlusPlan:
+    def test_mg1_shape(self, store, mg1_style_query):
+        plan = plan_rapid_plus(parse_analytical(mg1_style_query), store)
+        # Per subquery: 1 join + 1 agg; plus the map-only final join.
+        assert len(plan.jobs) == 5
+        assert plan.final_join_index == 4
+        assert plan.jobs[4].is_map_only
+
+    def test_job_inputs_resolve(self, store, product_graph, mg1_style_query):
+        """Every planned input path either exists already (EC files) or is
+        produced by an earlier job in the plan."""
+        plan = plan_rapid_plus(parse_analytical(mg1_style_query), store)
+        hdfs_paths = set()
+        for ec_path in store.paths_by_class.values():
+            hdfs_paths.add(ec_path)
+        hdfs_paths.add(store.empty_path)
+        for job in plan.jobs:
+            for path in job.inputs + job.side_inputs:
+                assert path in hdfs_paths or any(
+                    earlier.output == path for earlier in plan.jobs
+                ), f"unresolved input {path}"
+            hdfs_paths.add(job.output)
+
+
+class TestStorePaths:
+    def test_ec_selection(self, store):
+        from repro.core.query_model import PropKey
+        from repro.rdf.terms import IRI
+
+        price = frozenset({PropKey(IRI("http://ex.org/price"))})
+        paths = store.paths_for(price)
+        assert paths and all(path != store.empty_path for path in paths)
+
+    def test_unknown_property_yields_empty_placeholder(self, store):
+        from repro.core.query_model import PropKey
+        from repro.rdf.terms import IRI
+
+        nothing = frozenset({PropKey(IRI("http://ex.org/zzz"))})
+        assert store.paths_for(nothing) == (store.empty_path,)

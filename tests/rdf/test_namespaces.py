@@ -1,0 +1,63 @@
+"""Unit tests for namespace management."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.rdf.namespaces import Namespace, NamespaceManager, default_manager
+from repro.rdf.terms import IRI
+
+
+def test_namespace_attribute_access():
+    ns = Namespace("http://ex.org/v/")
+    assert ns.price == IRI("http://ex.org/v/price")
+    assert ns["price"] == IRI("http://ex.org/v/price")
+
+
+def test_namespace_contains():
+    ns = Namespace("http://ex.org/v/")
+    assert IRI("http://ex.org/v/price") in ns
+    assert IRI("http://other.org/price") not in ns
+
+
+def test_namespace_underscore_attribute_raises():
+    ns = Namespace("http://ex.org/v/")
+    with pytest.raises(AttributeError):
+        ns._private  # noqa: B018
+
+
+def test_manager_expand():
+    manager = NamespaceManager()
+    manager.bind("ex", "http://ex.org/v/")
+    assert manager.expand("ex:price") == IRI("http://ex.org/v/price")
+
+
+def test_manager_expand_unknown_prefix():
+    manager = NamespaceManager()
+    with pytest.raises(RDFError):
+        manager.expand("zz:price")
+
+
+def test_manager_expand_requires_colon():
+    manager = NamespaceManager()
+    with pytest.raises(RDFError):
+        manager.expand("price")
+
+
+def test_manager_shrink_prefers_longest_base():
+    manager = NamespaceManager()
+    manager.bind("a", "http://ex.org/")
+    manager.bind("b", "http://ex.org/v/")
+    assert manager.shrink(IRI("http://ex.org/v/price")) == "b:price"
+
+
+def test_manager_shrink_falls_back_to_n3():
+    manager = NamespaceManager()
+    assert manager.shrink(IRI("urn:x")) == "<urn:x>"
+
+
+def test_default_manager_has_benchmark_prefixes():
+    manager = default_manager()
+    prefixes = manager.prefixes()
+    for prefix in ("rdf", "bsbm", "chem", "pubmed", "xsd"):
+        assert prefix in prefixes
+    assert manager.expand("rdf:type").value.endswith("#type")

@@ -1,0 +1,115 @@
+"""Unit and property tests for N-Triples parsing/serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NTriplesParseError
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse, parse_graph, parse_line, serialize
+from repro.rdf.terms import BNode, IRI, Literal
+from repro.rdf.triples import Triple
+
+
+class TestParseLine:
+    def test_iri_triple(self):
+        triple = parse_line("<urn:s> <urn:p> <urn:o> .")
+        assert triple == Triple(IRI("urn:s"), IRI("urn:p"), IRI("urn:o"))
+
+    def test_plain_literal(self):
+        triple = parse_line('<urn:s> <urn:p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        triple = parse_line('<urn:s> <urn:p> "bonjour"@fr .')
+        assert triple.object == Literal("bonjour", language="fr")
+
+    def test_typed_literal(self):
+        triple = parse_line('<urn:s> <urn:p> "5"^^<urn:int> .')
+        assert triple.object == Literal("5", datatype="urn:int")
+
+    def test_bnode_subject(self):
+        triple = parse_line("_:b0 <urn:p> <urn:o> .")
+        assert triple.subject == BNode("b0")
+
+    def test_escapes(self):
+        triple = parse_line(r'<urn:s> <urn:p> "a\"b\nc\t\\d" .')
+        assert triple.object.lexical == 'a"b\nc\t\\d'
+
+    def test_unicode_escape(self):
+        triple = parse_line(r'<urn:s> <urn:p> "é" .')
+        assert triple.object.lexical == "é"
+
+    def test_comment_and_blank_lines(self):
+        assert parse_line("# a comment") is None
+        assert parse_line("   ") is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<urn:s> <urn:p> <urn:o>",  # missing dot
+            "<urn:s> <urn:p> .",  # missing object
+            '"lit" <urn:p> <urn:o> .',  # literal subject
+            "<urn:s> _:b <urn:o> .",  # bnode property
+            "<urn:s> <urn:p> <urn:o> . extra",  # trailing junk
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(NTriplesParseError):
+            parse_line(bad, line_number=3)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesParseError) as exc_info:
+            parse_line("<urn:s> oops", line_number=7)
+        assert exc_info.value.line_number == 7
+        assert "line 7" in str(exc_info.value)
+
+
+def test_parse_multi_line_document():
+    document = """# header
+<urn:a> <urn:p> <urn:b> .
+
+<urn:b> <urn:p> "x"@en .
+"""
+    triples = list(parse(document))
+    assert len(triples) == 2
+
+
+def test_parse_graph():
+    graph = parse_graph("<urn:a> <urn:p> <urn:b> .\n<urn:a> <urn:p> <urn:b> .\n")
+    assert len(graph) == 1  # graphs deduplicate
+
+
+_terms = st.one_of(
+    st.from_regex(r"urn:[a-z]{1,10}", fullmatch=True).map(IRI),
+    st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,8}", fullmatch=True).map(BNode),
+)
+_objects = st.one_of(
+    _terms,
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",), min_codepoint=32),
+        max_size=30,
+    ).map(Literal),
+    st.integers(-10**9, 10**9).map(Literal.from_python),
+    st.from_regex(r"[a-z]{1,8}", fullmatch=True).map(lambda s: Literal(s, language="en")),
+)
+_triples = st.builds(
+    Triple,
+    subject=_terms,
+    property=st.from_regex(r"urn:p[a-z]{0,8}", fullmatch=True).map(IRI),
+    object=_objects,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_triples, max_size=20))
+def test_round_trip_property(triples):
+    """serialize → parse is the identity on triple lists."""
+    assert list(parse(serialize(triples))) == triples
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(_triples, max_size=20))
+def test_graph_round_trip_property(triples):
+    graph = Graph(triples)
+    assert parse_graph(serialize(graph))._triples == graph._triples

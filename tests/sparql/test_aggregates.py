@@ -1,0 +1,179 @@
+"""Unit and property tests for aggregate accumulators.
+
+The merge property (split-update-merge ≡ sequential update) is what
+makes mapper-side partial aggregation — the paper's TG_AgJ local
+combiner — correct, so it gets hypothesis coverage.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SparqlEvaluationError
+from repro.sparql.aggregates import (
+    AccumulatorTuple,
+    UNBOUND,
+    aggregate_values,
+    make_accumulator,
+)
+
+
+class TestBasics:
+    def test_count(self):
+        assert aggregate_values("COUNT", ["a", "b", "a"]) == 3
+
+    def test_sum(self):
+        assert aggregate_values("SUM", [1, 2, 3.5]) == 6.5
+
+    def test_avg(self):
+        assert aggregate_values("AVG", [2, 4]) == 3
+
+    def test_min_max(self):
+        assert aggregate_values("MIN", [3, 1, 2]) == 1
+        assert aggregate_values("MAX", [3, 1, 2]) == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(SparqlEvaluationError):
+            make_accumulator("MEDIAN")
+
+    def test_sum_non_numeric_errors(self):
+        with pytest.raises(SparqlEvaluationError):
+            aggregate_values("SUM", ["a"])
+
+    def test_min_incomparable_errors(self):
+        with pytest.raises(SparqlEvaluationError):
+            aggregate_values("MIN", [1, "a"])
+
+
+class TestEmptyGroups:
+    """SPARQL: Sum({})=0, Avg({})=0, Count({})=0, Min/Max({}) unbound."""
+
+    def test_count_empty(self):
+        assert aggregate_values("COUNT", []) == 0
+
+    def test_sum_empty(self):
+        assert aggregate_values("SUM", []) == 0
+
+    def test_avg_empty(self):
+        assert aggregate_values("AVG", []) == 0
+
+    def test_min_empty_unbound(self):
+        assert aggregate_values("MIN", []) is UNBOUND
+
+    def test_max_empty_unbound(self):
+        assert aggregate_values("MAX", []) is UNBOUND
+
+
+class TestDistinct:
+    def test_count_distinct(self):
+        assert aggregate_values("COUNT", ["a", "b", "a"], distinct=True) == 2
+
+    def test_sum_distinct(self):
+        assert aggregate_values("SUM", [5, 5, 3], distinct=True) == 8
+
+    def test_result_idempotent(self):
+        accumulator = make_accumulator("COUNT", distinct=True)
+        for value in ("a", "b", "a"):
+            accumulator.update(value)
+        assert accumulator.result() == 2
+        assert accumulator.result() == 2
+
+    def test_merge_distinct(self):
+        left = make_accumulator("COUNT", distinct=True)
+        right = make_accumulator("COUNT", distinct=True)
+        for value in ("a", "b"):
+            left.update(value)
+        for value in ("b", "c"):
+            right.update(value)
+        left.merge(right)
+        assert left.result() == 3
+
+    def test_merge_distinct_with_plain_rejected(self):
+        left = make_accumulator("COUNT", distinct=True)
+        right = make_accumulator("COUNT")
+        with pytest.raises(SparqlEvaluationError):
+            left.merge(right)
+
+
+class TestMergeMismatch:
+    @pytest.mark.parametrize("left,right", [("COUNT", "SUM"), ("SUM", "AVG"), ("MIN", "MAX")])
+    def test_cross_function_merge_rejected(self, left, right):
+        with pytest.raises(SparqlEvaluationError):
+            make_accumulator(left).merge(make_accumulator(right))
+
+
+_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    func=st.sampled_from(_FUNCS),
+    values=st.lists(st.integers(-1000, 1000), min_size=0, max_size=50),
+    split=st.integers(0, 50),
+)
+def test_merge_equals_sequential(func, values, split):
+    """Partial aggregation + merge must equal one-shot aggregation."""
+    split = min(split, len(values))
+    left = make_accumulator(func)
+    right = make_accumulator(func)
+    for value in values[:split]:
+        left.update(value)
+    for value in values[split:]:
+        right.update(value)
+    left.merge(right)
+    expected = aggregate_values(func, values)
+    result = left.result()
+    if isinstance(expected, float):
+        assert result == pytest.approx(expected)
+    else:
+        assert result == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    func=st.sampled_from(_FUNCS),
+    values=st.lists(st.integers(-100, 100), min_size=0, max_size=40),
+    chunks=st.integers(1, 5),
+)
+def test_multiway_merge(func, values, chunks):
+    """Merging any number of partials is associative-equivalent."""
+    partials = [make_accumulator(func) for _ in range(chunks)]
+    for index, value in enumerate(values):
+        partials[index % chunks].update(value)
+    first = partials[0]
+    for other in partials[1:]:
+        first.merge(other)
+    expected = aggregate_values(func, values)
+    result = first.result()
+    if isinstance(expected, float):
+        assert result == pytest.approx(expected)
+    else:
+        assert result == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(st.integers(-50, 50), max_size=30),
+    split=st.integers(0, 30),
+)
+def test_accumulator_tuple_merge(values, split):
+    split = min(split, len(values))
+    specs = [("COUNT", False), ("SUM", False), ("AVG", False)]
+    left, right = AccumulatorTuple.fresh(specs), AccumulatorTuple.fresh(specs)
+    for value in values[:split]:
+        for accumulator in left.accumulators:
+            accumulator.update(value)
+    for value in values[split:]:
+        for accumulator in right.accumulators:
+            accumulator.update(value)
+    left.merge(right)
+    count, total, avg = left.results()
+    assert count == len(values)
+    assert total == sum(values)
+    assert avg == pytest.approx(sum(values) / len(values)) if values else avg == 0
+
+
+def test_accumulator_tuple_estimated_size_positive():
+    bundle = AccumulatorTuple.fresh([("SUM", False), ("COUNT", True)])
+    bundle.accumulators[0].update(5)
+    assert bundle.estimated_size() > 0

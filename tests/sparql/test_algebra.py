@@ -1,0 +1,103 @@
+"""Unit tests for AST → algebra translation."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.rdf.terms import Variable
+from repro.sparql.algebra import (
+    Aggregate,
+    AlgebraUnion,
+    BGP,
+    Distinct,
+    Extend,
+    Filter,
+    Join,
+    LeftJoin,
+    OrderBy,
+    Project,
+    Slice,
+    translate_query,
+)
+from repro.sparql.parser import parse_query
+
+
+def translate(text):
+    return translate_query(parse_query(text))
+
+
+def test_bgp_merging_across_statements():
+    node = translate("SELECT ?s { ?s <urn:p> ?o . ?o <urn:q> ?z }")
+    assert isinstance(node, Project)
+    assert isinstance(node.input, BGP)
+    assert len(node.input.patterns) == 2
+
+
+def test_filter_applies_after_group_members():
+    node = translate("SELECT ?s { FILTER(?x > 1) ?s <urn:p> ?x . }")
+    assert isinstance(node.input, Filter)
+    assert isinstance(node.input.input, BGP)
+
+
+def test_optional_becomes_left_join():
+    node = translate("SELECT ?s { ?s <urn:p> ?x OPTIONAL { ?s <urn:q> ?y } }")
+    assert isinstance(node.input, LeftJoin)
+
+
+def test_union_node():
+    node = translate("SELECT ?s { { ?s <urn:p> ?x } UNION { ?s <urn:q> ?x } }")
+    assert isinstance(node.input, AlgebraUnion)
+
+
+def test_subselect_joins_with_outer():
+    node = translate(
+        "SELECT ?s ?c { ?s <urn:p> ?x { SELECT (COUNT(?y) AS ?c) { ?z <urn:q> ?y } } }"
+    )
+    assert isinstance(node.input, Join)
+
+
+def test_grouped_query_builds_aggregate():
+    node = translate(
+        "SELECT ?g (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g"
+    )
+    assert isinstance(node, Project)
+    assert isinstance(node.input, Aggregate)
+    assert node.input.group_vars == (Variable("g"),)
+
+
+def test_implicit_group_by_all():
+    node = translate("SELECT (COUNT(?x) AS ?c) { ?s <urn:p> ?x }")
+    assert isinstance(node.input, Aggregate)
+    assert node.input.group_vars is None
+
+
+def test_expression_projection_becomes_extend():
+    node = translate("SELECT (?x + 1 AS ?y) ?x { ?s <urn:p> ?x }")
+    assert isinstance(node, Project)
+    assert isinstance(node.input, Extend)
+
+
+def test_distinct_order_slice_wrapping():
+    node = translate(
+        "SELECT DISTINCT ?x { ?s <urn:p> ?x } ORDER BY ?x LIMIT 5 OFFSET 2"
+    )
+    assert isinstance(node, Slice)
+    assert node.offset == 2 and node.limit == 5
+    assert isinstance(node.input, OrderBy)
+    assert isinstance(node.input.input, Distinct)
+
+
+def test_select_star_with_grouping_rejected():
+    with pytest.raises(UnsupportedQueryError):
+        translate("SELECT * { ?s <urn:p> ?x } GROUP BY ?x")
+
+
+def test_ungrouped_aggregate_mix_rejected():
+    with pytest.raises(UnsupportedQueryError):
+        translate("SELECT ?other (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:q> ?other } GROUP BY ?g")
+
+
+def test_having_becomes_filter():
+    node = translate(
+        "SELECT ?g (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g HAVING (?c > 1)"
+    )
+    assert isinstance(node, Filter)

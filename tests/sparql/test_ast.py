@@ -1,0 +1,70 @@
+"""Unit tests for AST node validation and helpers."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.ast import (
+    AggregateExpr,
+    GroupGraphPattern,
+    ProjectionItem,
+    SelectQuery,
+    SubSelect,
+    TriplesBlock,
+)
+from repro.sparql.expressions import VarExpr
+from repro.sparql.parser import parse_query
+
+
+def test_aggregate_requires_valid_function():
+    with pytest.raises(ValueError):
+        AggregateExpr("MEDIAN", VarExpr(Variable("x")))
+
+
+def test_only_count_allows_star():
+    with pytest.raises(ValueError):
+        AggregateExpr("SUM", None)
+    assert AggregateExpr("COUNT", None).arg is None
+
+
+def test_aggregate_str():
+    assert str(AggregateExpr("COUNT", None)) == "COUNT(*)"
+    assert (
+        str(AggregateExpr("SUM", VarExpr(Variable("x")), distinct=True))
+        == "SUM(DISTINCT ?x)"
+    )
+
+
+def test_group_graph_pattern_triple_collection():
+    tp = TriplePattern(Variable("s"), IRI("urn:p"), Variable("o"))
+    nested = GroupGraphPattern((TriplesBlock((tp,)),))
+    outer = GroupGraphPattern((nested, TriplesBlock((tp,))))
+    assert len(outer.triple_patterns()) == 2
+
+
+def test_select_query_helpers():
+    query = parse_query(
+        "SELECT ?g (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g"
+    )
+    assert query.is_grouped()
+    assert query.has_aggregates()
+    assert query.projected_variables() == (Variable("g"), Variable("c"))
+    assert query.subselects() == ()
+
+
+def test_grouped_without_aggregates_is_still_grouped():
+    query = parse_query("SELECT ?g (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g")
+    bare = SelectQuery(
+        projection=(ProjectionItem(VarExpr(Variable("g")), Variable("g")),),
+        where=query.where,
+        group_by=(Variable("g"),),
+    )
+    assert bare.is_grouped()
+    assert not bare.has_aggregates()
+
+
+def test_subselects_extraction(mg1_style_query):
+    query = parse_query(mg1_style_query)
+    subqueries = query.subselects()
+    assert all(isinstance(sub, SelectQuery) for sub in subqueries)
+    assert any(isinstance(e, SubSelect) for e in query.where.elements)

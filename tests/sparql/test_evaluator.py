@@ -1,0 +1,217 @@
+"""Unit tests for the reference SPARQL evaluator (the oracle)."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import RDF_TYPE, Triple
+from repro.sparql.evaluator import evaluate_query, rows_to_multiset
+
+
+def iri(name):
+    return IRI("http://ex.org/" + name)
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add_all(
+        [
+            Triple(iri("alice"), RDF_TYPE, iri("Person")),
+            Triple(iri("alice"), iri("age"), Literal.from_python(30)),
+            Triple(iri("alice"), iri("city"), iri("paris")),
+            Triple(iri("bob"), RDF_TYPE, iri("Person")),
+            Triple(iri("bob"), iri("age"), Literal.from_python(25)),
+            Triple(iri("bob"), iri("city"), iri("paris")),
+            Triple(iri("carol"), RDF_TYPE, iri("Person")),
+            Triple(iri("carol"), iri("age"), Literal.from_python(35)),
+            Triple(iri("carol"), iri("city"), iri("tokyo")),
+            Triple(iri("dave"), RDF_TYPE, iri("Person")),  # no age, no city
+        ]
+    )
+    return g
+
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def names(rows, variable):
+    return sorted(str(row.get(Variable(variable))) for row in rows)
+
+
+class TestBGP:
+    def test_simple_match(self, graph):
+        rows = evaluate_query(PREFIX + "SELECT ?s { ?s a ex:Person }", graph)
+        assert len(rows) == 4
+
+    def test_join_within_bgp(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s ?age { ?s a ex:Person ; ex:age ?age }", graph
+        )
+        assert len(rows) == 3
+
+    def test_no_match(self, graph):
+        rows = evaluate_query(PREFIX + "SELECT ?s { ?s a ex:Robot }", graph)
+        assert rows == []
+
+    def test_concrete_object(self, graph):
+        rows = evaluate_query(PREFIX + "SELECT ?s { ?s ex:city ex:paris }", graph)
+        assert len(rows) == 2
+
+
+class TestFilter:
+    def test_comparison(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s { ?s ex:age ?a . FILTER(?a > 28) }", graph
+        )
+        assert len(rows) == 2
+
+    def test_regex(self, graph):
+        rows = evaluate_query(
+            PREFIX + 'SELECT ?s { ?s ex:age ?a . FILTER REGEX(STR(?s), "ali") }', graph
+        )
+        assert len(rows) == 1
+
+    def test_error_in_filter_is_false(self, graph):
+        # ?missing is unbound for everyone -> filter drops all rows.
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s { ?s a ex:Person . FILTER(?missing > 1) }", graph
+        )
+        assert rows == []
+
+
+class TestOptional:
+    def test_optional_keeps_unmatched(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s ?a { ?s a ex:Person OPTIONAL { ?s ex:age ?a } }", graph
+        )
+        assert len(rows) == 4
+        unbound = [row for row in rows if Variable("a") not in row]
+        assert len(unbound) == 1
+
+
+class TestUnion:
+    def test_union_concatenates(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s { { ?s ex:city ex:paris } UNION { ?s ex:city ex:tokyo } }",
+            graph,
+        )
+        assert len(rows) == 3
+
+
+class TestGrouping:
+    def test_group_by_with_count(self, graph):
+        rows = evaluate_query(
+            PREFIX
+            + "SELECT ?c (COUNT(?s) AS ?n) { ?s ex:city ?c } GROUP BY ?c",
+            graph,
+        )
+        result = {str(row[Variable("c")]): row[Variable("n")].python_value() for row in rows}
+        assert result == {"<http://ex.org/paris>": 2, "<http://ex.org/tokyo>": 1}
+
+    def test_group_by_all(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT (SUM(?a) AS ?total) (AVG(?a) AS ?mean) { ?s ex:age ?a }",
+            graph,
+        )
+        assert len(rows) == 1
+        assert rows[0][Variable("total")].python_value() == 90
+        assert rows[0][Variable("mean")].python_value() == 30
+
+    def test_group_by_all_empty_input_yields_one_row(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT (COUNT(?a) AS ?n) { ?s a ex:Robot ; ex:age ?a }", graph
+        )
+        assert len(rows) == 1
+        assert rows[0][Variable("n")].python_value() == 0
+
+    def test_group_by_empty_input_yields_no_rows(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?c (COUNT(?s) AS ?n) { ?s a ex:Robot ; ex:city ?c } GROUP BY ?c",
+            graph,
+        )
+        assert rows == []
+
+    def test_min_of_empty_group_left_unbound(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT (MIN(?a) AS ?m) { ?s a ex:Robot ; ex:age ?a }", graph
+        )
+        assert rows == [{}]
+
+    def test_count_skips_unbound(self, graph):
+        rows = evaluate_query(
+            PREFIX
+            + "SELECT (COUNT(?a) AS ?n) (COUNT(*) AS ?all) "
+            + "{ ?s a ex:Person OPTIONAL { ?s ex:age ?a } }",
+            graph,
+        )
+        assert rows[0][Variable("n")].python_value() == 3
+        assert rows[0][Variable("all")].python_value() == 4
+
+    def test_having(self, graph):
+        rows = evaluate_query(
+            PREFIX
+            + "SELECT ?c (COUNT(?s) AS ?n) { ?s ex:city ?c } GROUP BY ?c HAVING (?n > 1)",
+            graph,
+        )
+        assert len(rows) == 1
+
+    def test_projection_of_ungrouped_variable_rejected(self, graph):
+        with pytest.raises(UnsupportedQueryError):
+            evaluate_query(
+                PREFIX + "SELECT ?s (COUNT(?a) AS ?n) { ?s ex:age ?a } GROUP BY ?c",
+                graph,
+            )
+
+
+class TestModifiers:
+    def test_distinct(self, graph):
+        rows = evaluate_query(PREFIX + "SELECT DISTINCT ?c { ?s ex:city ?c }", graph)
+        assert len(rows) == 2
+
+    def test_order_by(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s ?a { ?s ex:age ?a } ORDER BY ?a", graph
+        )
+        ages = [row[Variable("a")].python_value() for row in rows]
+        assert ages == [25, 30, 35]
+
+    def test_order_by_desc(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s ?a { ?s ex:age ?a } ORDER BY DESC(?a)", graph
+        )
+        ages = [row[Variable("a")].python_value() for row in rows]
+        assert ages == [35, 30, 25]
+
+    def test_limit_offset(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT ?s ?a { ?s ex:age ?a } ORDER BY ?a LIMIT 1 OFFSET 1", graph
+        )
+        assert rows[0][Variable("a")].python_value() == 30
+
+    def test_projection_expression(self, graph):
+        rows = evaluate_query(
+            PREFIX + "SELECT (?a * 2 AS ?double) ?a { ?s ex:age ?a } ORDER BY ?a LIMIT 1",
+            graph,
+        )
+        assert rows[0][Variable("double")].python_value() == 50
+
+
+class TestSubqueries:
+    def test_subquery_join(self, graph):
+        query = PREFIX + """
+SELECT ?c ?n ?total {
+  { SELECT ?c (COUNT(?s) AS ?n) { ?s ex:city ?c } GROUP BY ?c }
+  { SELECT (COUNT(?s2) AS ?total) { ?s2 ex:city ?c2 } }
+}
+"""
+        rows = evaluate_query(query, graph)
+        assert len(rows) == 2
+        for row in rows:
+            assert row[Variable("total")].python_value() == 3
+
+
+def test_rows_to_multiset():
+    row = {Variable("x"): Literal("a")}
+    assert rows_to_multiset([row, dict(row)]) == {frozenset(row.items()): 2}

@@ -1,0 +1,84 @@
+"""ORDER BY edge cases in the reference evaluator."""
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import Triple
+from repro.sparql.evaluator import evaluate_query
+
+
+def iri(name):
+    return IRI("urn:" + name)
+
+
+@pytest.fixture
+def mixed_graph():
+    g = Graph()
+    g.add_all(
+        [
+            Triple(iri("a"), iri("p"), Literal.from_python(10)),
+            Triple(iri("b"), iri("p"), Literal("text")),
+            Triple(iri("c"), iri("p"), iri("other")),
+            Triple(iri("d"), iri("p"), Literal.from_python(2)),
+        ]
+    )
+    return g
+
+
+def values(rows, name):
+    return [row.get(Variable(name)) for row in rows]
+
+
+def test_mixed_types_order_by_type_rank(mixed_graph):
+    rows = evaluate_query("SELECT ?s ?o { ?s <urn:p> ?o } ORDER BY ?o", mixed_graph)
+    objects = values(rows, "o")
+    # Numbers before strings before IRIs (deterministic type ranking).
+    assert objects[0] == Literal.from_python(2)
+    assert objects[1] == Literal.from_python(10)
+    assert objects[2] == Literal("text")
+    assert objects[3] == iri("other")
+
+
+def test_descending_strings():
+    g = Graph(
+        [
+            Triple(iri("a"), iri("p"), Literal("alpha")),
+            Triple(iri("b"), iri("p"), Literal("beta")),
+            Triple(iri("c"), iri("p"), Literal("gamma")),
+        ]
+    )
+    rows = evaluate_query("SELECT ?o { ?s <urn:p> ?o } ORDER BY DESC(?o)", g)
+    assert [r[Variable("o")].lexical for r in rows] == ["gamma", "beta", "alpha"]
+
+
+def test_multi_key_ordering():
+    g = Graph(
+        [
+            Triple(iri("a"), iri("g"), Literal("x")),
+            Triple(iri("a"), iri("v"), Literal.from_python(2)),
+            Triple(iri("b"), iri("g"), Literal("x")),
+            Triple(iri("b"), iri("v"), Literal.from_python(1)),
+            Triple(iri("c"), iri("g"), Literal("w")),
+            Triple(iri("c"), iri("v"), Literal.from_python(9)),
+        ]
+    )
+    rows = evaluate_query(
+        "SELECT ?g ?v { ?s <urn:g> ?g ; <urn:v> ?v } ORDER BY ?g DESC(?v)", g
+    )
+    pairs = [(r[Variable("g")].lexical, r[Variable("v")].python_value()) for r in rows]
+    assert pairs == [("w", 9), ("x", 2), ("x", 1)]
+
+
+def test_unbound_sorts_first():
+    g = Graph(
+        [
+            Triple(iri("a"), iri("p"), Literal("x")),
+            Triple(iri("a"), iri("q"), Literal("extra")),
+            Triple(iri("b"), iri("p"), Literal("y")),
+        ]
+    )
+    rows = evaluate_query(
+        "SELECT ?s ?e { ?s <urn:p> ?o OPTIONAL { ?s <urn:q> ?e } } ORDER BY ?e", g
+    )
+    assert Variable("e") not in rows[0]

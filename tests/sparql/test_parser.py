@@ -1,0 +1,217 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.errors import SparqlSyntaxError, UnsupportedQueryError
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import RDF_TYPE, TriplePattern
+from repro.sparql.ast import (
+    AggregateExpr,
+    FilterPattern,
+    OptionalPattern,
+    SubSelect,
+    TriplesBlock,
+    UnionPattern,
+)
+from repro.sparql.expressions import BinaryExpr, FunctionExpr, VarExpr
+from repro.sparql.parser import parse_query
+
+
+def patterns_of(query):
+    return query.where.triple_patterns()
+
+
+class TestBasicSelect:
+    def test_simple_bgp(self):
+        query = parse_query("SELECT ?s { ?s <urn:p> ?o }")
+        assert query.projected_variables() == (Variable("s"),)
+        assert patterns_of(query) == (
+            TriplePattern(Variable("s"), IRI("urn:p"), Variable("o")),
+        )
+
+    def test_select_star(self):
+        query = parse_query("SELECT * { ?s <urn:p> ?o }")
+        assert query.select_star
+
+    def test_where_keyword_optional(self):
+        query = parse_query("SELECT ?s WHERE { ?s <urn:p> ?o }")
+        assert len(patterns_of(query)) == 1
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT ?s { ?s <urn:p> ?o }").distinct
+
+    def test_prefix_expansion(self):
+        query = parse_query("PREFIX ex: <http://e/> SELECT ?s { ?s ex:p ex:o }")
+        pattern = patterns_of(query)[0]
+        assert pattern.property == IRI("http://e/p")
+        assert pattern.object == IRI("http://e/o")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s { ?s zz:p ?o }")
+
+    def test_external_prefixes(self):
+        query = parse_query("SELECT ?s { ?s ex:p ?o }", prefixes={"ex": "http://e/"})
+        assert patterns_of(query)[0].property == IRI("http://e/p")
+
+    def test_a_expands_to_rdf_type(self):
+        query = parse_query("SELECT ?s { ?s a <urn:C> }")
+        assert patterns_of(query)[0].property == RDF_TYPE
+
+
+class TestTriplesAbbreviations:
+    def test_predicate_object_list(self):
+        query = parse_query("SELECT ?s { ?s <urn:p1> ?a ; <urn:p2> ?b . }")
+        assert len(patterns_of(query)) == 2
+        assert all(p.subject == Variable("s") for p in patterns_of(query))
+
+    def test_object_list(self):
+        query = parse_query("SELECT ?s { ?s <urn:p> ?a , ?b }")
+        assert len(patterns_of(query)) == 2
+
+    def test_multiple_subjects(self):
+        query = parse_query("SELECT ?s { ?s <urn:p> ?o . ?o <urn:q> ?z }")
+        assert len(patterns_of(query)) == 2
+
+    def test_literal_objects(self):
+        query = parse_query('SELECT ?s { ?s <urn:p> "News" ; <urn:q> 5 ; <urn:r> 2.5 ; <urn:b> true }')
+        objects = [p.object for p in patterns_of(query)]
+        assert objects[0] == Literal("News")
+        assert objects[1].python_value() == 5
+        assert objects[2].python_value() == 2.5
+        assert objects[3].python_value() is True
+
+    def test_language_and_datatype_literals(self):
+        query = parse_query('SELECT ?s { ?s <urn:p> "x"@en ; <urn:q> "5"^^<urn:int> }')
+        objects = [p.object for p in patterns_of(query)]
+        assert objects[0] == Literal("x", language="en")
+        assert objects[1] == Literal("5", datatype="urn:int")
+
+    def test_negative_number(self):
+        query = parse_query("SELECT ?s { ?s <urn:p> -3 }")
+        assert patterns_of(query)[0].object.python_value() == -3
+
+
+class TestProjection:
+    def test_aliased_aggregate(self):
+        query = parse_query("SELECT (COUNT(?x) AS ?c) { ?s <urn:p> ?x }")
+        item = query.projection[0]
+        assert item.alias == Variable("c")
+        assert isinstance(item.expression, AggregateExpr)
+        assert item.expression.func == "COUNT"
+
+    def test_alias_without_as_keyword(self):
+        """The paper's appendix writes (COUNT(?pr2) ?cntF)."""
+        query = parse_query("SELECT (COUNT(?x) ?c) { ?s <urn:p> ?x }")
+        assert query.projection[0].alias == Variable("c")
+
+    def test_count_star(self):
+        query = parse_query("SELECT (COUNT(*) AS ?c) { ?s <urn:p> ?x }")
+        assert query.projection[0].expression.arg is None
+
+    def test_count_distinct(self):
+        query = parse_query("SELECT (COUNT(DISTINCT ?x) AS ?c) { ?s <urn:p> ?x }")
+        assert query.projection[0].expression.distinct
+
+    def test_arithmetic_expression(self):
+        query = parse_query("SELECT (?a / ?b AS ?r) ?a ?b { ?s <urn:p> ?a ; <urn:q> ?b }")
+        assert isinstance(query.projection[0].expression, BinaryExpr)
+
+    def test_sum_star_rejected(self):
+        with pytest.raises((SparqlSyntaxError, ValueError)):
+            parse_query("SELECT (SUM(*) AS ?c) { ?s <urn:p> ?x }")
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT { ?s <urn:p> ?o }")
+
+
+class TestPatterns:
+    def test_filter_comparison(self):
+        query = parse_query("SELECT ?s { ?s <urn:p> ?x . FILTER(?x > 5) }")
+        filters = [e for e in query.where.elements if isinstance(e, FilterPattern)]
+        assert len(filters) == 1
+
+    def test_filter_regex_without_parens(self):
+        query = parse_query('SELECT ?s { ?s <urn:p> ?x . FILTER REGEX(?x, "abc", "i") }')
+        filters = [e for e in query.where.elements if isinstance(e, FilterPattern)]
+        assert isinstance(filters[0].expression, FunctionExpr)
+
+    def test_optional(self):
+        query = parse_query("SELECT ?s { ?s <urn:p> ?x OPTIONAL { ?s <urn:q> ?y } }")
+        assert any(isinstance(e, OptionalPattern) for e in query.where.elements)
+
+    def test_union(self):
+        query = parse_query(
+            "SELECT ?s { { ?s <urn:p> ?x } UNION { ?s <urn:q> ?x } }"
+        )
+        assert any(isinstance(e, UnionPattern) for e in query.where.elements)
+
+    def test_subselect(self):
+        query = parse_query(
+            "SELECT ?c { { SELECT (COUNT(?x) AS ?c) { ?s <urn:p> ?x } } }"
+        )
+        subs = query.subselects()
+        assert len(subs) == 1
+        assert subs[0].has_aggregates()
+
+    def test_nested_group(self):
+        query = parse_query("SELECT ?s { { ?s <urn:p> ?x . } }")
+        assert len(query.where.triple_patterns()) == 1
+
+
+class TestSolutionModifiers:
+    def test_group_by(self):
+        query = parse_query("SELECT ?g (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g")
+        assert query.group_by == (Variable("g"),)
+
+    def test_group_by_multiple(self):
+        query = parse_query(
+            "SELECT ?g ?h (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g ; <urn:h> ?h } GROUP BY ?g ?h"
+        )
+        assert query.group_by == (Variable("g"), Variable("h"))
+
+    def test_group_by_requires_variable(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT (COUNT(?x) AS ?c) { ?s <urn:p> ?x } GROUP BY")
+
+    def test_having(self):
+        query = parse_query(
+            "SELECT ?g (COUNT(?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g HAVING (?c > 2)"
+        )
+        assert query.having is not None
+
+    def test_order_limit_offset(self):
+        query = parse_query(
+            "SELECT ?s { ?s <urn:p> ?x } ORDER BY DESC(?x) LIMIT 10 OFFSET 5"
+        )
+        assert query.order_by[0].descending
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_limit_rejects_float(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s { ?s <urn:p> ?x } LIMIT 1.5")
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s { ?s <urn:p> ?o } } ")
+
+    def test_unclosed_group(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s { ?s <urn:p> ?o ")
+
+    def test_nested_aggregate_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT (SUM(COUNT(?x)) AS ?c) { ?s <urn:p> ?x }")
+
+
+def test_full_analytical_query_shape(mg1_style_query):
+    query = parse_query(mg1_style_query)
+    subqueries = query.subselects()
+    assert len(subqueries) == 2
+    assert subqueries[0].group_by == (Variable("f"),)
+    assert subqueries[1].group_by is None
+    assert subqueries[1].has_aggregates()

@@ -1,0 +1,76 @@
+"""Serializer tests: parse ∘ serialize is the identity on ASTs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparql.parser import parse_query
+from repro.sparql.serializer import serialize_query
+from tests.conftest import MG1_STYLE_QUERY
+
+
+def round_trip(text: str):
+    first = parse_query(text)
+    rendered = serialize_query(first)
+    second = parse_query(rendered)
+    return first, second
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "SELECT ?s { ?s <urn:p> ?o }",
+        "SELECT * { ?s <urn:p> ?o }",
+        "SELECT DISTINCT ?s { ?s <urn:p> ?o . ?o <urn:q> ?z }",
+        'SELECT ?s { ?s <urn:p> "lit"@en ; <urn:q> "5"^^<urn:int> , 7 }',
+        "SELECT (COUNT(*) AS ?c) { ?s <urn:p> ?o }",
+        "SELECT ?g (SUM(?x) AS ?t) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g",
+        "SELECT ?g (COUNT(DISTINCT ?x) AS ?c) { ?s <urn:p> ?x ; <urn:g> ?g } GROUP BY ?g HAVING (?c > 1)",
+        'SELECT ?s { ?s <urn:p> ?x . FILTER REGEX(STR(?x), "abc", "i") }',
+        "SELECT ?s { ?s <urn:p> ?x OPTIONAL { ?s <urn:q> ?y } }",
+        "SELECT ?s { { ?s <urn:p> ?x } UNION { ?s <urn:q> ?x } }",
+        "SELECT ?s ?x { ?s <urn:p> ?x } ORDER BY DESC(?x) LIMIT 3 OFFSET 1",
+        "SELECT ((?a + 2) * ?b AS ?r) ?a ?b { ?s <urn:p> ?a ; <urn:q> ?b }",
+        "SELECT ?s { ?s <urn:p> true ; <urn:q> -4 ; <urn:r> 2.5 }",
+    ],
+)
+def test_round_trip_fixed_queries(text):
+    first, second = round_trip(text)
+    assert first == second
+
+
+def test_round_trip_analytical_query():
+    first, second = round_trip(MG1_STYLE_QUERY)
+    assert first == second
+    assert len(second.subselects()) == 2
+
+
+_var_names = st.sampled_from(["s", "o", "x", "y", "g", "price"])
+_props = st.sampled_from(["urn:p1", "urn:p2", "urn:q"])
+
+
+@st.composite
+def random_select_queries(draw):
+    triple_count = draw(st.integers(1, 4))
+    triples = []
+    for _ in range(triple_count):
+        subject = "?" + draw(_var_names)
+        prop = f"<{draw(_props)}>"
+        if draw(st.booleans()):
+            obj = "?" + draw(_var_names)
+        else:
+            obj = str(draw(st.integers(-5, 100)))
+        triples.append(f"{subject} {prop} {obj} .")
+    body = "\n".join(triples)
+    if draw(st.booleans()):
+        filter_var = "?" + draw(_var_names)
+        body += f"\nFILTER({filter_var} > {draw(st.integers(0, 50))})"
+    projection = "?" + draw(_var_names)
+    return f"SELECT {projection} {{ {body} }}"
+
+
+@settings(max_examples=120, deadline=None)
+@given(text=random_select_queries())
+def test_round_trip_property(text):
+    first, second = round_trip(text)
+    assert first == second

@@ -1,0 +1,81 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.errors import SparqlSyntaxError
+from repro.sparql.tokenizer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+def test_keywords_case_insensitive():
+    assert [t.text for t in tokenize("select Where GROUP by")][:-1] == [
+        "SELECT",
+        "WHERE",
+        "GROUP",
+        "BY",
+    ]
+
+
+def test_variables():
+    assert kinds("?x $y") == ["VAR", "VAR"]
+
+
+def test_iri_and_pname():
+    assert kinds("<urn:x> ex:price") == ["IRIREF", "PNAME"]
+
+
+def test_pname_ns():
+    assert kinds("PREFIX ex: <urn:x>") == ["KEYWORD", "PNAME_NS", "IRIREF"]
+
+
+def test_string_with_escapes():
+    tokens = tokenize(r'"a\"b"')
+    assert tokens[0].kind == "STRING"
+
+
+def test_language_tag_and_datatype():
+    assert kinds('"x"@en "5"^^<urn:int>') == ["STRING", "LANGTAG", "STRING", "DTYPE", "IRIREF"]
+
+
+def test_numbers():
+    assert kinds("5 3.25 1e6") == ["NUMBER", "NUMBER", "NUMBER"]
+
+
+def test_operators():
+    assert texts("<= >= != || && ! < >") == ["<=", ">=", "!=", "||", "&&", "!", "<", ">"]
+
+
+def test_punctuation():
+    assert texts("{ } ( ) . ; , * / + - =") == list("{}().;,*/+-=")
+
+
+def test_comments_skipped():
+    assert kinds("?x # trailing comment\n?y") == ["VAR", "VAR"]
+
+
+def test_eof_token_present():
+    tokens = tokenize("?x")
+    assert tokens[-1].kind == "EOF"
+
+
+def test_unknown_character_rejected():
+    with pytest.raises(SparqlSyntaxError):
+        tokenize("?x @@ ?y")
+
+
+def test_bare_unknown_name_rejected():
+    with pytest.raises(SparqlSyntaxError):
+        tokenize("SELECT frobnicate")
+
+
+def test_positions_recorded():
+    tokens = tokenize("SELECT ?x")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7

@@ -1,0 +1,78 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    HDFSError,
+    HDFSOutOfSpaceError,
+    MapReduceError,
+    NTriplesParseError,
+    OverlapError,
+    PlanningError,
+    RDFError,
+    ReproError,
+    SparqlError,
+    SparqlEvaluationError,
+    SparqlSyntaxError,
+    UnsupportedQueryError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_class",
+    [
+        RDFError,
+        NTriplesParseError,
+        SparqlError,
+        SparqlSyntaxError,
+        SparqlEvaluationError,
+        UnsupportedQueryError,
+        PlanningError,
+        OverlapError,
+        MapReduceError,
+        HDFSError,
+        DatasetError,
+    ],
+)
+def test_all_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, ReproError)
+
+
+def test_specific_hierarchies():
+    assert issubclass(NTriplesParseError, RDFError)
+    assert issubclass(SparqlSyntaxError, SparqlError)
+    assert issubclass(UnsupportedQueryError, SparqlError)
+    assert issubclass(OverlapError, PlanningError)
+    assert issubclass(HDFSOutOfSpaceError, HDFSError)
+    assert issubclass(HDFSError, MapReduceError)
+
+
+def test_ntriples_error_line_number():
+    error = NTriplesParseError("bad triple", line_number=12)
+    assert error.line_number == 12
+    assert "line 12" in str(error)
+    bare = NTriplesParseError("bad triple")
+    assert bare.line_number is None
+
+
+def test_sparql_syntax_error_position():
+    error = SparqlSyntaxError("unexpected token", position=42)
+    assert error.position == 42
+    assert "offset 42" in str(error)
+
+
+def test_out_of_space_error_payload():
+    error = HDFSOutOfSpaceError(requested=100, available=10, capacity=50)
+    assert error.requested == 100
+    assert error.available == 10
+    assert error.capacity == 50
+    assert "100 bytes" in str(error)
+
+
+def test_single_catch_at_api_boundary():
+    """Catching ReproError covers every library-raised failure."""
+    from repro.core.engines import make_engine
+
+    with pytest.raises(ReproError):
+        make_engine("no-such-engine")
