@@ -21,6 +21,7 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.bench.catalog import CatalogQuery, get_query
 from repro.core.engines import PAPER_ENGINES, make_engine, to_analytical
 from repro.core.results import EngineConfig, ExecutionReport
@@ -42,6 +43,13 @@ class QueryMeasurement:
     materialized_bytes: int
     wall_seconds: float
     failed: str = ""  # non-empty = error name (e.g. HDFS out of space)
+    #: Real wall-clock per phase (plan/load/jobs/shuffle/materialize);
+    #: populated only when a :class:`repro.perf.PerfRecorder` is active.
+    phases: dict[str, float] = field(default_factory=dict)
+    #: Simulated workflow counters (sorted by name), for invariant checks.
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Order-sensitive fingerprint of the result rows.
+    rows_digest: str = ""
 
     @property
     def full_cycles(self) -> int:
@@ -109,10 +117,15 @@ def run_experiment(
             expected = _canonical(make_engine("reference").execute(analytical, graph))
         for engine_name in engines:
             engine = make_engine(engine_name)
+            recorder = perf.active_recorder()
+            if recorder is not None:
+                recorder.begin_run(qid=query.qid, engine=engine_name)
             started = time.perf_counter()
             try:
                 report = engine.execute(analytical, graph, config)
             except ReproError as error:
+                wall = time.perf_counter() - started
+                timing = recorder.end_run(wall) if recorder is not None else None
                 result.measurements.append(
                     QueryMeasurement(
                         qid=query.qid,
@@ -123,12 +136,14 @@ def run_experiment(
                         cost_seconds=float("inf"),
                         shuffle_bytes=0,
                         materialized_bytes=0,
-                        wall_seconds=time.perf_counter() - started,
+                        wall_seconds=wall,
                         failed=type(error).__name__,
+                        phases=dict(timing.phases) if timing is not None else {},
                     )
                 )
                 continue
             wall = time.perf_counter() - started
+            timing = recorder.end_run(wall) if recorder is not None else None
             if expected is not None and _canonical(report) != expected:
                 result.mismatches.append((query.qid, engine_name))
             stats = report.stats
@@ -143,6 +158,9 @@ def run_experiment(
                     shuffle_bytes=stats.total_shuffle_bytes if stats else 0,
                     materialized_bytes=stats.total_materialized_bytes if stats else 0,
                     wall_seconds=wall,
+                    phases=dict(timing.phases) if timing is not None else {},
+                    counters=dict(sorted(stats.counters.as_dict().items())) if stats else {},
+                    rows_digest=perf.rows_digest(report.rows),
                 )
             )
     return result
@@ -294,8 +312,9 @@ def mg13_disk_exhaustion(capacity: int) -> ExperimentResult:
 
 
 ALL_EXPERIMENTS = {
-    "table3-bsbm-500k": lambda: table3_bsbm("500k"),
-    "table3-bsbm-2m": lambda: table3_bsbm("2m"),
+    "table3-bsbm-tiny": lambda verify=True: table3_bsbm("tiny", verify),
+    "table3-bsbm-500k": lambda verify=True: table3_bsbm("500k", verify),
+    "table3-bsbm-2m": lambda verify=True: table3_bsbm("2m", verify),
     "table3-chem": table3_chem,
     "figure8a": figure8a,
     "figure8b": figure8b,

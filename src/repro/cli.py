@@ -136,10 +136,15 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.profile:
+        return _bench_profile(args)
+    if args.experiment == "all":
+        print("'all' requires --profile (it is a profiling sweep)", file=sys.stderr)
+        return 2
     try:
         runner = ALL_EXPERIMENTS[args.experiment]
     except KeyError:
-        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        known = ", ".join(sorted(ALL_EXPERIMENTS) + ["all (with --profile)"])
         print(f"unknown experiment {args.experiment!r}; known: {known}", file=sys.stderr)
         return 2
     result = runner()
@@ -149,6 +154,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if len(result.engines) > 1:
         print()
         print(render_gains_table(result, baseline=result.engines[0]))
+    return 0
+
+
+def _bench_profile(args: argparse.Namespace) -> int:
+    """``repro bench --profile``: wall-clock phase breakdown + the
+    cached-vs-reference invariant check, optionally against a golden."""
+    from repro.perf.profile import (
+        PROFILE_EXPERIMENTS,
+        ProfileMismatchError,
+        profile_experiments,
+        render_report,
+        write_report,
+    )
+
+    names = (
+        list(PROFILE_EXPERIMENTS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    unknown = [n for n in names if n not in PROFILE_EXPERIMENTS]
+    if unknown:
+        known = ", ".join(sorted(PROFILE_EXPERIMENTS) + ["all"])
+        print(f"unknown experiment(s) {unknown}; known: {known}", file=sys.stderr)
+        return 2
+    try:
+        report = profile_experiments(names, reference=not args.no_reference)
+    except ProfileMismatchError as error:
+        if args.output:
+            write_report(error.report, args.output)
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_report(report))
+    if args.output:
+        path = write_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        from pathlib import Path
+
+        from repro.perf.goldens import check_golden_file
+
+        problems = check_golden_file(Path(args.golden))
+        if problems:
+            for problem in problems:
+                print(f"golden mismatch: {problem}", file=sys.stderr)
+            return 1
+        print(f"golden ok: {args.golden}")
     return 0
 
 
@@ -211,7 +262,29 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.set_defaults(func=cmd_explain)
 
     bench = sub.add_parser("bench", help="regenerate a paper table/figure")
-    bench.add_argument("experiment", help=", ".join(sorted(ALL_EXPERIMENTS)))
+    bench.add_argument(
+        "experiment", help=", ".join(sorted(ALL_EXPERIMENTS) + ["all (with --profile)"])
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="time each engine run (per-phase) and assert simulated counters "
+        "match the uncached reference implementation",
+    )
+    bench.add_argument(
+        "--output", default=None, help="write the --profile JSON report here"
+    )
+    bench.add_argument(
+        "--golden",
+        default=None,
+        help="also re-check a committed golden counters file (--profile only)",
+    )
+    bench.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the uncached reference pass (--profile only; faster, "
+        "no invariant check)",
+    )
     bench.set_defaults(func=cmd_bench)
 
     catalog = sub.add_parser("catalog", help="list the workload queries")

@@ -11,6 +11,7 @@ over the aggregate aliases).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterable
 
 from repro.errors import PlanningError, UnsupportedQueryError
@@ -54,8 +55,13 @@ class PropKey:
         return self.short()
 
 
+@lru_cache(maxsize=None)
 def prop_key_of(pattern: TriplePattern) -> PropKey:
-    """The :class:`PropKey` a triple pattern contributes to its star."""
+    """The :class:`PropKey` a triple pattern contributes to its star.
+
+    Cached: patterns are frozen value objects and the expansion operators
+    ask for the same few keys once per probed triplegroup.
+    """
     prop = pattern.prop()
     if prop is None:
         raise UnsupportedQueryError(

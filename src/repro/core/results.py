@@ -4,11 +4,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.mapreduce.cost import ClusterConfig, CostModel
+from repro.mapreduce.cost import ClusterConfig, CostModel, register_sized_dict
 from repro.mapreduce.runner import WorkflowStats
 from repro.rdf.terms import Term, Variable
 
-Row = dict[Variable, Term]
+
+@register_sized_dict
+class Row(dict):
+    """A solution row: variable → term bindings.
+
+    A ``dict`` subclass — equality, iteration, and repr are dict's own,
+    so rows compare equal to plain-dict bindings (the reference
+    evaluator's output) exactly as before.  The subclass exists to carry
+    a hidden slot in which the size estimator pins the row's
+    serialized-size estimate: rows are write-once after construction yet
+    were re-walked on every shuffle accounting and materialization.
+    """
+
+    __slots__ = ("_size",)
 
 
 @dataclass(frozen=True)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import perf
 from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport
 from repro.hive.executor import HiveExecutor
@@ -23,9 +24,13 @@ class HiveEngine:
     ) -> ExecutionReport:
         config = config or EngineConfig()
         hdfs = HDFS(capacity=config.hdfs_capacity)
-        store = load_vertical_partitions(graph, hdfs)
+        with perf.phase("load"):
+            store = load_vertical_partitions(graph, hdfs)
         runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
         executor = HiveExecutor(hdfs, store, runner, config, self.mode)
+        # Hive's "planning" is interleaved with job submission inside the
+        # executor, so its wall-clock lands in the runner's jobs/shuffle
+        # phases rather than a separate plan bracket.
         rows, _final = executor.execute(query)
         return ExecutionReport(
             engine=self.name,

@@ -34,6 +34,8 @@ from repro.core.query_model import (
 )
 from repro.core.results import EngineConfig, Row
 from repro.errors import OverlapError, PlanningError
+from repro.mapreduce import cost
+from repro.mapreduce.cost import _POINTER, estimate_size
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runner import MapReduceRunner, WorkflowStats
@@ -59,12 +61,32 @@ def _to_term(value: object) -> Term:
 
 
 def _compatible_merge(left: Row, right: Row) -> Row | None:
-    merged = dict(left)
+    # Rows carry their size estimate from birth (see Row): the merge
+    # extends the left size by the entries actually added.  A variable
+    # bound on both sides keeps the left term — the terms compare equal,
+    # so every simulated byte count, comparison, and rendered result is
+    # unchanged by not replacing it.
+    merged = Row(left)
+    left_size = getattr(left, "_size", None)
+    incremental = type(left_size) is int and cost.SIZE_CACHE_ENABLED
+    added = 0
     for variable, term in right.items():
         existing = merged.get(variable)
-        if existing is not None and existing != term:
-            return None
+        if existing is not None:
+            if existing != term:
+                return None
+            continue
         merged[variable] = term
+        if incremental:
+            # Variables and terms are slotted value objects; peek their
+            # _size cache directly and only call into the estimator on a
+            # cold instance.
+            size = variable._size
+            added += size if size is not None else estimate_size(variable)
+            size = term._size
+            added += size if size is not None else estimate_size(term)
+    if incremental:
+        merged._size = left_size + added
     return merged
 
 
@@ -75,25 +97,83 @@ def _vp_row(tp: TriplePattern, record: tuple, filters: Sequence[Expression]) -> 
     ``(subject, object)``.  Returns None when a concrete component or a
     pushed filter rejects the record.
     """
-    row: Row = {}
+    row = Row()
     subject = record[0]
+    size = _POINTER
     if isinstance(tp.subject, Variable):
         row[tp.subject] = subject
+        part = tp.subject._size
+        size += part if part is not None else estimate_size(tp.subject)
+        part = subject._size
+        size += part if part is not None else estimate_size(subject)
     elif tp.subject != subject:
         return None
     if len(record) > 1:
         obj = record[1]
         if isinstance(tp.object, Variable):
             existing = row.get(tp.object)
-            if existing is not None and existing != obj:
-                return None
-            row[tp.object] = obj
+            if existing is not None:
+                if existing != obj:
+                    return None
+            else:
+                row[tp.object] = obj
+                part = tp.object._size
+                size += part if part is not None else estimate_size(tp.object)
+                part = obj._size
+                size += part if part is not None else estimate_size(obj)
         elif tp.object != obj:
             return None
     for expression in filters:
         if not evaluate_filter(expression, row):
             return None
+    if cost.SIZE_CACHE_ENABLED:
+        row._size = size
     return row
+
+
+def _vp_row_builder(tp: TriplePattern, filters: Sequence[Expression]):
+    """A per-pattern specialization of :func:`_vp_row`.
+
+    A VP scan converts every record of a table through the same pattern,
+    so the pattern's shape (variable vs concrete components) and the
+    sizes of its variables are fixed across the whole loop.  The common
+    shape — distinct subject and object variables — reduces to two dict
+    stores and a size add per record.  Rare shapes (concrete components,
+    subject and object the same variable) and reference mode fall back
+    to the generic converter, which re-derives everything per record.
+    """
+    subject_var, object_var = tp.subject, tp.object
+    if (
+        not cost.SIZE_CACHE_ENABLED
+        or not isinstance(subject_var, Variable)
+        or not isinstance(object_var, Variable)
+        or subject_var == object_var
+    ):
+        return lambda record: _vp_row(tp, record, filters)
+    base = _POINTER + estimate_size(subject_var)
+    object_var_size = estimate_size(object_var)
+    filters = tuple(filters)
+
+    def build(record: tuple) -> Row | None:
+        row = Row()
+        subject = record[0]
+        row[subject_var] = subject
+        part = subject._size
+        size = base + (part if part is not None else estimate_size(subject))
+        if len(record) > 1:
+            obj = record[1]
+            row[object_var] = obj
+            part = obj._size
+            size += object_var_size + (
+                part if part is not None else estimate_size(obj)
+            )
+        for expression in filters:
+            if not evaluate_filter(expression, row):
+                return None
+        row._size = size
+        return row
+
+    return build
 
 
 @dataclass(frozen=True)
@@ -112,7 +192,22 @@ def _pushable(filters: Sequence[Expression], tp: TriplePattern) -> list[Expressi
 def _project(row: Row, keep: frozenset[Variable] | None) -> Row:
     if keep is None:
         return row
-    return {v: t for v, t in row.items() if v in keep}
+    projected = Row()
+    if cost.SIZE_CACHE_ENABLED:
+        size = _POINTER
+        for v, t in row.items():
+            if v in keep:
+                projected[v] = t
+                part = v._size
+                size += part if part is not None else estimate_size(v)
+                part = t._size
+                size += part if part is not None else estimate_size(t)
+        projected._size = size
+        return projected
+    for v, t in row.items():
+        if v in keep:
+            projected[v] = t
+    return projected
 
 
 @dataclass
@@ -184,6 +279,7 @@ class HiveExecutor:
         by_path: dict[str, list[int]] = {}
         for index, (_, path, _, _) in enumerate(entries):
             by_path.setdefault(path, []).append(index)
+        builders = [_vp_row_builder(tp, pushed) for tp, _, pushed, _ in entries]
         output = f"{self.prefix}/{self._counter.next(label)}"
 
         required = [i for i, e in enumerate(entries) if not e[3]]
@@ -192,7 +288,7 @@ class HiveExecutor:
         def assemble(rows_by_tp: dict[int, list[Row]]) -> Iterable[Row]:
             if any(not rows_by_tp.get(i) for i in required):
                 return
-            combos: list[Row] = [{}]
+            combos: list[Row] = [Row()]
             for index in required + optional:
                 rows = rows_by_tp.get(index) or []
                 if not rows and index in optional:
@@ -214,7 +310,13 @@ class HiveExecutor:
         # required triple pattern, else subjects missing from an optional
         # table would never be seen.
         required_paths = {entries[i][1] for i in required}
-        streamed = max(required_paths, key=lambda p: sizes[p])
+        # Scan candidates in by_path (insertion) order so size ties break
+        # the same way in every process — set iteration is hash-seeded
+        # and the choice leaks into job structure and counters.
+        streamed = max(
+            (path for path in by_path if path in required_paths),
+            key=lambda p: sizes[p],
+        )
         side_paths = [p for p in by_path if p != streamed]
         single_table = not side_paths
 
@@ -223,8 +325,7 @@ class HiveExecutor:
             def scan_mapper(record: Any) -> Iterable[Row]:
                 rows_by_tp: dict[int, list[Row]] = {}
                 for index in by_path[streamed]:
-                    tp, _, pushed, _ = entries[index]
-                    row = _vp_row(tp, record, pushed)
+                    row = builders[index](record)
                     rows_by_tp[index] = [row] if row is not None else []
                 yield from assemble(rows_by_tp)
 
@@ -242,10 +343,10 @@ class HiveExecutor:
                 index_by_tp: dict[int, dict[Term, list[Row]]] = {}
                 for path, records in side_data.items():
                     for tp_index in by_path[path]:
-                        tp, _, pushed, _ = entries[tp_index]
+                        build = builders[tp_index]
                         table: dict[Term, list[Row]] = {}
                         for record in records:
-                            row = _vp_row(tp, record, pushed)
+                            row = build(record)
                             if row is not None:
                                 table.setdefault(record[0], []).append(row)
                         index_by_tp[tp_index] = table
@@ -254,8 +355,7 @@ class HiveExecutor:
                     subject = record[0]
                     rows_by_tp: dict[int, list[Row]] = {}
                     for tp_index in by_path[streamed]:
-                        tp, _, pushed, _ = entries[tp_index]
-                        row = _vp_row(tp, record, pushed)
+                        row = builders[tp_index](record)
                         rows_by_tp[tp_index] = [row] if row is not None else []
                     for tp_index, table in index_by_tp.items():
                         rows_by_tp[tp_index] = table.get(subject, [])
@@ -276,8 +376,7 @@ class HiveExecutor:
         def mapper(tagged: Any) -> Iterable[tuple[Term, tuple[int, Row]]]:
             path, record = tagged
             for tp_index in by_path[path]:
-                tp, _, pushed, _ = entries[tp_index]
-                row = _vp_row(tp, record, pushed)
+                row = builders[tp_index](record)
                 if row is not None:
                     yield record[0], (tp_index, row)
 
@@ -323,11 +422,14 @@ class HiveExecutor:
         """One star-join cycle (reduce-side, or map-only via map-join)."""
         output = f"{self.prefix}/{self._counter.next(label)}"
         pushed = _pushable(filters, right_tp) if right_tp is not None else []
+        right_build = (
+            _vp_row_builder(right_tp, pushed) if right_tp is not None else None
+        )
 
         def to_right_row(record: Any) -> Row | None:
-            if right_tp is None:
+            if right_build is None:
                 return record if variable in record else None
-            return _vp_row(right_tp, record, pushed)
+            return right_build(record)
 
         right_small = self._size(right_path) <= self.config.mapjoin_threshold
         left_small = self._size(left_path) <= self.config.mapjoin_threshold
@@ -529,7 +631,7 @@ class HiveExecutor:
             yield tuple((v, record.get(v)) for v in ordered), None
 
         def reducer(key: tuple, values: list) -> Iterable[Row]:
-            yield {variable: term for variable, term in key if term is not None}
+            yield Row((variable, term) for variable, term in key if term is not None)
 
         job = MapReduceJob(
             name=f"{self.prefix}:{label}:extract-distinct",
@@ -668,7 +770,11 @@ class HiveExecutor:
         shared = set(composite.subqueries[0].filters)
         for subquery in composite.subqueries[1:]:
             shared &= set(subquery.filters)
-        shared_filters = tuple(shared)
+        # Keep the first subquery's filter order (tuple(set) order is
+        # hash-seeded and would leak into pushed-filter placement).
+        shared_filters = tuple(
+            dict.fromkeys(f for f in composite.subqueries[0].filters if f in shared)
+        )
         # Phase 1: evaluate the composite pattern, LEFT OUTER on secondary
         # properties, and materialize it with every column (no early
         # projection — it must serve both original patterns).

@@ -8,12 +8,14 @@ columnar format (ORC) modeled as a size reduction factor on HDFS.
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
 from dataclasses import dataclass, field
 from hashlib import blake2s
 
 from repro.core.query_model import PropKey
 from repro.errors import PlanningError
+from repro.mapreduce import cost
 from repro.mapreduce.hdfs import HDFS
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI, Term
@@ -54,10 +56,23 @@ class VPStore:
         return key.property in self.prop_paths
 
 
-def load_vertical_partitions(graph: Graph, hdfs: HDFS, prefix: str = "vp") -> VPStore:
-    """Partition a graph into VP tables and write them (ORC-compressed)."""
-    store = VPStore(empty_path=f"{prefix}/_empty")
-    hdfs.write(store.empty_path, [], compressed=True)
+#: (graph -> (graph.version, (plain tables, typed tables))).  The VP
+#: layout is a pure function of the graph; every Hive-family engine
+#: execution re-derives it, so the partitioned record lists (and their
+#: once-computed raw sizes) are cached per graph.  See the matching
+#: triplegroup cache in :mod:`repro.ntga.physical`.
+_PARTITION_CACHE: "weakref.WeakKeyDictionary[Graph, tuple[int, tuple[list, list]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _partitioned(graph: Graph) -> tuple[list, list]:
+    """The graph's VP tables in deterministic write order:
+    ``([(property, records, raw_size)], [(class, records, raw_size)])``."""
+    if cost.SIZE_CACHE_ENABLED:
+        cached = _PARTITION_CACHE.get(graph)
+        if cached is not None and cached[0] == graph.version:
+            return cached[1]
     plain: dict[IRI, list[tuple[Term, Term]]] = defaultdict(list)
     typed: dict[Term, list[tuple[Term]]] = defaultdict(list)
     for triple in graph:
@@ -65,15 +80,35 @@ def load_vertical_partitions(graph: Graph, hdfs: HDFS, prefix: str = "vp") -> VP
             typed[triple.object].append((triple.subject,))
         else:
             plain[triple.property].append((triple.subject, triple.object))
-    for prop in sorted(plain, key=lambda p: p.value):
+    tables = (
+        [
+            (prop, plain[prop], cost.estimate_total_size(plain[prop]))
+            for prop in sorted(plain, key=lambda p: p.value)
+        ],
+        [
+            (cls, typed[cls], cost.estimate_total_size(typed[cls]))
+            for cls in sorted(typed, key=str)
+        ],
+    )
+    if cost.SIZE_CACHE_ENABLED:
+        _PARTITION_CACHE[graph] = (graph.version, tables)
+    return tables
+
+
+def load_vertical_partitions(graph: Graph, hdfs: HDFS, prefix: str = "vp") -> VPStore:
+    """Partition a graph into VP tables and write them (ORC-compressed)."""
+    store = VPStore(empty_path=f"{prefix}/_empty")
+    hdfs.write(store.empty_path, [], compressed=True)
+    plain_tables, typed_tables = _partitioned(graph)
+    for prop, records, raw in plain_tables:
         path = f"{prefix}/{_safe_name(prop.value)}"
-        file = hdfs.write(path, plain[prop], compressed=True)
+        file = hdfs.write(path, records, compressed=True, raw_hint=raw)
         store.prop_paths[prop] = path
         store.total_bytes += file.size_bytes
-    for cls in sorted(typed, key=str):
+    for cls, records, raw in typed_tables:
         name = _safe_name(cls.value if isinstance(cls, IRI) else str(cls))
         path = f"{prefix}/type/{name}"
-        file = hdfs.write(path, typed[cls], compressed=True)
+        file = hdfs.write(path, records, compressed=True, raw_hint=raw)
         store.type_paths[cls] = path
         store.total_bytes += file.size_bytes
     return store

@@ -14,20 +14,22 @@ import math
 from dataclasses import dataclass
 from typing import Any
 
-from repro.rdf.terms import BNode, IRI, Literal
+from repro.rdf.terms import BNode, IRI, Literal, Variable
 from repro.rdf.triples import Triple
 
 _POINTER = 8
 
+#: Master switch for the size caches (term/triple ``_size`` slots, the
+#: per-class dispatch table below, and the triplegroup memos that
+#: consult this flag).  :func:`repro.perf.reference_mode` flips it off
+#: to restore the seed's uncached recomputation for A/B profiling.
+SIZE_CACHE_ENABLED = True
 
-def estimate_size(record: Any) -> int:
-    """Approximate on-disk serialized size of a record, in bytes.
 
-    Deterministic and cheap; used for HDFS accounting and shuffle
-    volumes.  Handles the record shapes that flow through the engines:
-    terms, triples, triplegroups (via their ``estimated_size``), tuples,
-    dicts, and scalars.
-    """
+def _reference_estimate_size(record: Any) -> int:
+    """The seed implementation, verbatim: a chain of isinstance checks
+    recomputing every size from scratch.  Kept callable so profiling and
+    the property tests can compare the cached path against it."""
     if record is None:
         return 1
     if isinstance(record, bool):
@@ -51,21 +53,233 @@ def estimate_size(record: Any) -> int:
         return size
     if isinstance(record, Triple):
         return (
-            estimate_size(record.subject)
-            + estimate_size(record.property)
-            + estimate_size(record.object)
+            _reference_estimate_size(record.subject)
+            + _reference_estimate_size(record.property)
+            + _reference_estimate_size(record.object)
             + 2
         )
     estimator = getattr(record, "estimated_size", None)
     if callable(estimator):
         return estimator()
     if isinstance(record, (tuple, list, set, frozenset)):
-        return _POINTER + sum(estimate_size(item) for item in record)
+        return _POINTER + sum(_reference_estimate_size(item) for item in record)
     if isinstance(record, dict):
         return _POINTER + sum(
-            estimate_size(key) + estimate_size(value) for key, value in record.items()
+            _reference_estimate_size(key) + _reference_estimate_size(value)
+            for key, value in record.items()
         )
     return _POINTER + len(repr(record))
+
+
+# -- cached fast path ----------------------------------------------------------
+#
+# estimate_size dominates the simulator's real wall-clock (HDFS writes,
+# shuffle accounting, and triplegroup sizing all funnel through it), so
+# the hot path dispatches on type(record) through a table instead of
+# re-walking the isinstance chain, and pins the result on immutable
+# value objects (terms and triples carry a hidden ``_size`` slot).
+# Handlers reproduce the reference semantics exactly — the golden tests
+# and tests/perf/test_size_cache.py hold the two paths bit-identical.
+
+
+def _literal_size(record: Literal) -> int:
+    size = record._size
+    if size is None:
+        size = len(record.lexical) + 2
+        if record.datatype:
+            size += len(record.datatype) + 2
+        if record.language:
+            size += len(record.language) + 1
+        object.__setattr__(record, "_size", size)
+    return size
+
+
+def _triple_size(record: Triple) -> int:
+    size = record._size
+    if size is None:
+        size = (
+            estimate_size(record.subject)
+            + estimate_size(record.property)
+            + estimate_size(record.object)
+            + 2
+        )
+        object.__setattr__(record, "_size", size)
+    return size
+
+
+def _variable_size(record: Variable) -> int:
+    # The reference path sizes variables (solution-dict keys) through the
+    # generic repr fallback; the dataclass repr is slow, so cache it.
+    size = record._size
+    if size is None:
+        size = _POINTER + len(repr(record))
+        object.__setattr__(record, "_size", size)
+    return size
+
+
+def _item_size(item: Any) -> int:
+    """Per-element fast path shared by the container handlers.
+
+    Warm immutable value objects (terms, triples, memoized triplegroups
+    and agg rows) are recognized by their integer ``_size`` cache in a
+    single C-level ``getattr`` — the ``type(...) is int`` guard rejects
+    unset slots (``None``) and unrelated ``_size`` attributes (e.g.
+    bound methods) so anything else takes the normal dispatch."""
+    size = getattr(item, "_size", None)
+    if type(size) is int:
+        return size
+    cls = item.__class__
+    handler = _HANDLERS.get(cls)
+    if handler is None:
+        handler = _learn_handler(cls)
+    return handler(item)
+
+
+def _sequence_size(record: Any) -> int:
+    total = _POINTER
+    handlers = _HANDLERS
+    for item in record:
+        size = getattr(item, "_size", None)
+        if type(size) is int:
+            total += size
+            continue
+        cls = item.__class__
+        handler = handlers.get(cls)
+        if handler is None:
+            handler = _learn_handler(cls)
+        total += handler(item)
+    return total
+
+
+def _dict_size(record: dict) -> int:
+    total = _POINTER
+    for key, value in record.items():
+        size = getattr(key, "_size", None)
+        total += size if type(size) is int else _item_size(key)
+        size = getattr(value, "_size", None)
+        total += size if type(size) is int else _item_size(value)
+    return total
+
+
+def _generic_size(record: Any) -> int:
+    """Reference tail for classes the dispatch table cannot pre-judge:
+    instance-level ``estimated_size``, container subclasses, then repr."""
+    estimator = getattr(record, "estimated_size", None)
+    if callable(estimator):
+        return estimator()
+    if isinstance(record, (tuple, list, set, frozenset)):
+        return _sequence_size(record)
+    if isinstance(record, dict):
+        return _dict_size(record)
+    return _POINTER + len(repr(record))
+
+
+def _estimator_size(record: Any) -> int:
+    return record.estimated_size()
+
+
+_HANDLERS: dict[type, Any] = {
+    type(None): lambda record: 1,
+    bool: lambda record: 1,
+    int: lambda record: 8,
+    float: lambda record: 8,
+    str: lambda record: len(record) + 1,
+    IRI: lambda record: len(record.value) + 2,
+    BNode: lambda record: len(record.label) + 2,
+    Literal: _literal_size,
+    Triple: _triple_size,
+    Variable: _variable_size,
+    tuple: _sequence_size,
+    list: _sequence_size,
+    set: _sequence_size,
+    frozenset: _sequence_size,
+    dict: _dict_size,
+}
+
+
+def _sized_dict_size(record: Any) -> int:
+    size = _dict_size(record)
+    record._size = size
+    return size
+
+
+def register_sized_dict(cls: type) -> type:
+    """Route a write-once dict subclass carrying a ``_size`` slot to a
+    memoizing handler: the size pins on first estimate, like the term
+    caches.  Only for classes whose instances are never mutated after
+    they first reach the estimator (e.g. solution rows, which flow
+    through shuffle accounting and materialization repeatedly).
+    """
+    _HANDLERS[cls] = _sized_dict_size
+    return cls
+
+
+def register_estimated_size(cls: type) -> type:
+    """Route *cls* straight to its ``estimated_size`` method.
+
+    Purely an optimization hook (skips one ``getattr`` per record): any
+    class with a callable ``estimated_size`` is picked up automatically
+    on first sight.  Usable as a decorator.
+    """
+    _HANDLERS[cls] = _estimator_size
+    return cls
+
+
+def _learn_handler(cls: type) -> Any:
+    """Choose and memoize a handler for a class the table has not seen,
+    following the reference path's check order."""
+    if callable(getattr(cls, "estimated_size", None)):
+        handler = _estimator_size
+    else:
+        # Container subclasses and arbitrary objects keep the per-record
+        # reference tail: an instance may define estimated_size itself.
+        handler = _generic_size
+    _HANDLERS[cls] = handler
+    return handler
+
+
+def estimate_size(record: Any) -> int:
+    """Approximate on-disk serialized size of a record, in bytes.
+
+    Deterministic and cheap; used for HDFS accounting and shuffle
+    volumes.  Handles the record shapes that flow through the engines:
+    terms, triples, triplegroups (via their ``estimated_size``), tuples,
+    dicts, and scalars.  Dispatches on exact type with per-instance
+    caches on immutable records; bit-identical to
+    :func:`_reference_estimate_size` by construction (and by test).
+    """
+    if not SIZE_CACHE_ENABLED:
+        return _reference_estimate_size(record)
+    size = getattr(record, "_size", None)
+    if type(size) is int:
+        return size
+    cls = record.__class__
+    handler = _HANDLERS.get(cls)
+    if handler is None:
+        handler = _learn_handler(cls)
+    return handler(record)
+
+
+def estimate_total_size(records: Any) -> int:
+    """``sum(estimate_size(r) for r in records)`` with the dispatch
+    inlined — the bulk entry point for HDFS writes and shuffle
+    accounting, where the per-call overhead of millions of
+    :func:`estimate_size` invocations is itself the bottleneck."""
+    if not SIZE_CACHE_ENABLED:
+        return sum(_reference_estimate_size(record) for record in records)
+    total = 0
+    handlers = _HANDLERS
+    for record in records:
+        size = getattr(record, "_size", None)
+        if type(size) is int:
+            total += size
+            continue
+        cls = record.__class__
+        handler = handlers.get(cls)
+        if handler is None:
+            handler = _learn_handler(cls)
+        total += handler(record)
+    return total
 
 
 @dataclass(frozen=True)

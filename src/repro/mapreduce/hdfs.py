@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.errors import HDFSError, HDFSOutOfSpaceError
-from repro.mapreduce.cost import estimate_size
+from repro.mapreduce.cost import estimate_total_size
 
 
 @dataclass
@@ -47,12 +47,16 @@ class HDFS:
     #: reduction, we use a representative 10x factor).
     compression_ratio: float = 0.1
     _files: dict[str, HDFSFile] = field(default_factory=dict)
+    #: Running total of stored bytes, maintained by write/delete so that
+    #: the per-write capacity check stays O(1) instead of re-summing
+    #: every file (quadratic over a workflow's materializations).
+    _used_bytes: int = field(default=0, init=False, repr=False)
 
     def exists(self, path: str) -> bool:
         return path in self._files
 
     def used_bytes(self) -> int:
-        return sum(f.size_bytes for f in self._files.values())
+        return self._used_bytes
 
     def available_bytes(self) -> int | None:
         if self.capacity is None:
@@ -64,23 +68,30 @@ class HDFS:
         path: str,
         records: Sequence[Any] | Iterable[Any],
         compressed: bool = False,
+        raw_hint: int | None = None,
     ) -> HDFSFile:
         """Create (or replace) a file from *records*.
+
+        *raw_hint*, when given, must equal ``estimate_total_size`` of the
+        records; callers that re-write an unchanged derived table (the
+        engine pre-processing loaders) pass their once-computed size so
+        the write skips re-walking every record.
 
         Raises :class:`HDFSOutOfSpaceError` when a capacity is set and
         the new file does not fit.
         """
         materialized = list(records)
-        raw = sum(estimate_size(record) for record in materialized)
+        raw = raw_hint if raw_hint is not None else estimate_total_size(materialized)
         size = int(raw * self.compression_ratio) if compressed else raw
+        existing = self._files.get(path)
+        freed = existing.size_bytes if existing else 0
         if self.capacity is not None:
-            existing = self._files.get(path)
-            freed = existing.size_bytes if existing else 0
-            available = self.capacity - self.used_bytes() + freed
+            available = self.capacity - self._used_bytes + freed
             if size > available:
                 raise HDFSOutOfSpaceError(size, max(0, available), self.capacity)
         file = HDFSFile(path, materialized, size, raw, compressed)
         self._files[path] = file
+        self._used_bytes += size - freed
         return file
 
     def read(self, path: str) -> HDFSFile:
@@ -90,7 +101,9 @@ class HDFS:
             raise HDFSError(f"no such file: {path!r}") from None
 
     def delete(self, path: str) -> None:
-        self._files.pop(path, None)
+        removed = self._files.pop(path, None)
+        if removed is not None:
+            self._used_bytes -= removed.size_bytes
 
     def listdir(self, prefix: str = "") -> list[str]:
         return sorted(p for p in self._files if p.startswith(prefix))

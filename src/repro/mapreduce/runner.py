@@ -22,11 +22,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro import perf
 from repro.errors import MapReduceError
-from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size
+from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size, estimate_total_size
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.job import JobStats, MapReduceJob
+from repro.rdf.terms import BNode, IRI, Literal, Variable, term_interned_sort_key
 
 
 @dataclass
@@ -69,22 +71,60 @@ class WorkflowStats:
         return "\n".join(lines)
 
 
-def _chunk(records: Sequence[Any], tasks: int) -> list[list[Any]]:
-    """Split records into *tasks* contiguous chunks (some may be empty)."""
+def _chunk(records: Sequence[Any], tasks: int) -> list[Sequence[Any]]:
+    """Split records into *tasks* contiguous chunks (some may be empty).
+
+    Chunks are read-only views of the caller's sequence: the single-task
+    case returns the sequence itself and the multi-task case slices it
+    once (the seed wrapped both in an extra ``list(...)``, copying every
+    record list a second time on the hottest path in the runner).
+    """
     if tasks <= 1:
-        return [list(records)]
+        return [records]
     size, remainder = divmod(len(records), tasks)
-    chunks: list[list[Any]] = []
+    chunks: list[Sequence[Any]] = []
     start = 0
     for index in range(tasks):
         end = start + size + (1 if index < remainder else 0)
-        chunks.append(list(records[start:end]))
+        chunks.append(records[start:end])
         start = end
     return chunks
 
 
-def _sort_key(key: Any) -> tuple[str, str]:
+#: Master switch for the interned-sort-key fast path below;
+#: :func:`repro.perf.reference_mode` flips it off to restore the seed's
+#: per-comparison-pass ``repr`` rebuilds.
+SORT_KEY_CACHE_ENABLED = True
+
+_TERM_TYPES = (IRI, BNode, Literal, Variable)
+
+
+def _raw_sort_key(key: Any) -> tuple[str, str]:
+    """The seed's deterministic shuffle ordering: type name, then repr."""
     return (type(key).__name__, repr(key))
+
+
+def _key_repr(key: Any) -> str:
+    """``repr(key)`` rebuilt from interned per-term reprs.
+
+    RDF terms pay their (slow) dataclass repr once ever; composite tuple
+    keys re-assemble the exact tuple repr from the cached pieces.  The
+    output is character-identical to ``repr(key)``, so sorting by it
+    cannot reorder anything relative to :func:`_raw_sort_key`.
+    """
+    if isinstance(key, _TERM_TYPES):
+        return term_interned_sort_key(key)[1]
+    if key.__class__ is tuple:
+        if len(key) == 1:
+            return f"({_key_repr(key[0])},)"
+        return f"({', '.join(_key_repr(item) for item in key)})"
+    return repr(key)
+
+
+def _sort_key(key: Any) -> tuple[str, str]:
+    if not SORT_KEY_CACHE_ENABLED:
+        return _raw_sort_key(key)
+    return (key.__class__.__name__, _key_repr(key))
 
 
 class MapReduceRunner:
@@ -112,7 +152,7 @@ class MapReduceRunner:
         for path in job.inputs:
             file = self.hdfs.read(path)
             if job.tag_inputs:
-                input_records.extend((path, record) for record in file.records)
+                input_records.extend([(path, record) for record in file.records])
             else:
                 input_records.extend(file.records)
             input_bytes += file.size_bytes
@@ -137,55 +177,74 @@ class MapReduceRunner:
 
         if job.is_map_only:
             output_records: list[Any] = []
-            for record in input_records:
-                output_records.extend(mapper(record))
+            with perf.phase("jobs"):
+                for record in input_records:
+                    output_records.extend(mapper(record))
             counters.increment("map_output_records", len(output_records))
             shuffle_bytes = 0
             reduce_tasks = 0
         else:
             shuffle_pairs: list[tuple[Any, Any]] = []
-            for chunk in _chunk(input_records, map_tasks):
-                task_output: list[tuple[Any, Any]] = []
-                for record in chunk:
-                    for emitted in mapper(record):
-                        if not (isinstance(emitted, tuple) and len(emitted) == 2):
+            with perf.phase("jobs"):
+                for chunk in _chunk(input_records, map_tasks):
+                    task_output: list[tuple[Any, Any]] = []
+                    for record in chunk:
+                        task_output.extend(mapper(record))
+                    counters.increment("map_output_records", len(task_output))
+                    if job.combiner is not None:
+                        grouped: dict[Any, list[Any]] = defaultdict(list)
+                        try:
+                            for key, value in task_output:
+                                grouped[key].append(value)
+                        except (TypeError, ValueError):
                             raise MapReduceError(
-                                f"job {job.name!r}: mapper of a full MR job must emit "
-                                f"(key, value) pairs, got {emitted!r}"
-                            )
-                        task_output.append(emitted)
-                counters.increment("map_output_records", len(task_output))
-                if job.combiner is not None:
-                    grouped: dict[Any, list[Any]] = defaultdict(list)
-                    for key, value in task_output:
-                        grouped[key].append(value)
-                    counters.increment("combine_input_records", len(task_output))
-                    combined: list[tuple[Any, Any]] = []
-                    for key in sorted(grouped, key=_sort_key):
-                        combined.extend(job.combiner(key, grouped[key]))
-                    counters.increment("combine_output_records", len(combined))
-                    task_output = combined
-                shuffle_pairs.extend(task_output)
+                                f"job {job.name!r}: mapper of a full MR job must "
+                                f"emit (key, value) pairs"
+                            ) from None
+                        counters.increment("combine_input_records", len(task_output))
+                        combined: list[tuple[Any, Any]] = []
+                        for key in sorted(grouped, key=_sort_key):
+                            combined.extend(job.combiner(key, grouped[key]))
+                        counters.increment("combine_output_records", len(combined))
+                        task_output = combined
+                    shuffle_pairs.extend(task_output)
 
-            shuffle_bytes = sum(
-                estimate_size(key) + estimate_size(value) for key, value in shuffle_pairs
-            )
+            with perf.phase("shuffle"):
+                by_key: dict[Any, list[Any]] = defaultdict(list)
+                # Validation of the pair shape happens via the unpacking
+                # itself — per-pair isinstance checks in the map loop cost
+                # real time at millions of emitted pairs.
+                try:
+                    for key, value in shuffle_pairs:
+                        by_key[key].append(value)
+                except (TypeError, ValueError):
+                    raise MapReduceError(
+                        f"job {job.name!r}: mapper of a full MR job must "
+                        f"emit (key, value) pairs"
+                    ) from None
+                # Batched accounting: each distinct key is sized once and
+                # multiplied by its multiplicity — arithmetic identical to
+                # the seed's per-pair sum (equal keys have value-derived,
+                # hence equal, sizes).
+                shuffle_bytes = sum(
+                    estimate_size(key) * len(values) + estimate_total_size(values)
+                    for key, values in by_key.items()
+                )
             counters.increment("shuffle_bytes", shuffle_bytes)
             counters.increment("reduce_input_records", len(shuffle_pairs))
 
-            by_key: dict[Any, list[Any]] = defaultdict(list)
-            for key, value in shuffle_pairs:
-                by_key[key].append(value)
             reduce_tasks = max(1, min(len(by_key), self.cluster.reduce_slots))
             counters.increment("reduce_tasks", reduce_tasks)
 
             output_records = []
             assert job.reducer is not None
-            for key in sorted(by_key, key=_sort_key):
-                output_records.extend(job.reducer(key, by_key[key]))
+            with perf.phase("jobs"):
+                for key in sorted(by_key, key=_sort_key):
+                    output_records.extend(job.reducer(key, by_key[key]))
             counters.increment("reduce_output_records", len(output_records))
 
-        output_file = self.hdfs.write(job.output, output_records, job.output_compressed)
+        with perf.phase("materialize"):
+            output_file = self.hdfs.write(job.output, output_records, job.output_compressed)
         counters.increment("hdfs_bytes_written", output_file.size_bytes)
         counters.increment("mr_cycles")
         if job.is_map_only:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import perf
 from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport, Row
 from repro.mapreduce.hdfs import HDFS
@@ -62,8 +63,10 @@ class NTGAEngine:
     ) -> ExecutionReport:
         config = config or EngineConfig()
         hdfs = HDFS(capacity=config.hdfs_capacity)
-        store = load_triplegroups(graph, hdfs)
-        plan = self._planner(query, store)
+        with perf.phase("load"):
+            store = load_triplegroups(graph, hdfs)
+        with perf.phase("plan"):
+            plan = self._planner(query, store)
         runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
 
         if plan.final_join_index is None:

@@ -15,11 +15,13 @@ simulated MapReduce jobs:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.query_model import PropKey, StarPattern
 from repro.errors import PlanningError
+from repro.mapreduce import cost
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.job import MapReduceJob
 from repro.ntga.composite import CanonicalSubquery, CompositePlan, CompositeStar, object_filters
@@ -35,7 +37,7 @@ from repro.ntga.triplegroup import (
     joined_solutions,
 )
 from repro.rdf.graph import Graph
-from repro.rdf.terms import IRI, Literal, Term, Variable
+from repro.rdf.terms import IRI, Literal, Term, Variable, term_sort_key
 from repro.sparql.aggregates import UNBOUND, make_accumulator
 from repro.sparql.expressions import evaluate_filter, term_value
 
@@ -76,17 +78,44 @@ class TripleGroupStore:
         return matching
 
 
-def load_triplegroups(graph: Graph, hdfs: HDFS, prefix: str = "ntga") -> TripleGroupStore:
-    """NTGA pre-processing: group triples by subject, store per class."""
-    store = TripleGroupStore(empty_path=f"{prefix}/ec/_empty")
-    hdfs.write(store.empty_path, [])
+#: (graph -> (graph.version, ordered [(ec, groups, raw_size)])).  The
+#: classified-triplegroup layout is a pure function of the graph; the
+#: benchmark harness executes several engines over one graph, and without
+#: this cache each execution re-groups every triple and re-sizes every
+#: group.  Reusing the same TripleGroup objects also lets their
+#: per-instance memos (props/sizes/object lists) survive across runs.
+_CLASSIFIED_CACHE: "weakref.WeakKeyDictionary[Graph, tuple[int, list]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _classified_groups(graph: Graph) -> list[tuple[frozenset, list[TripleGroup], int]]:
+    """Subject triplegroups bucketed by equivalence class, in the
+    deterministic storage order, with each bucket's raw byte size."""
+    if cost.SIZE_CACHE_ENABLED:
+        cached = _CLASSIFIED_CACHE.get(graph)
+        if cached is not None and cached[0] == graph.version:
+            return cached[1]
     by_class: dict[frozenset, list[TripleGroup]] = {}
     for group in group_by_subject(graph):
         ec = frozenset(t.property for t in group.triples)
         by_class.setdefault(ec, []).append(group)
-    for index, ec in enumerate(sorted(by_class, key=lambda s: sorted(i.value for i in s))):
+    classified = [
+        (ec, by_class[ec], cost.estimate_total_size(by_class[ec]))
+        for ec in sorted(by_class, key=lambda s: sorted(i.value for i in s))
+    ]
+    if cost.SIZE_CACHE_ENABLED:
+        _CLASSIFIED_CACHE[graph] = (graph.version, classified)
+    return classified
+
+
+def load_triplegroups(graph: Graph, hdfs: HDFS, prefix: str = "ntga") -> TripleGroupStore:
+    """NTGA pre-processing: group triples by subject, store per class."""
+    store = TripleGroupStore(empty_path=f"{prefix}/ec/_empty")
+    hdfs.write(store.empty_path, [])
+    for index, (ec, groups, raw) in enumerate(_classified_groups(graph)):
         path = f"{prefix}/ec/{index:05d}"
-        file = hdfs.write(path, by_class[ec])
+        file = hdfs.write(path, groups, raw_hint=raw)
         store.paths_by_class[ec] = path
         store.total_bytes += file.size_bytes
     return store
@@ -267,7 +296,9 @@ def _expand_extras(
             candidates = left_keys & right_keys
             if fixed_value is not None:
                 candidates &= {fixed_value}
-            for value in candidates:
+            # Deterministic expansion order: set iteration is hash-seeded
+            # and the order reaches materialized records (hence counters).
+            for value in sorted(candidates, key=term_sort_key):
                 fixed = dict(joined.fixed)
                 fixed[edge.variable] = value
                 next_results.append(
@@ -369,9 +400,16 @@ class AggRow:
         return dict(self.row)
 
     def estimated_size(self) -> int:
-        from repro.mapreduce.cost import estimate_size
+        from repro.mapreduce import cost
 
-        return 4 + sum(estimate_size(v) + estimate_size(t) for v, t in self.row)
+        if cost.SIZE_CACHE_ENABLED:
+            cached = self.__dict__.get("_size")
+            if cached is not None:
+                return cached
+        size = 4 + sum(cost.estimate_size(v) + cost.estimate_size(t) for v, t in self.row)
+        if cost.SIZE_CACHE_ENABLED:
+            object.__setattr__(self, "_size", size)
+        return size
 
 
 # Shuffle value for TG_AgJ: one accumulator per aggregation (shared with

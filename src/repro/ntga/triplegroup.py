@@ -18,13 +18,29 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import product as iter_product
 from typing import Iterable, Iterator
 
 from repro.core.query_model import PropKey, StarPattern, prop_key_of
 from repro.errors import ReproError
+from repro.mapreduce import cost
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import RDF_TYPE, Triple
+
+
+@lru_cache(maxsize=None)
+def _split_prop_keys(
+    keys: frozenset[PropKey],
+) -> tuple[frozenset, frozenset]:
+    """Split a projection key set into plain-property and type-qualified
+    lookups.  Pure and cached: the same few key sets (one per star
+    pattern in a plan) are re-split for every projected group."""
+    plain = frozenset(k.property for k in keys if k.type_object is None)
+    typed = frozenset(
+        (k.property, k.type_object) for k in keys if k.type_object is not None
+    )
+    return plain, typed
 
 
 @dataclass(frozen=True)
@@ -35,8 +51,11 @@ class TripleGroup:
     triples: tuple[Triple, ...]
 
     def __post_init__(self) -> None:
+        subject = self.subject
         for triple in self.triples:
-            if triple.subject != self.subject:
+            # Identity check first: groups are almost always built from
+            # triples that literally carry the same subject object.
+            if triple.subject is not subject and triple.subject != subject:
                 raise ReproError(
                     f"triple {triple} does not share triplegroup subject {self.subject}"
                 )
@@ -45,18 +64,44 @@ class TripleGroup:
         """``props(tg)``: the property keys present in this group.
 
         ``rdf:type`` triples contribute a type-qualified key per class,
-        mirroring the paper's ``ty18`` notation.
+        mirroring the paper's ``ty18`` notation.  Memoized on the frozen
+        instance (every NTGA operator consults it, often repeatedly per
+        group); :func:`repro.perf.reference_mode` disables the memo.
         """
+        if cost.SIZE_CACHE_ENABLED:
+            cached = self.__dict__.get("_props")
+            if cached is not None:
+                return cached
         keys = set()
         for triple in self.triples:
             if triple.property == RDF_TYPE:
                 keys.add(PropKey(triple.property, triple.object))
             else:
                 keys.add(PropKey(triple.property))
-        return frozenset(keys)
+        result = frozenset(keys)
+        if cost.SIZE_CACHE_ENABLED:
+            object.__setattr__(self, "_props", result)
+        return result
 
     def objects_for(self, key: PropKey) -> tuple[Term, ...]:
-        """All object values for a property key (order = triple order)."""
+        """All object values for a property key (order = triple order).
+
+        Memoized per (group, key) — star expansion probes the same group
+        once per star pattern, re-scanning the triple list each time.
+        """
+        if cost.SIZE_CACHE_ENABLED:
+            cache = self.__dict__.get("_objects")
+            if cache is None:
+                cache = {}
+                object.__setattr__(self, "_objects", cache)
+            result = cache.get(key)
+            if result is None:
+                result = self._compute_objects(key)
+                cache[key] = result
+            return result
+        return self._compute_objects(key)
+
+    def _compute_objects(self, key: PropKey) -> tuple[Term, ...]:
         if key.type_object is not None:
             return tuple(
                 t.object
@@ -66,10 +111,30 @@ class TripleGroup:
         return tuple(t.object for t in self.triples if t.property == key.property)
 
     def project(self, keys: frozenset[PropKey]) -> "TripleGroup":
-        """Keep only triples matching the given property keys."""
+        """Keep only triples matching the given property keys.
+
+        Memoized per (group, keys): star filters project every stored
+        group once per composite star per job, and stored groups outlive
+        a single execution (the triplegroup store is cached on the
+        graph), so identical projections recur constantly.  Returning
+        the cached frozen instance also lets its own props/objects/size
+        memos accumulate instead of being rebuilt for each fresh copy.
+        """
+        if cost.SIZE_CACHE_ENABLED:
+            cache = self.__dict__.get("_projections")
+            if cache is None:
+                cache = {}
+                object.__setattr__(self, "_projections", cache)
+            projected = cache.get(keys)
+            if projected is None:
+                projected = self._compute_project(keys)
+                cache[keys] = projected
+            return projected
+        return self._compute_project(keys)
+
+    def _compute_project(self, keys: frozenset[PropKey]) -> "TripleGroup":
+        plain, typed = _split_prop_keys(keys)
         kept = []
-        plain = {k.property for k in keys if k.type_object is None}
-        typed = {(k.property, k.type_object) for k in keys if k.type_object is not None}
         for triple in self.triples:
             if triple.property in plain or (triple.property, triple.object) in typed:
                 kept.append(triple)
@@ -80,13 +145,19 @@ class TripleGroup:
 
         The subject is written once for the whole group — this is the
         denormalization that makes triplegroups concise relative to flat
-        rows when properties are multi-valued.
+        rows when properties are multi-valued.  Memoized on the frozen
+        instance; disabled in :func:`repro.perf.reference_mode`.
         """
-        from repro.mapreduce.cost import estimate_size
-
+        if cost.SIZE_CACHE_ENABLED:
+            cached = self.__dict__.get("_size")
+            if cached is not None:
+                return cached
+        estimate_size = cost.estimate_size
         size = estimate_size(self.subject) + 4
         for triple in self.triples:
             size += estimate_size(triple.property) + estimate_size(triple.object) + 2
+        if cost.SIZE_CACHE_ENABLED:
+            object.__setattr__(self, "_size", size)
         return size
 
     def __len__(self) -> int:
@@ -117,10 +188,20 @@ class JoinedTripleGroup:
         return None
 
     def props(self) -> frozenset[PropKey]:
-        """Union of component property-key sets (for α conditions)."""
+        """Union of component property-key sets (for α conditions).
+
+        Memoized like :meth:`TripleGroup.props` — joined groups are
+        immutable once built.
+        """
+        if cost.SIZE_CACHE_ENABLED:
+            cached = self.__dict__.get("_props")
+            if cached is not None:
+                return cached
         keys: frozenset[PropKey] = frozenset()
         for _, group in self.components:
             keys |= group.props()
+        if cost.SIZE_CACHE_ENABLED:
+            object.__setattr__(self, "_props", keys)
         return keys
 
     def props_by_star(self) -> dict[int, frozenset[PropKey]]:
@@ -138,11 +219,16 @@ class JoinedTripleGroup:
         )
 
     def estimated_size(self) -> int:
-        from repro.mapreduce.cost import estimate_size
-
+        if cost.SIZE_CACHE_ENABLED:
+            cached = self.__dict__.get("_size")
+            if cached is not None:
+                return cached
         size = sum(group.estimated_size() for _, group in self.components)
-        size += sum(estimate_size(t) for _, t in self.fixed)
-        return size + 8
+        size += sum(cost.estimate_size(t) for _, t in self.fixed)
+        size += 8
+        if cost.SIZE_CACHE_ENABLED:
+            object.__setattr__(self, "_size", size)
+        return size
 
     @classmethod
     def single(
@@ -222,9 +308,10 @@ def star_solutions(
                 return []
         if not solutions:
             return []
-    for solution in solutions:
-        for variable, term in fixed.items():
-            solution.setdefault(variable, term)
+    if fixed:
+        for solution in solutions:
+            for variable, term in fixed.items():
+                solution.setdefault(variable, term)
     return solutions
 
 
@@ -254,6 +341,12 @@ def joined_solutions(
         if not expansions:
             return []
         per_star.append(expansions)
+
+    if len(per_star) == 1:
+        # One star: the cross-product merge below would copy each
+        # expansion into an identical fresh dict.  The expansions are
+        # built by this call and not aliased, so return them directly.
+        return per_star[0]
 
     solutions: list[dict[Variable, Term]] = []
     for combination in iter_product(*per_star):

@@ -1,0 +1,188 @@
+"""Golden simulated-output capture and comparison.
+
+A *golden* records everything the simulator is supposed to hold
+invariant under performance work: per-workflow counters, MR cycle
+counts, per-job byte/record volumes, simulated cost, and an
+order-sensitive digest of the result rows.  The committed golden files
+under ``tests/golden/`` were captured from the seed (uncached)
+implementation; the golden tests and the CI perf smoke re-capture and
+require a bit-identical match.
+
+Regenerate (only when the *simulated* semantics intentionally change)::
+
+    PYTHONPATH=src python -m repro.perf.goldens
+
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.bench.catalog import get_query
+from repro.core.engines import PAPER_ENGINES, make_engine, to_analytical
+from repro.core.results import EngineConfig, ExecutionReport
+from repro.perf import rows_digest
+from repro.rdf.graph import Graph
+
+#: Version tag for the golden schema (bump when the capture shape changes).
+GOLDEN_SCHEMA = "repro-golden/v1"
+
+#: The golden workload: one multi-grouping query per dataset (per the
+#: paper's three workloads), on the tiny presets so tests stay fast,
+#: plus Table 3's single-grouping BSBM slice for the CI perf smoke.
+GOLDEN_QUERIES: dict[str, tuple[str, ...]] = {
+    "bsbm": ("MG2",),
+    "chem": ("MG7",),
+    "pubmed": ("MG12",),
+}
+
+
+def _dataset_graph(dataset: str, preset: str) -> Graph:
+    from repro.datasets import bsbm, chem2bio2rdf, pubmed
+
+    if dataset == "bsbm":
+        return bsbm.generate(bsbm.preset(preset))
+    if dataset == "chem":
+        return chem2bio2rdf.generate(chem2bio2rdf.preset(preset))
+    if dataset == "pubmed":
+        return pubmed.generate(pubmed.preset(preset))
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+def _dataset_config(dataset: str) -> EngineConfig:
+    from repro.bench.harness import bsbm_config, chem_config, pubmed_config
+
+    return {"bsbm": bsbm_config, "chem": chem_config, "pubmed": pubmed_config}[dataset]()
+
+
+def report_signature(report: ExecutionReport) -> dict[str, Any]:
+    """The invariant slice of one engine run, JSON-serializable.
+
+    Floats are stored as ``repr`` strings so the comparison is
+    bit-exact rather than subject to JSON round-tripping.
+    """
+    stats = report.stats
+    signature: dict[str, Any] = {
+        "rows": len(report.rows),
+        "rows_digest": rows_digest(report.rows),
+        "cycles": report.cycles,
+        "map_only_cycles": report.map_only_cycles,
+        "cost_seconds": repr(report.cost_seconds),
+        "load_bytes": report.load_bytes,
+        "counters": dict(sorted(stats.counters.as_dict().items())) if stats else {},
+        "jobs": [],
+    }
+    if stats is not None:
+        for job in stats.jobs:
+            signature["jobs"].append(
+                {
+                    "name": job.name,
+                    "map_only": job.map_only,
+                    "map_tasks": job.map_tasks,
+                    "reduce_tasks": job.reduce_tasks,
+                    "input_bytes": job.input_bytes,
+                    "side_input_bytes": job.side_input_bytes,
+                    "shuffle_bytes": job.shuffle_bytes,
+                    "output_bytes": job.output_bytes,
+                    "input_records": job.input_records,
+                    "output_records": job.output_records,
+                    "cost_seconds": repr(job.cost_seconds),
+                }
+            )
+    return signature
+
+
+def capture_query(
+    qid: str, engine: str, graph: Graph, config: EngineConfig
+) -> dict[str, Any]:
+    analytical = to_analytical(get_query(qid).sparql)
+    report = make_engine(engine).execute(analytical, graph, config)
+    return {"qid": qid, "engine": engine, **report_signature(report)}
+
+
+def capture_dataset(
+    dataset: str,
+    preset: str,
+    queries: tuple[str, ...],
+    engines: tuple[str, ...] = PAPER_ENGINES,
+) -> dict[str, Any]:
+    graph = _dataset_graph(dataset, preset)
+    config = _dataset_config(dataset)
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "dataset": dataset,
+        "preset": preset,
+        "queries": list(queries),
+        "engines": list(engines),
+        "runs": [
+            capture_query(qid, engine, graph, config)
+            for qid in queries
+            for engine in engines
+        ],
+    }
+
+
+def check_golden_file(path: Path) -> list[str]:
+    """Re-run a committed golden's workload and diff against it.
+
+    The golden file is self-describing (dataset, preset, queries,
+    engines), so the check exercises exactly the runs it was captured
+    from.  Returns the list of differences (empty = bit-identical).
+    """
+    golden = json.loads(Path(path).read_text())
+    fresh = capture_dataset(
+        golden["dataset"],
+        golden["preset"],
+        tuple(golden["queries"]),
+        tuple(golden["engines"]),
+    )
+    return diff_signatures(golden, fresh)
+
+
+def diff_signatures(golden: dict[str, Any], fresh: dict[str, Any]) -> list[str]:
+    """Human-readable differences between two captures (empty = match)."""
+    problems: list[str] = []
+    golden_runs = {(r["qid"], r["engine"]): r for r in golden.get("runs", [])}
+    fresh_runs = {(r["qid"], r["engine"]): r for r in fresh.get("runs", [])}
+    for key in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(key), fresh_runs.get(key)
+        if old is None or new is None:
+            problems.append(f"{key}: present only in {'fresh' if old is None else 'golden'}")
+            continue
+        for field in sorted((set(old) | set(new)) - {"qid", "engine"}):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"{key[0]}/{key[1]}: {field} differs: "
+                    f"golden={old.get(field)!r} fresh={new.get(field)!r}"
+                )
+    return problems
+
+
+def golden_path(root: Path, dataset: str, preset: str) -> Path:
+    return root / f"{dataset}-{preset}.json"
+
+
+def write_goldens(root: Path, preset: str = "tiny") -> list[Path]:
+    root.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for dataset, queries in GOLDEN_QUERIES.items():
+        capture = capture_dataset(dataset, preset, queries)
+        path = golden_path(root, dataset, preset)
+        path.write_text(json.dumps(capture, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]) if args else Path("tests/golden")
+    for path in write_goldens(root):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,248 @@
+"""The ``repro bench --profile`` harness.
+
+Runs paper experiments twice in one process — once with the hot-path
+caches enabled, once in :func:`repro.perf.reference_mode` (the seed's
+uncached implementation) — then:
+
+* asserts the simulated counters, costs, and result-row digests are
+  **bit-identical** between the two executions (the caching invariant);
+* reports real wall-clock time per engine run, broken into phases
+  (``plan``, ``load``, ``jobs``, ``shuffle``, ``materialize``);
+* emits a machine-readable JSON report (``BENCH_PR1.json``) in a stable
+  schema so the perf trajectory can be tracked across PRs.
+
+The reference pass can be skipped (``reference=False``) when only the
+phase breakdown is wanted.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bench.harness import (
+    ExperimentResult,
+    table3_bsbm,
+    table3_chem,
+    figure8a,
+    figure8b,
+    figure8c,
+    table4_pubmed,
+)
+from repro.errors import ReproError
+from repro.perf import PerfRecorder, recording, reference_mode
+
+#: Schema tag for the JSON report; bump on shape changes.
+PROFILE_SCHEMA = "repro-bench-profile/v1"
+
+#: Experiments the profiler knows how to run.  Each entry maps the
+#: experiment id to ``(dataset builder, experiment runner)`` where the
+#: runner takes a pre-built graph (so cached and reference passes see
+#: the same data) and a verify flag.
+Runner = Callable[[Any, bool], ExperimentResult]
+
+
+def _graph(dataset: str, preset: str):
+    from repro.datasets import bsbm, chem2bio2rdf, pubmed
+
+    builders = {
+        "bsbm": lambda: bsbm.generate(bsbm.preset(preset)),
+        "chem": lambda: chem2bio2rdf.generate(chem2bio2rdf.preset(preset)),
+        "pubmed": lambda: pubmed.generate(pubmed.preset(preset)),
+    }
+    return builders[dataset]()
+
+
+PROFILE_EXPERIMENTS: dict[str, tuple[str, str, Runner]] = {
+    "table3-bsbm-tiny": ("bsbm", "tiny", lambda g, v: table3_bsbm("tiny", v, g)),
+    "table3-bsbm-500k": ("bsbm", "500k", lambda g, v: table3_bsbm("500k", v, g)),
+    "table3-bsbm-2m": ("bsbm", "2m", lambda g, v: table3_bsbm("2m", v, g)),
+    "table3-chem": ("chem", "paper", lambda g, v: table3_chem(v, g)),
+    "figure8a": ("bsbm", "500k", lambda g, v: figure8a(v, g)),
+    "figure8b": ("bsbm", "2m", lambda g, v: figure8b(v, g)),
+    "figure8c": ("chem", "paper", lambda g, v: figure8c(v, g)),
+    "table4": ("pubmed", "paper", lambda g, v: table4_pubmed(v, g)),
+}
+
+
+def _measurement_signature(result: ExperimentResult) -> dict[tuple[str, str], dict]:
+    """The invariant slice of an experiment's measurements."""
+    signature: dict[tuple[str, str], dict] = {}
+    for m in result.measurements:
+        signature[(m.qid, m.engine)] = {
+            "rows": m.rows,
+            "rows_digest": m.rows_digest,
+            "cycles": m.cycles,
+            "map_only_cycles": m.map_only_cycles,
+            "cost_seconds": repr(m.cost_seconds),
+            "shuffle_bytes": m.shuffle_bytes,
+            "materialized_bytes": m.materialized_bytes,
+            "counters": m.counters,
+            "failed": m.failed,
+        }
+    return signature
+
+
+def _runs_payload(result: ExperimentResult) -> list[dict[str, Any]]:
+    return [
+        {
+            "qid": m.qid,
+            "engine": m.engine,
+            "rows": m.rows,
+            "cycles": m.cycles,
+            "map_only_cycles": m.map_only_cycles,
+            "simulated_cost_seconds": m.cost_seconds,
+            "shuffle_bytes": m.shuffle_bytes,
+            "materialized_bytes": m.materialized_bytes,
+            "wall_seconds": round(m.wall_seconds, 6),
+            "phases": {k: round(v, 6) for k, v in sorted(m.phases.items())},
+            "failed": m.failed,
+        }
+        for m in result.measurements
+    ]
+
+
+def profile_experiments(
+    names: list[str],
+    *,
+    reference: bool = True,
+    verify: bool = False,
+    pr_tag: str = "PR1",
+) -> dict[str, Any]:
+    """Profile the named experiments; returns the JSON-ready report.
+
+    Raises :class:`ReproError` when the cached and reference executions
+    disagree on any simulated counter, cost, or result digest.
+    """
+    unknown = [n for n in names if n not in PROFILE_EXPERIMENTS]
+    if unknown:
+        known = ", ".join(sorted(PROFILE_EXPERIMENTS))
+        raise ReproError(f"unknown profile experiment(s) {unknown} (known: {known})")
+
+    experiments: list[dict[str, Any]] = []
+    mismatches: list[str] = []
+    total_wall = 0.0
+    total_reference_wall = 0.0
+
+    for name in names:
+        dataset, preset, runner = PROFILE_EXPERIMENTS[name]
+        graph = _graph(dataset, preset)
+
+        recorder = PerfRecorder()
+        started = time.perf_counter()
+        with recording(recorder):
+            result = runner(graph, verify)
+        wall = time.perf_counter() - started
+
+        entry: dict[str, Any] = {
+            "exp_id": name,
+            "dataset": dataset,
+            "preset": preset,
+            "wall_seconds": round(wall, 6),
+            "engine_wall_seconds": round(recorder.total_wall_seconds(), 6),
+            "runs": _runs_payload(result),
+        }
+
+        if reference:
+            ref_started = time.perf_counter()
+            with reference_mode():
+                ref_result = runner(graph, verify)
+            ref_wall = time.perf_counter() - ref_started
+            entry["reference_wall_seconds"] = round(ref_wall, 6)
+            entry["speedup"] = round(ref_wall / wall, 3) if wall else None
+            cached_sig = _measurement_signature(result)
+            ref_sig = _measurement_signature(ref_result)
+            for key in sorted(set(cached_sig) | set(ref_sig)):
+                if cached_sig.get(key) != ref_sig.get(key):
+                    mismatches.append(
+                        f"{name}:{key[0]}/{key[1]} cached={cached_sig.get(key)!r} "
+                        f"reference={ref_sig.get(key)!r}"
+                    )
+            total_reference_wall += ref_wall
+
+        total_wall += wall
+        experiments.append(entry)
+
+    report: dict[str, Any] = {
+        "schema": PROFILE_SCHEMA,
+        "pr": pr_tag,
+        "generated_by": "repro bench --profile",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "experiments": experiments,
+        "suite": {
+            "experiments": names,
+            "wall_seconds": round(total_wall, 6),
+        },
+        # Vacuously claiming a match when the reference pass was skipped
+        # would let a --no-reference run masquerade as verified: use None.
+        "counters_match_reference": (not mismatches) if reference else None,
+    }
+    if reference:
+        report["suite"]["reference_wall_seconds"] = round(total_reference_wall, 6)
+        report["suite"]["speedup"] = (
+            round(total_reference_wall / total_wall, 3) if total_wall else None
+        )
+    if mismatches:
+        report["mismatches"] = mismatches
+        raise ProfileMismatchError(report, mismatches)
+    return report
+
+
+class ProfileMismatchError(ReproError):
+    """Cached and reference executions produced different simulated numbers."""
+
+    def __init__(self, report: dict[str, Any], mismatches: list[str]):
+        self.report = report
+        self.mismatches = mismatches
+        preview = "; ".join(mismatches[:5])
+        super().__init__(
+            f"{len(mismatches)} simulated-counter mismatch(es) between cached "
+            f"and reference execution: {preview}"
+        )
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """A terminal-friendly per-engine, per-phase timing table."""
+    lines: list[str] = []
+    for experiment in report["experiments"]:
+        header = f"{experiment['exp_id']} ({experiment['dataset']}/{experiment['preset']})"
+        timing = f"wall={experiment['wall_seconds']:.2f}s"
+        if "reference_wall_seconds" in experiment:
+            timing += (
+                f" reference={experiment['reference_wall_seconds']:.2f}s"
+                f" speedup={experiment['speedup']}x"
+            )
+        lines.append(f"{header}: {timing}")
+        lines.append(
+            f"  {'query':6s} {'engine':16s} {'wall':>8s} "
+            f"{'plan':>7s} {'load':>7s} {'jobs':>7s} {'shuffle':>8s} {'matrlz':>7s}"
+        )
+        for run in experiment["runs"]:
+            phases = run["phases"]
+            lines.append(
+                f"  {run['qid']:6s} {run['engine']:16s} {run['wall_seconds']:7.3f}s "
+                f"{phases.get('plan', 0.0):6.3f}s {phases.get('load', 0.0):6.3f}s "
+                f"{phases.get('jobs', 0.0):6.3f}s {phases.get('shuffle', 0.0):7.3f}s "
+                f"{phases.get('materialize', 0.0):6.3f}s"
+            )
+    suite = report["suite"]
+    summary = f"SUITE: wall={suite['wall_seconds']:.2f}s"
+    if "reference_wall_seconds" in suite:
+        summary += (
+            f" reference={suite['reference_wall_seconds']:.2f}s"
+            f" speedup={suite['speedup']}x"
+        )
+    if report["counters_match_reference"] is not None:
+        summary += f" counters_match_reference={report['counters_match_reference']}"
+    lines.append(summary)
+    return "\n".join(lines)

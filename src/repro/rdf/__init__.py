@@ -25,6 +25,7 @@ from repro.rdf.terms import (
     TermOrVar,
     Variable,
     is_concrete,
+    term_interned_sort_key,
     term_sort_key,
 )
 from repro.rdf.triples import RDF_TYPE, Triple, TriplePattern, join_variables
@@ -61,6 +62,7 @@ __all__ = [
     "parse_graph",
     "parse_line",
     "serialize",
+    "term_interned_sort_key",
     "term_sort_key",
     "write",
 ]

@@ -26,10 +26,26 @@ class Graph:
     """
 
     def __init__(self, triples: Iterable[Triple] = ()):
-        self._triples: set[Triple] = set()
-        self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        # Triples and index entries live in insertion-ordered dicts (the
+        # values are unused), NOT sets: iteration order must be a function
+        # of the data, never of PYTHONHASHSEED, because load order reaches
+        # the engines' physical layouts and from there every simulated
+        # counter.  Same O(1) membership/insert/delete as a set.
+        self._triples: dict[Triple, None] = {}
+        #: Monotonic mutation counter.  Derived physical layouts (VP
+        #: tables, subject triplegroups) are pure functions of the triple
+        #: set; engines cache them keyed on (graph, version) so repeated
+        #: executions over an unchanged graph reuse one derivation.
+        self._version = 0
+        self._spo: dict[Term, dict[Term, dict[Term, None]]] = defaultdict(
+            lambda: defaultdict(dict)
+        )
+        self._pos: dict[Term, dict[Term, dict[Term, None]]] = defaultdict(
+            lambda: defaultdict(dict)
+        )
+        self._osp: dict[Term, dict[Term, dict[Term, None]]] = defaultdict(
+            lambda: defaultdict(dict)
+        )
         for triple in triples:
             self.add(triple)
 
@@ -37,11 +53,12 @@ class Graph:
         """Insert a triple; returns False when it was already present."""
         if triple in self._triples:
             return False
-        self._triples.add(triple)
+        self._triples[triple] = None
+        self._version += 1
         s, p, o = triple.subject, triple.property, triple.object
-        self._spo[s][p].add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
+        self._spo[s][p][o] = None
+        self._pos[p][o][s] = None
+        self._osp[o][s][p] = None
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -52,12 +69,18 @@ class Graph:
         """Remove a triple; returns False when it was not present."""
         if triple not in self._triples:
             return False
-        self._triples.discard(triple)
+        del self._triples[triple]
+        self._version += 1
         s, p, o = triple.subject, triple.property, triple.object
-        self._spo[s][p].discard(o)
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
+        self._spo[s][p].pop(o, None)
+        self._pos[p][o].pop(s, None)
+        self._osp[o][s].pop(p, None)
         return True
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the triple set changes."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._triples)

@@ -7,10 +7,18 @@ conversion used by SPARQL expression evaluation and aggregation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Union
 
 from repro.errors import RDFError
+
+#: Hidden per-instance cache slot shared by the term dataclasses below.
+#: Terms are immutable value objects, so derived values (serialized-size
+#: estimates, interned sort keys) are computed once and pinned to the
+#: instance; the field is excluded from __init__/__repr__/__eq__/__hash__
+#: so the public value semantics are unchanged.  See docs/performance.md.
+def _cache_slot():
+    return field(default=None, init=False, repr=False, compare=False)
 
 XSD = "http://www.w3.org/2001/XMLSchema#"
 XSD_INTEGER = XSD + "integer"
@@ -40,6 +48,9 @@ class IRI:
     """An IRI reference, e.g. ``IRI("http://example.org/p1")``."""
 
     value: str
+    _size: int | None = _cache_slot()
+    _skey: tuple | None = _cache_slot()
+    _hash: int | None = _cache_slot()
 
     def __post_init__(self) -> None:
         if not self.value:
@@ -65,6 +76,9 @@ class BNode:
     """A blank node with a local label, e.g. ``BNode("b0")``."""
 
     label: str
+    _size: int | None = _cache_slot()
+    _skey: tuple | None = _cache_slot()
+    _hash: int | None = _cache_slot()
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -88,6 +102,9 @@ class Literal:
     lexical: str
     datatype: str | None = None
     language: str | None = None
+    _size: int | None = _cache_slot()
+    _skey: tuple | None = _cache_slot()
+    _hash: int | None = _cache_slot()
 
     def __post_init__(self) -> None:
         if self.datatype is not None and self.language is not None:
@@ -158,6 +175,9 @@ class Variable:
     """A SPARQL query variable, e.g. ``Variable("price")`` for ``?price``."""
 
     name: str
+    _size: int | None = _cache_slot()
+    _skey: tuple | None = _cache_slot()
+    _hash: int | None = _cache_slot()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -170,6 +190,57 @@ class Variable:
 
     def __str__(self) -> str:
         return self.n3()
+
+
+# -- memoized hashing ---------------------------------------------------------
+#
+# Terms are hashed constantly: graph indexes, VP-table grouping, shuffle
+# key grouping, and solution dicts all key on them.  The dataclass-
+# generated __hash__ rebuilds a field tuple on every call; the overrides
+# below compute the same value once and pin it in the ``_hash`` slot.
+# Hash values are identical to the generated implementation's, and
+# nothing in the simulator iterates in hash order (the graph and all
+# grouping dicts are insertion-ordered), so simulated output cannot
+# change.  Assigned after the class bodies because @dataclass(frozen=True)
+# installs its generated __hash__ over anything defined inline.
+
+
+def _iri_hash(self: IRI) -> int:
+    value = self._hash
+    if value is None:
+        value = hash((self.value,))
+        object.__setattr__(self, "_hash", value)
+    return value
+
+
+def _bnode_hash(self: BNode) -> int:
+    value = self._hash
+    if value is None:
+        value = hash((self.label,))
+        object.__setattr__(self, "_hash", value)
+    return value
+
+
+def _literal_hash(self: Literal) -> int:
+    value = self._hash
+    if value is None:
+        value = hash((self.lexical, self.datatype, self.language))
+        object.__setattr__(self, "_hash", value)
+    return value
+
+
+def _variable_hash(self: Variable) -> int:
+    value = self._hash
+    if value is None:
+        value = hash((self.name,))
+        object.__setattr__(self, "_hash", value)
+    return value
+
+
+IRI.__hash__ = _iri_hash
+BNode.__hash__ = _bnode_hash
+Literal.__hash__ = _literal_hash
+Variable.__hash__ = _variable_hash
 
 
 # A concrete RDF term (something that can appear in data).
@@ -197,3 +268,23 @@ def term_sort_key(term: Term) -> tuple:
     if isinstance(term, Literal):
         return (2, term.lexical, term.datatype or "", term.language or "")
     raise RDFError(f"not a concrete RDF term: {term!r}")
+
+
+def term_interned_sort_key(term: TermOrVar) -> tuple[str, str]:
+    """A cached shuffle-ordering key: ``(type name, repr(term))``.
+
+    This is exactly the key the runner historically rebuilt for every
+    comparison pass; interning it on the immutable term means a term
+    appearing in many sorts pays the (slow) dataclass ``repr`` once.
+    Because the key *is* the historical key, reducer/combiner processing
+    order — and with it every simulated counter and result row — is
+    provably unchanged.  Component-tuple keys (as in
+    :func:`term_sort_key`) would not be safe here: repr-string ordering
+    differs from component ordering whenever a value contains characters
+    below the quote delimiter (e.g. ``#`` in IRIs).
+    """
+    key = term._skey
+    if key is None:
+        key = (type(term).__name__, repr(term))
+        object.__setattr__(term, "_skey", key)
+    return key

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import RDFError
@@ -29,6 +29,11 @@ class Triple:
     subject: Term
     property: Term
     object: Term
+    #: Lazily-computed serialized-size estimate (see repro.mapreduce.cost)
+    #: and memoized hash; hidden from __init__/__repr__/__eq__/__hash__
+    #: like the term caches.
+    _size: int | None = field(default=None, init=False, repr=False, compare=False)
+    _hash: int | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if isinstance(self.subject, Literal):
@@ -49,6 +54,20 @@ class Triple:
 
     def __str__(self) -> str:
         return self.n3()
+
+
+def _triple_hash(self: Triple) -> int:
+    """Memoized hash, identical in value to the dataclass-generated one
+    (which would re-hash all three components — each itself a Python-level
+    ``__hash__`` call — on every graph-index or grouping-dict lookup)."""
+    value = self._hash
+    if value is None:
+        value = hash((self.subject, self.property, self.object))
+        object.__setattr__(self, "_hash", value)
+    return value
+
+
+Triple.__hash__ = _triple_hash
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,7 +127,11 @@ class TriplePattern:
         where one variable would need two different values.
         """
         bindings: dict[Variable, Term] = {}
-        for pattern_component, triple_component in zip(self, triple):
+        for pattern_component, triple_component in (
+            (self.subject, triple.subject),
+            (self.property, triple.property),
+            (self.object, triple.object),
+        ):
             if isinstance(pattern_component, Variable):
                 bound = bindings.get(pattern_component)
                 if bound is None:

@@ -81,3 +81,37 @@ def test_total_records():
     hdfs.write("a", [1, 2])
     hdfs.write("b", [3])
     assert hdfs.total_records() == 3
+
+
+def test_incremental_used_bytes_matches_recount():
+    """The running total must track write/overwrite/delete exactly."""
+    hdfs = HDFS()
+    hdfs.write("a", ["x" * 10] * 3)
+    hdfs.write("b", ["y" * 50], compressed=True)
+    hdfs.write("a", ["z" * 7])  # overwrite shrinks
+    hdfs.delete("b")
+    hdfs.delete("missing")  # no-op must not corrupt the total
+    recounted = sum(f.size_bytes for f in [hdfs.read(p) for p in hdfs.listdir()])
+    assert hdfs.used_bytes() == recounted
+
+
+def test_capacity_overflow_after_many_writes():
+    """MG13-style regression: the capacity check must use the *current*
+    total, so a workflow that keeps materializing intermediates trips the
+    limit at the right write, and a rejected write changes nothing."""
+    hdfs = HDFS(capacity=1000)
+    written = 0
+    path = 0
+    with pytest.raises(HDFSOutOfSpaceError):
+        while True:
+            hdfs.write(f"tmp/{path}", ["x" * 99])  # 100 bytes each
+            written += 100
+            path += 1
+    assert written == 1000  # exactly ten fit, the eleventh overflows
+    assert hdfs.used_bytes() == 1000
+    assert not hdfs.exists(f"tmp/{path}")
+    # Deleting one file frees exactly one file's worth of space again.
+    hdfs.delete("tmp/0")
+    assert hdfs.available_bytes() == 100
+    hdfs.write("tmp/again", ["x" * 99])
+    assert hdfs.used_bytes() == 1000

@@ -1,0 +1,170 @@
+"""Property tests for the cached size-estimation fast path.
+
+The contract under test: for every record shape the engines produce,
+``estimate_size`` (cached, type-dispatched) returns exactly what the
+seed's uncached implementation (``_reference_estimate_size``) returns —
+on first call, on repeat calls (cache hits), and across structurally
+equal copies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import cost
+from repro.mapreduce.cost import _reference_estimate_size, estimate_size
+from repro.ntga.triplegroup import JoinedTripleGroup, TripleGroup
+from repro.perf import reference_mode
+from repro.rdf.terms import BNode, IRI, Literal, Variable
+from repro.rdf.triples import Triple
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_text = st.text(min_size=1, max_size=20)
+_iris = st.builds(IRI, _text.map(lambda s: "urn:" + s))
+_bnodes = st.builds(BNode, _text)
+_variables = st.builds(Variable, st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True))
+_literals = st.one_of(
+    st.builds(Literal, _text),
+    st.builds(Literal, _text, datatype=_text.map(lambda s: "urn:dt/" + s)),
+    st.builds(Literal, _text, language=st.sampled_from(["en", "de", "fr"])),
+)
+_terms = st.one_of(_iris, _bnodes, _literals)
+_subjects = st.one_of(_iris, _bnodes)
+
+_triples = st.builds(Triple, _subjects, _iris, _terms)
+
+
+@st.composite
+def _triplegroups(draw):
+    subject = draw(_subjects)
+    pairs = draw(st.lists(st.tuples(_iris, _terms), min_size=1, max_size=5))
+    return TripleGroup(subject, tuple(Triple(subject, p, o) for p, o in pairs))
+
+
+@st.composite
+def _joined_triplegroups(draw):
+    groups = draw(st.lists(_triplegroups(), min_size=1, max_size=3))
+    fixed = draw(st.lists(st.tuples(_variables, _terms), max_size=2))
+    return JoinedTripleGroup(
+        tuple(enumerate(groups)), tuple(dict(fixed).items())
+    )
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    _text,
+)
+
+_leaves = st.one_of(_scalars, _terms, _variables, _triples)
+
+_records = st.recursive(
+    st.one_of(_leaves, _triplegroups(), _joined_triplegroups()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.one_of(_terms, _variables, _text), children, max_size=4),
+        st.frozensets(_leaves, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(_records)
+def test_cached_size_equals_reference(record):
+    assert estimate_size(record) == _reference_estimate_size(record)
+    # Second call exercises the populated caches — must be idempotent.
+    assert estimate_size(record) == _reference_estimate_size(record)
+
+
+@settings(max_examples=100)
+@given(_records)
+def test_reference_mode_agrees(record):
+    cached = estimate_size(record)
+    with reference_mode():
+        assert estimate_size(record) == cached
+
+
+@settings(max_examples=100)
+@given(_triples)
+def test_structurally_equal_triples_report_equal_sizes(triple):
+    # A fresh copy has cold caches; a triple that was already sized has
+    # warm ones.  Equality of the value objects must imply size equality.
+    estimate_size(triple)  # warm the original
+    copy = Triple(triple.subject, triple.property, triple.object)
+    assert triple == copy
+    assert estimate_size(triple) == estimate_size(copy)
+
+
+@settings(max_examples=100)
+@given(_triplegroups())
+def test_structurally_equal_triplegroups_report_equal_sizes(group):
+    group.estimated_size()  # warm the memo
+    copy = TripleGroup(
+        group.subject,
+        tuple(Triple(t.subject, t.property, t.object) for t in group.triples),
+    )
+    assert group == copy
+    assert copy.estimated_size() == group.estimated_size()
+    assert copy.props() == group.props()
+
+
+def test_mutable_estimated_size_objects_are_never_cached():
+    """Records whose estimated_size can change (accumulators) must be
+    re-sized on every call — the dispatch table may not pin them."""
+
+    class Growing:
+        def __init__(self):
+            self.n = 10
+
+        def estimated_size(self):
+            return self.n
+
+    record = Growing()
+    assert estimate_size(record) == 10
+    record.n = 99
+    assert estimate_size(record) == 99
+
+
+def test_arbitrary_object_falls_back_to_repr():
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    assert estimate_size(Opaque()) == _reference_estimate_size(Opaque())
+    assert estimate_size(Opaque()) == cost._POINTER + len("<opaque>")
+
+
+def test_accumulator_tuple_sizes_track_merges():
+    """AccumulatorTuple mutates on merge; its shuffle size must follow."""
+    from repro.sparql.aggregates import AccumulatorTuple, make_accumulator
+
+    first = AccumulatorTuple(
+        [make_accumulator("SUM"), make_accumulator("COUNT", distinct=True)]
+    )
+    second = AccumulatorTuple(
+        [make_accumulator("SUM"), make_accumulator("COUNT", distinct=True)]
+    )
+    for value in (5, 7):
+        first.accumulators[0].update(value)
+        first.accumulators[1].update(value)
+    second.accumulators[0].update(11)
+    second.accumulators[1].update("urn:distinct-key")
+    before = estimate_size(first)
+    first.merge(second)
+    after = estimate_size(first)
+    # The cached dispatcher must re-size the mutated tuple, not serve a
+    # stale cached value...
+    assert after == _reference_estimate_size(first)
+    # ...and the merge really did change the size (the distinct set grew).
+    assert after > before

@@ -1,0 +1,93 @@
+"""Determinism tests for the interned shuffle sort keys.
+
+The seed sorted shuffle keys by ``(type name, repr)``.  The cached fast
+path must order keys *identically* — including the subtle case of IRIs
+containing characters that sort below the repr quote character (``#``
+is 0x23, ``'`` is 0x27), which is why the cache interns the exact repr
+string per term instead of comparing component tuples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import runner
+from repro.mapreduce.runner import _key_repr, _raw_sort_key, _sort_key
+from repro.rdf.terms import BNode, IRI, Literal, Variable
+
+# ---------------------------------------------------------------------------
+# Strategies: every key shape the engines emit as a map-output key
+# ---------------------------------------------------------------------------
+
+_text = st.text(min_size=0, max_size=20)
+_iris = st.builds(
+    IRI,
+    st.one_of(
+        _text.map(lambda s: "urn:" + s),
+        # Fragment IRIs exercise the below-quote-character ordering case.
+        _text.map(lambda s: "http://example.org/ns#" + s),
+    ),
+)
+_literals = st.one_of(
+    st.builds(Literal, _text),
+    st.builds(Literal, _text, datatype=_text.map(lambda s: "urn:dt/" + s)),
+    st.builds(Literal, _text, language=st.sampled_from(["en", "de"])),
+)
+_terms = st.one_of(
+    _iris,
+    st.builds(BNode, st.text(min_size=1, max_size=12)),
+    st.builds(Variable, st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True)),
+    _literals,
+)
+
+_scalar_keys = st.one_of(st.none(), st.integers(), _text)
+_leaf_keys = st.one_of(_terms, _scalar_keys)
+# Lists → tuples so empty tuples and 1-tuples (trailing-comma repr) appear.
+_tuple_keys = st.lists(_leaf_keys, max_size=4).map(tuple)
+_nested_keys = st.tuples(_tuple_keys, _leaf_keys)
+_keys = st.one_of(_leaf_keys, _tuple_keys, _nested_keys)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=300)
+@given(_keys)
+def test_key_repr_matches_builtin_repr(key):
+    assert _key_repr(key) == repr(key)
+    # Second call reads the interned per-term cache — must not drift.
+    assert _key_repr(key) == repr(key)
+
+
+@settings(max_examples=200)
+@given(_keys)
+def test_cached_sort_key_equals_seed_sort_key(key):
+    assert _sort_key(key) == _raw_sort_key(key)
+
+
+@settings(max_examples=100)
+@given(st.lists(_keys, max_size=25))
+def test_sorted_order_matches_seed(keys):
+    assert sorted(keys, key=_sort_key) == sorted(keys, key=_raw_sort_key)
+
+
+def test_fragment_iri_orders_like_repr_not_like_components():
+    """Regression: '#' (0x23) sorts below the repr quote (0x27), so the
+    fragment IRI must sort *before* its prefix IRI — a component-wise
+    comparison would order them the other way around."""
+    plain = IRI("http://example.org/ns")
+    fragment = IRI("http://example.org/ns#type")
+    ordered = sorted([plain, fragment], key=_sort_key)
+    assert ordered == sorted([plain, fragment], key=_raw_sort_key)
+    assert ordered[0] is fragment
+
+
+def test_disabled_cache_falls_back_to_raw_key():
+    key = (IRI("urn:a"), Literal("b"))
+    runner.SORT_KEY_CACHE_ENABLED = False
+    try:
+        assert _sort_key(key) == _raw_sort_key(key)
+    finally:
+        runner.SORT_KEY_CACHE_ENABLED = True
+    assert _sort_key(key) == _raw_sort_key(key)
