@@ -65,7 +65,9 @@ def _run_plan(
             )
             for job in jobs
         ]
-    runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
+    runner = MapReduceRunner(
+        hdfs, config.cluster, config.cost_model, config.fault_plan
+    )
     if plan.final_join_index is None:
         stats = runner.run_workflow(jobs)
         inject_default_rows(plan, hdfs)
@@ -140,7 +142,9 @@ def ec_pruning_ablation(
     try:
         type(store).paths_for = lambda self, p_prim: all_paths  # type: ignore[method-assign]
         plan = plan_rapid_analytics(query, store)
-        runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
+        runner = MapReduceRunner(
+            hdfs, config.cluster, config.cost_model, config.fault_plan
+        )
         if plan.final_join_index is None:
             stats = runner.run_workflow(plan.jobs)
             inject_default_rows(plan, hdfs)

@@ -1,0 +1,295 @@
+"""Fault-resilience benchmark: ``repro bench <experiment> --faults``.
+
+Runs one paper experiment twice on the same graph — fault-free, then
+under a seeded :class:`~repro.mapreduce.faults.FaultPlan` — and reports
+per-(query, engine) cost degradation.  This reproduces the argument the
+paper makes structurally: RAPIDAnalytics' shorter workflows (3-4 MR
+cycles vs naive Hive's 9-13) expose fewer tasks and fewer materialized
+bytes to failure, so the same fault plan degrades them less.
+
+The report is fully deterministic (seeded plan, simulated costs, no
+wall-clock), so a committed report doubles as a golden: the CI smoke
+re-runs one small config and requires a bit-identical match, catching
+recovery-path regressions on every push.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bench.catalog import get_query
+from repro.bench.harness import (
+    QueryMeasurement,
+    bsbm_config,
+    chem_config,
+    pubmed_config,
+    run_experiment,
+)
+from repro.core.engines import PAPER_ENGINES
+from repro.core.results import EngineConfig
+from repro.errors import ReproError
+from repro.mapreduce.faults import FAULT_COUNTERS, FaultPlan
+from repro.rdf.graph import Graph
+
+#: Schema tag for the resilience report (bump on shape changes).
+FAULTS_SCHEMA = "repro-fault-resilience/v1"
+
+#: Experiment registry: id -> (dataset, preset, queries, engines, config).
+#: Mirrors the harness's paper artifacts, restated here so one run can
+#: rebuild the experiment with a fault-plan-carrying config.
+FAULT_EXPERIMENTS: dict[
+    str, tuple[str, str, tuple[str, ...], tuple[str, ...], Callable[[], EngineConfig]]
+] = {
+    "table3-bsbm-tiny": (
+        "bsbm", "tiny", ("G1", "G2", "G3", "G4"),
+        ("hive-naive", "rapid-analytics"), bsbm_config,
+    ),
+    "table3-bsbm-500k": (
+        "bsbm", "500k", ("G1", "G2", "G3", "G4"),
+        ("hive-naive", "rapid-analytics"), bsbm_config,
+    ),
+    "table3-chem": (
+        "chem", "paper", ("G5", "G6", "G7", "G8", "G9"),
+        ("hive-naive", "rapid-analytics"), chem_config,
+    ),
+    "figure8a": (
+        "bsbm", "500k", ("MG1", "MG2", "MG3", "MG4"), PAPER_ENGINES, bsbm_config,
+    ),
+    "figure8c": (
+        "chem", "paper", ("MG6", "MG7", "MG8", "MG9", "MG10"),
+        PAPER_ENGINES, chem_config,
+    ),
+    "table4": (
+        "pubmed", "paper",
+        ("MG11", "MG12", "MG13", "MG14", "MG15", "MG16", "MG17", "MG18"),
+        PAPER_ENGINES, pubmed_config,
+    ),
+}
+
+
+def _build_graph(dataset: str, preset: str) -> Graph:
+    from repro.datasets import bsbm, chem2bio2rdf, pubmed
+
+    builders = {
+        "bsbm": lambda: bsbm.generate(bsbm.preset(preset)),
+        "chem": lambda: chem2bio2rdf.generate(chem2bio2rdf.preset(preset)),
+        "pubmed": lambda: pubmed.generate(pubmed.preset(preset)),
+    }
+    return builders[dataset]()
+
+
+def _base_counters(measurement: QueryMeasurement) -> dict[str, int]:
+    return {
+        name: value
+        for name, value in measurement.counters.items()
+        if name not in FAULT_COUNTERS
+    }
+
+
+def _fault_counters(measurement: QueryMeasurement) -> dict[str, int]:
+    return {
+        name: value
+        for name, value in measurement.counters.items()
+        if name in FAULT_COUNTERS
+    }
+
+
+def fault_resilience_report(
+    experiment: str,
+    plan: FaultPlan,
+    graph: Graph | None = None,
+) -> dict[str, Any]:
+    """Run *experiment* fault-free and under *plan*; return the report.
+
+    Per run the report records both costs (as exact ``repr`` strings,
+    like the goldens), the degradation factor, the fault counters, and
+    two invariant verdicts: the faulted run's result rows and its base
+    (non-fault) counters must match the fault-free run exactly.
+    """
+    try:
+        dataset, preset, qids, engines, config_factory = FAULT_EXPERIMENTS[experiment]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_EXPERIMENTS))
+        raise ReproError(
+            f"unknown fault experiment {experiment!r} (known: {known})"
+        ) from None
+    graph = graph if graph is not None else _build_graph(dataset, preset)
+    config = config_factory()
+    queries = [get_query(qid) for qid in qids]
+
+    baseline = run_experiment(
+        f"{experiment}-fault-free", "fault-free baseline",
+        queries, graph, engines, config, verify=False,
+    )
+    faulted = run_experiment(
+        f"{experiment}-faulted", "seeded fault plan",
+        queries, graph, engines, replace(config, fault_plan=plan), verify=False,
+    )
+
+    base_runs = {(m.qid, m.engine): m for m in baseline.measurements}
+    runs: list[dict[str, Any]] = []
+    degradations: dict[str, list[float]] = {engine: [] for engine in engines}
+    extras: dict[str, list[float]] = {engine: [] for engine in engines}
+    for measurement in faulted.measurements:
+        base = base_runs[(measurement.qid, measurement.engine)]
+        entry: dict[str, Any] = {
+            "qid": measurement.qid,
+            "engine": measurement.engine,
+            "rows": measurement.rows,
+            "cycles": measurement.cycles,
+            "failed": measurement.failed,
+            "baseline_cost_seconds": repr(base.cost_seconds),
+            "faulted_cost_seconds": repr(measurement.cost_seconds),
+            "fault_counters": dict(sorted(_fault_counters(measurement).items())),
+            "rows_match_baseline": measurement.rows_digest == base.rows_digest,
+            "base_counters_match_baseline": _base_counters(measurement)
+            == _base_counters(base),
+        }
+        if measurement.failed:
+            # Aborted: no finite cost to compare.
+            entry["degradation"] = None
+            entry["extra_cost_seconds"] = None
+        else:
+            extra = round(measurement.cost_seconds - base.cost_seconds, 6)
+            degradation = round(measurement.cost_seconds / base.cost_seconds, 6)
+            entry["degradation"] = degradation
+            entry["extra_cost_seconds"] = extra
+            degradations[measurement.engine].append(degradation)
+            extras[measurement.engine].append(extra)
+        runs.append(entry)
+
+    summary = {
+        engine: {
+            "mean_degradation": round(sum(values) / len(values), 6) if values else None,
+            "max_degradation": round(max(values), 6) if values else None,
+            # Absolute recovery overhead in simulated seconds — the
+            # headline "degrades more gracefully" metric: a short
+            # workflow exposes fewer tasks and fewer materialized bytes,
+            # so the same plan costs it fewer extra seconds.
+            "mean_extra_cost_seconds": round(
+                sum(extras[engine]) / len(extras[engine]), 6
+            )
+            if extras[engine]
+            else None,
+            "total_extra_cost_seconds": round(sum(extras[engine]), 6)
+            if extras[engine]
+            else None,
+            "aborted_runs": sum(
+                1 for r in runs if r["engine"] == engine and r["failed"]
+            ),
+        }
+        for engine, values in degradations.items()
+    }
+    return {
+        "schema": FAULTS_SCHEMA,
+        "experiment": experiment,
+        "dataset": dataset,
+        "preset": preset,
+        "fault_plan": {
+            "seed": plan.seed,
+            "task_failure_rate": plan.task_failure_rate,
+            "straggler_rate": plan.straggler_rate,
+            "straggler_slowdown": plan.straggler_slowdown,
+            "hdfs_write_failure_rate": plan.hdfs_write_failure_rate,
+            "max_attempts": plan.max_attempts,
+            "speculation": plan.speculation,
+        },
+        "engines": list(engines),
+        "queries": list(qids),
+        "runs": runs,
+        "summary": summary,
+    }
+
+
+def plan_from_report(report: dict[str, Any]) -> FaultPlan:
+    return FaultPlan(**report["fault_plan"])
+
+
+def check_fault_golden(path: Path) -> list[str]:
+    """Re-run a committed resilience report's config and diff against it.
+
+    Returns human-readable differences (empty = bit-identical), so CI
+    catches any recovery-path change that moves a fault counter or a
+    recovered cost.
+    """
+    golden = json.loads(Path(path).read_text())
+    fresh = fault_resilience_report(golden["experiment"], plan_from_report(golden))
+    problems: list[str] = []
+    for field in ("schema", "dataset", "preset", "fault_plan", "engines", "queries"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} fresh={fresh.get(field)!r}"
+            )
+    golden_runs = {(r["qid"], r["engine"]): r for r in golden.get("runs", [])}
+    fresh_runs = {(r["qid"], r["engine"]): r for r in fresh.get("runs", [])}
+    for key in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(key), fresh_runs.get(key)
+        if old is None or new is None:
+            problems.append(
+                f"{key}: present only in {'fresh' if old is None else 'golden'}"
+            )
+            continue
+        for field in sorted((set(old) | set(new)) - {"qid", "engine"}):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"{key[0]}/{key[1]}: {field} differs: "
+                    f"golden={old.get(field)!r} fresh={new.get(field)!r}"
+                )
+    if golden.get("summary") != fresh.get("summary"):
+        problems.append(
+            f"summary differs: golden={golden.get('summary')!r} "
+            f"fresh={fresh.get('summary')!r}"
+        )
+    return problems
+
+
+def write_fault_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_fault_report(report: dict[str, Any]) -> str:
+    """Terminal table: per-query degradation factor per engine."""
+    plan = report["fault_plan"]
+    lines = [
+        f"{report['experiment']} under faults "
+        f"(seed={plan['seed']}, task_failure_rate={plan['task_failure_rate']}, "
+        f"straggler_rate={plan['straggler_rate']}, "
+        f"write_failure_rate={plan['hdfs_write_failure_rate']})",
+        f"{'query':6s} {'engine':18s} {'baseline':>10s} {'faulted':>10s} "
+        f"{'extra':>9s} {'degr.':>7s} {'retries':>8s} {'spec':>5s} {'wasted':>10s}",
+    ]
+    for run in report["runs"]:
+        counters = run["fault_counters"]
+        if run["failed"]:
+            outcome = f"{'ABORTED':>10s} {run['failed']:>18s}"
+            lines.append(f"{run['qid']:6s} {run['engine']:18s} {outcome}")
+            continue
+        lines.append(
+            f"{run['qid']:6s} {run['engine']:18s} "
+            f"{float(run['baseline_cost_seconds']):9.1f}s "
+            f"{float(run['faulted_cost_seconds']):9.1f}s "
+            f"{run['extra_cost_seconds']:+8.1f}s "
+            f"{run['degradation']:6.3f}x {counters.get('retried_tasks', 0):8d} "
+            f"{counters.get('speculative_tasks', 0):5d} "
+            f"{counters.get('wasted_bytes', 0):9d}B"
+        )
+    lines.append("mean extra cost: " + "  ".join(
+        f"{engine}={stats['mean_extra_cost_seconds']}s"
+        for engine, stats in sorted(report["summary"].items())
+    ))
+    lines.append("mean degradation: " + "  ".join(
+        f"{engine}={stats['mean_degradation']}x"
+        for engine, stats in sorted(report["summary"].items())
+    ))
+    invariant_ok = all(
+        run["rows_match_baseline"] and run["base_counters_match_baseline"]
+        for run in report["runs"]
+        if not run["failed"]
+    )
+    lines.append(f"results identical to fault-free run: {invariant_ok}")
+    return "\n".join(lines)

@@ -136,6 +136,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.faults and args.profile:
+        print("--faults and --profile are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.faults:
+        return _bench_faults(args)
     if args.profile:
         return _bench_profile(args)
     if args.experiment == "all":
@@ -154,6 +159,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if len(result.engines) > 1:
         print()
         print(render_gains_table(result, baseline=result.engines[0]))
+    return 0
+
+
+def _bench_faults(args: argparse.Namespace) -> int:
+    """``repro bench <experiment> --faults seed,rate``: run the
+    experiment fault-free and under the seeded plan, report degradation,
+    and optionally write/verify the stable JSON report."""
+    from repro.bench.faults import (
+        FAULT_EXPERIMENTS,
+        check_fault_golden,
+        fault_resilience_report,
+        render_fault_report,
+        write_fault_report,
+    )
+    from repro.mapreduce.faults import FaultPlan
+
+    if args.experiment not in FAULT_EXPERIMENTS:
+        known = ", ".join(sorted(FAULT_EXPERIMENTS))
+        print(
+            f"unknown fault experiment {args.experiment!r}; known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    plan = FaultPlan.from_spec(args.faults)
+    report = fault_resilience_report(args.experiment, plan)
+    print(render_fault_report(report))
+    if args.output:
+        path = write_fault_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        from pathlib import Path
+
+        problems = check_fault_golden(Path(args.golden))
+        if problems:
+            for problem in problems:
+                print(f"fault golden mismatch: {problem}", file=sys.stderr)
+            return 1
+        print(f"fault golden ok: {args.golden}")
+    bad = [
+        f"{run['qid']}/{run['engine']}"
+        for run in report["runs"]
+        if not run["failed"]
+        and not (run["rows_match_baseline"] and run["base_counters_match_baseline"])
+    ]
+    if bad:
+        print(f"INVARIANT VIOLATION: results drifted under faults: {bad}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -277,13 +329,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--golden",
         default=None,
-        help="also re-check a committed golden counters file (--profile only)",
+        help="also re-check a committed golden file (--profile: counters "
+        "golden; --faults: resilience-report golden)",
     )
     bench.add_argument(
         "--no-reference",
         action="store_true",
         help="skip the uncached reference pass (--profile only; faster, "
         "no invariant check)",
+    )
+    bench.add_argument(
+        "--faults",
+        default=None,
+        metavar="SEED,RATE",
+        help="run fault-free and under a seeded fault plan "
+        "('seed,rate[,straggler_rate[,write_rate]]'), report cost "
+        "degradation per engine; --output/--golden write/verify the "
+        "stable JSON report",
     )
     bench.set_defaults(func=cmd_bench)
 

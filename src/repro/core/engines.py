@@ -7,12 +7,14 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Protocol
 
 from repro.core.query_model import AnalyticalQuery, from_select_query
 from repro.core.reference import ReferenceEngine
 from repro.core.results import EngineConfig, ExecutionReport
 from repro.errors import PlanningError
+from repro.mapreduce.faults import FaultPlan
 from repro.rdf.graph import Graph
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
@@ -81,14 +83,29 @@ def to_analytical(query: str | SelectQuery | AnalyticalQuery) -> AnalyticalQuery
     return from_select_query(parse_query(query), source_text=query)
 
 
+def _with_faults(config: EngineConfig | None, faults: FaultPlan | None) -> EngineConfig | None:
+    """Overlay a fault plan on a config (building a default if needed)."""
+    if faults is None:
+        return config
+    return replace(config or EngineConfig(), fault_plan=faults)
+
+
 def run_query(
     query: str | SelectQuery | AnalyticalQuery,
     graph: Graph,
     engine: str = "rapid-analytics",
     config: EngineConfig | None = None,
+    faults: FaultPlan | None = None,
 ) -> ExecutionReport:
-    """Parse (if needed), plan, and execute *query* on the named engine."""
-    return make_engine(engine).execute(to_analytical(query), graph, config)
+    """Parse (if needed), plan, and execute *query* on the named engine.
+
+    *faults* injects a seeded fault plan (task crashes, stragglers,
+    transient write failures) into the simulated cluster; results are
+    identical to the fault-free run, only cost and fault counters grow.
+    """
+    return make_engine(engine).execute(
+        to_analytical(query), graph, _with_faults(config, faults)
+    )
 
 
 def run_all_engines(
@@ -96,9 +113,11 @@ def run_all_engines(
     graph: Graph,
     config: EngineConfig | None = None,
     engines: tuple[str, ...] = PAPER_ENGINES,
+    faults: FaultPlan | None = None,
 ) -> dict[str, ExecutionReport]:
     """Run the same query on several engines (the paper's comparisons)."""
     analytical = to_analytical(query)
+    config = _with_faults(config, faults)
     return {
         name: make_engine(name).execute(analytical, graph, config) for name in engines
     }

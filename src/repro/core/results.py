@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mapreduce.cost import ClusterConfig, CostModel, register_sized_dict
+from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.runner import WorkflowStats
 from repro.rdf.terms import Term, Variable
 
@@ -32,12 +33,15 @@ class EngineConfig:
     non-streamed inputs all fit under it compiles to a map-only cycle.
     ``hdfs_capacity`` bounds simulated disk (None = unlimited) — the
     paper's MG13 naive-Hive failure reproduces by setting it.
+    ``fault_plan`` injects seeded task crashes / stragglers / write
+    failures with Hadoop-style recovery (None = fault-free).
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     cost_model: CostModel = field(default_factory=CostModel)
     mapjoin_threshold: int = 64 * 1024
     hdfs_capacity: int | None = None
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass

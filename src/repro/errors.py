@@ -60,6 +60,26 @@ class MapReduceError(ReproError):
     """Failure inside the MapReduce simulator."""
 
 
+class TaskFailedError(MapReduceError):
+    """A simulated task exhausted its retry budget, aborting the job.
+
+    Mirrors Hadoop's job failure after ``mapreduce.map.maxattempts``
+    (default 4) failed attempts of one task.  Raised only under a
+    :class:`repro.mapreduce.faults.FaultPlan` whose injected crashes
+    outlast the budget.
+    """
+
+    def __init__(self, job_name: str, kind: str, task_index: int, attempts: int):
+        self.job_name = job_name
+        self.kind = kind
+        self.task_index = task_index
+        self.attempts = attempts
+        super().__init__(
+            f"job {job_name!r}: {kind} task {task_index} failed "
+            f"{attempts} of {attempts} attempts; aborting job"
+        )
+
+
 class HDFSError(MapReduceError):
     """Simulated distributed-filesystem failure."""
 

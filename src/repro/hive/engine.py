@@ -26,7 +26,9 @@ class HiveEngine:
         hdfs = HDFS(capacity=config.hdfs_capacity)
         with perf.phase("load"):
             store = load_vertical_partitions(graph, hdfs)
-        runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
+        runner = MapReduceRunner(
+            hdfs, config.cluster, config.cost_model, config.fault_plan
+        )
         executor = HiveExecutor(hdfs, store, runner, config, self.mode)
         # Hive's "planning" is interleaved with job submission inside the
         # executor, so its wall-clock lands in the runner's jobs/shuffle

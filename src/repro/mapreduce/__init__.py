@@ -1,7 +1,9 @@
-"""Deterministic MapReduce simulator: HDFS, jobs, runner, cost model."""
+"""Deterministic MapReduce simulator: HDFS, jobs, runner, cost model,
+and seeded fault injection with Hadoop-style recovery."""
 
 from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import FAULT_COUNTERS, FaultPlan
 from repro.mapreduce.hdfs import HDFS, HDFSFile
 from repro.mapreduce.job import JobStats, MapReduceJob
 from repro.mapreduce.runner import MapReduceRunner, WorkflowStats
@@ -10,6 +12,8 @@ __all__ = [
     "ClusterConfig",
     "CostModel",
     "Counters",
+    "FAULT_COUNTERS",
+    "FaultPlan",
     "HDFS",
     "HDFSFile",
     "JobStats",

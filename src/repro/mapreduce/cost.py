@@ -302,8 +302,16 @@ class ClusterConfig:
         return self.nodes * self.reduce_slots_per_node
 
     def splits_for(self, total_bytes: int) -> int:
+        """Input splits (map tasks) for one stored file.
+
+        Zero-byte files occupy no blocks and get no mapper: a job
+        reading several empty intermediate files must not charge one
+        whole map task per file (the runner floors the job's *total*
+        at one task, since an executing job always runs at least one
+        mapper).
+        """
         if total_bytes <= 0:
-            return 1
+            return 0
         return max(1, math.ceil(total_bytes / self.block_size))
 
 
@@ -328,6 +336,12 @@ class CostModel:
     scan_rate: float = 16.0 * 1024  # bytes/sec per map slot (simulation units)
     shuffle_rate: float = 8.0 * 1024  # bytes/sec per reduce slot
     write_rate: float = 12.0 * 1024  # bytes/sec per writing slot
+    #: Recovery terms (charged only under a FaultPlan).  A failed
+    #: attempt waits ``retry_backoff * 2**(attempt-1)`` seconds before
+    #: its re-launch (Hadoop's exponential retry delay); a speculative
+    #: duplicate pays one extra task launch.
+    retry_backoff: float = 2.0
+    speculation_overhead: float = 0.4
 
     def job_cost(
         self,
@@ -340,7 +354,9 @@ class CostModel:
         reduce_tasks: int,
     ) -> float:
         """Simulated wall-clock seconds for one MR job."""
-        map_waves = math.ceil(map_tasks / cluster.map_slots) if map_tasks else 0
+        # An executing job always runs at least one map wave, even when
+        # its inputs occupy zero splits (empty intermediate files).
+        map_waves = max(1, math.ceil(map_tasks / cluster.map_slots))
         map_parallelism = max(1, min(map_tasks, cluster.map_slots))
         cost = self.job_startup if reduce_tasks > 0 else self.map_only_startup
         cost += map_waves * self.map_task_overhead
@@ -353,4 +369,30 @@ class CostModel:
             cost += output_bytes / (self.write_rate * reduce_parallelism)
         else:
             cost += output_bytes / (self.write_rate * map_parallelism)
+        return cost
+
+    def recovery_cost(
+        self,
+        *,
+        rescanned_bytes: float = 0.0,
+        reshuffled_bytes: float = 0.0,
+        rewritten_bytes: float = 0.0,
+        backoff_units: float = 0.0,
+        speculative_tasks: int = 0,
+    ) -> float:
+        """Extra simulated seconds spent recovering from injected faults.
+
+        Re-executed work runs on a single slot — a retry is one task's
+        re-attempt, not a cluster-wide wave — so re-driven bytes are
+        charged at the raw per-slot rates.  ``backoff_units`` is the sum
+        of exponential-backoff multipliers (``2**(attempt-1)`` per failed
+        attempt) accumulated by the runner.  Every term is non-negative
+        and non-decreasing in its input, which is what makes total cost
+        monotone in the fault rates.
+        """
+        cost = backoff_units * self.retry_backoff
+        cost += speculative_tasks * self.speculation_overhead
+        cost += rescanned_bytes / self.scan_rate
+        cost += reshuffled_bytes / self.shuffle_rate
+        cost += rewritten_bytes / self.write_rate
         return cost

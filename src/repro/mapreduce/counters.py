@@ -18,6 +18,17 @@ class Counters:
     * ``reduce_input_records`` / ``reduce_output_records``
     * ``hdfs_bytes_read`` / ``hdfs_bytes_written`` / ``shuffle_bytes``
     * ``map_tasks`` / ``reduce_tasks`` / ``mr_cycles`` / ``map_only_cycles``
+
+    Fault-recovery counters (present only when a
+    :class:`repro.mapreduce.faults.FaultPlan` injected the matching
+    fault; see :data:`repro.mapreduce.faults.FAULT_COUNTERS`):
+
+    * ``failed_map_tasks`` / ``failed_reduce_tasks`` — crashed attempts
+    * ``retried_tasks`` — re-attempts launched after crashes
+    * ``speculative_tasks`` — straggler duplicates launched
+    * ``straggler_tasks`` — tasks flagged slow by the plan
+    * ``wasted_bytes`` — bytes of discarded (re-driven) work
+    * ``hdfs_write_retries`` — transient output-write re-drives
     """
 
     _values: dict[str, int] = field(default_factory=lambda: defaultdict(int))

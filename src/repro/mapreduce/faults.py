@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the MapReduce simulator.
+
+The paper's measurements come from a real 10-node Hadoop cluster, where
+task crashes, stragglers, and re-execution are routine.  A
+:class:`FaultPlan` lets the simulator express the same failure modes
+while keeping every run exactly reproducible:
+
+* **map/reduce task crashes** — a task attempt fails and is retried
+  (with backoff) up to a max-attempts budget; exhausting the budget
+  aborts the job with a typed :class:`~repro.errors.TaskFailedError`,
+  exactly like a Hadoop job killed after four failed attempts;
+* **slow stragglers** — a task runs several times slower than its
+  peers; with speculation enabled the runner launches a duplicate and
+  takes the first finisher (Hadoop's speculative execution), otherwise
+  the whole wave waits for the straggler;
+* **transient HDFS write failures** — the job's output write fails and
+  is re-driven, charging the re-written bytes.
+
+Determinism contract
+--------------------
+
+Every fault decision is a pure function of ``(seed, job identity, task
+kind, task index, attempt)`` — a keyed BLAKE2 hash mapped to a unit
+float and compared against the configured rate.  Nothing reads the
+wall clock or the global :mod:`random` state, so a given plan injects
+the *same* faults into the same workflow on every run, on every
+platform, regardless of ``PYTHONHASHSEED``.  The runner's job identity
+folds the job's data volumes in with its name (planner job names like
+``ra:agg-join`` repeat across queries; the volumes keep two different
+queries from replaying one fault pattern).  Because an attempt's unit
+float is fixed by its identity, raising a rate strictly grows the set
+of injected faults: recovery cost is monotonically non-decreasing in
+every rate (the property tests pin this).
+
+Recovery never changes *what* a job computes — failed attempts are
+re-executions of deterministic tasks, exactly as in Hadoop — so result
+records and all base counters are identical to the fault-free run.
+Only the fault counters (``failed_map_tasks``, ``retried_tasks``,
+``speculative_tasks``, ``wasted_bytes``, ...) and the simulated cost
+grow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import MapReduceError
+
+#: Counters owned by the recovery layer.  Everything *not* in this set
+#: is a base counter, required to be bit-identical with and without a
+#: fault plan (the invariant the resilience harness checks per run).
+FAULT_COUNTERS = frozenset(
+    {
+        "failed_map_tasks",
+        "failed_reduce_tasks",
+        "retried_tasks",
+        "speculative_tasks",
+        "straggler_tasks",
+        "wasted_bytes",
+        "hdfs_write_retries",
+    }
+)
+
+_UNIT_DENOMINATOR = float(2**64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, per-run description of which faults to inject.
+
+    Rates are probabilities in ``[0, 1)`` applied independently per
+    task (or per attempt, for crashes and write failures).  The default
+    plan (all rates zero) injects nothing and costs nothing.
+    """
+
+    seed: int = 0
+    #: Probability that any single task *attempt* crashes.
+    task_failure_rate: float = 0.0
+    #: Probability that a task is a slow straggler.
+    straggler_rate: float = 0.0
+    #: How much slower a straggler runs than a healthy task.
+    straggler_slowdown: float = 4.0
+    #: Probability that one attempt of the job's output write fails.
+    hdfs_write_failure_rate: float = 0.0
+    #: Attempts budget per task (Hadoop's ``mapreduce.map.maxattempts``).
+    max_attempts: int = 4
+    #: Launch a duplicate of each straggler and take the first finisher.
+    speculation: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("task_failure_rate", "straggler_rate", "hdfs_write_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise MapReduceError(f"fault plan {name} must be in [0, 1): {rate!r}")
+        if self.max_attempts < 1:
+            raise MapReduceError(
+                f"fault plan max_attempts must be >= 1: {self.max_attempts!r}"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise MapReduceError(
+                f"fault plan straggler_slowdown must be >= 1: {self.straggler_slowdown!r}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI spec: ``seed,rate[,straggler_rate[,write_rate]]``.
+
+        With only two fields the task-failure rate also drives the
+        straggler and HDFS-write rates, so ``--faults 7,0.05`` exercises
+        every recovery path with a single knob.
+        """
+        parts = [part.strip() for part in spec.split(",")]
+        if not 2 <= len(parts) <= 4:
+            raise MapReduceError(
+                f"fault spec must be 'seed,rate[,straggler_rate[,write_rate]]': {spec!r}"
+            )
+        try:
+            seed = int(parts[0])
+            rates = [float(part) for part in parts[1:]]
+        except ValueError:
+            raise MapReduceError(f"malformed fault spec {spec!r}") from None
+        task_rate = rates[0]
+        straggler_rate = rates[1] if len(rates) > 1 else task_rate
+        write_rate = rates[2] if len(rates) > 2 else task_rate
+        return cls(
+            seed=seed,
+            task_failure_rate=task_rate,
+            straggler_rate=straggler_rate,
+            hdfs_write_failure_rate=write_rate,
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.task_failure_rate == 0.0
+            and self.straggler_rate == 0.0
+            and self.hdfs_write_failure_rate == 0.0
+        )
+
+    # -- the seeded decision function -------------------------------------------
+
+    def _unit(self, *parts: object) -> float:
+        """A uniform float in ``[0, 1)`` fully determined by the parts."""
+        token = ":".join(str(part) for part in (self.seed, *parts))
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / _UNIT_DENOMINATOR
+
+    def task_failures(self, job_name: str, kind: str, index: int) -> int:
+        """Failed attempts before this task succeeds.
+
+        Returns a value in ``[0, max_attempts]``; ``max_attempts`` means
+        every attempt in the budget failed and the job must abort.
+        """
+        rate = self.task_failure_rate
+        if rate == 0.0:
+            return 0
+        failures = 0
+        while failures < self.max_attempts:
+            if self._unit("task", job_name, kind, index, failures) >= rate:
+                return failures
+            failures += 1
+        return failures
+
+    def is_straggler(self, job_name: str, kind: str, index: int) -> bool:
+        rate = self.straggler_rate
+        return rate > 0.0 and self._unit("straggler", job_name, kind, index) < rate
+
+    def write_failures(self, job_name: str) -> int:
+        """Transient failures of the job's output write, in
+        ``[0, max_attempts]`` (``max_attempts`` aborts, as for tasks)."""
+        rate = self.hdfs_write_failure_rate
+        if rate == 0.0:
+            return 0
+        failures = 0
+        while failures < self.max_attempts:
+            if self._unit("hdfs-write", job_name, failures) >= rate:
+                return failures
+            failures += 1
+        return failures

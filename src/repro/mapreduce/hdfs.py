@@ -106,7 +106,20 @@ class HDFS:
             self._used_bytes -= removed.size_bytes
 
     def listdir(self, prefix: str = "") -> list[str]:
-        return sorted(p for p in self._files if p.startswith(prefix))
+        """Paths under the directory *prefix*, sorted.
+
+        The prefix is directory-boundary-aware: ``listdir("out")``
+        matches ``out`` itself and ``out/part0``, but not ``out-join/
+        part0`` or ``output2`` (a raw ``startswith`` matched both).  A
+        trailing ``/`` is accepted and equivalent.
+        """
+        if not prefix:
+            return sorted(self._files)
+        directory = prefix.rstrip("/")
+        marker = directory + "/"
+        return sorted(
+            p for p in self._files if p == directory or p.startswith(marker)
+        )
 
     def total_records(self) -> int:
         return sum(len(f.records) for f in self._files.values())

@@ -42,6 +42,13 @@ class MapReduceJob:
     #: can dispatch on which table a record came from (Hive-style
     #: multi-table jobs need provenance; NTGA jobs dispatch on type).
     tag_inputs: bool = False
+    #: A map-only mapper whose output is exclusively 2-tuples almost
+    #: always means a shuffle mapper miswired into a map-only job (the
+    #: reducer was forgotten), so the runner rejects it at the producing
+    #: job rather than letting a downstream full job fail confusingly.
+    #: Set True for the rare map-only job whose *records* really are
+    #: 2-tuples.
+    emits_pairs: bool = False
     #: Free-form planner annotations (operator names, phase labels).
     labels: tuple[str, ...] = field(default_factory=tuple)
 
@@ -86,10 +93,23 @@ class JobStats:
     output_records: int
     cost_seconds: float
     labels: tuple[str, ...] = ()
+    #: Fault-recovery outcome (all zero without a FaultPlan): task
+    #: re-attempts, speculative duplicates launched, and bytes of
+    #: discarded work (re-scanned input, re-fetched shuffle output,
+    #: re-written output).
+    retried_tasks: int = 0
+    speculative_tasks: int = 0
+    wasted_bytes: int = 0
 
     def describe(self) -> str:
         kind = "map-only" if self.map_only else "map-reduce"
-        return (
+        line = (
             f"{self.name} [{kind}] in={self.input_bytes}B shuffle={self.shuffle_bytes}B "
             f"out={self.output_bytes}B cost={self.cost_seconds:.2f}s"
         )
+        if self.retried_tasks or self.speculative_tasks:
+            line += (
+                f" retries={self.retried_tasks} speculative={self.speculative_tasks} "
+                f"wasted={self.wasted_bytes}B"
+            )
+        return line

@@ -23,9 +23,10 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro import perf
-from repro.errors import MapReduceError
+from repro.errors import MapReduceError, TaskFailedError
 from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size, estimate_total_size
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.job import JobStats, MapReduceJob
 from repro.rdf.terms import BNode, IRI, Literal, Variable, term_interned_sort_key
@@ -127,18 +128,37 @@ def _sort_key(key: Any) -> tuple[str, str]:
     return (key.__class__.__name__, _key_repr(key))
 
 
+def _even_share(total: int, parts: int, index: int) -> int:
+    """Task *index*'s share of *total* bytes split evenly over *parts*
+    tasks — exact integer partition (the shares sum to *total*)."""
+    return total * (index + 1) // parts - total * index // parts
+
+
 class MapReduceRunner:
-    """Runs jobs against one HDFS instance under one cost configuration."""
+    """Runs jobs against one HDFS instance under one cost configuration.
+
+    With a :class:`~repro.mapreduce.faults.FaultPlan`, the runner also
+    simulates Hadoop-style recovery: per-task retry with exponential
+    backoff, speculative duplicates for stragglers, and job abort (a
+    typed :class:`~repro.errors.TaskFailedError`) once a task exhausts
+    its attempts budget.  Recovery changes only the fault counters and
+    the charged cost — results and base counters stay bit-identical to
+    the fault-free run.
+    """
 
     def __init__(
         self,
         hdfs: HDFS,
         cluster: ClusterConfig | None = None,
         cost_model: CostModel | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.hdfs = hdfs
         self.cluster = cluster or ClusterConfig()
         self.cost_model = cost_model or CostModel()
+        if fault_plan is not None and fault_plan.is_noop:
+            fault_plan = None  # zero rates: skip the recovery pass entirely
+        self.fault_plan = fault_plan
 
     # -- single job ------------------------------------------------------------
 
@@ -158,8 +178,14 @@ class MapReduceRunner:
             input_bytes += file.size_bytes
             input_work_bytes += file.raw_bytes
             # Splits come from the stored size: compressed tables occupy
-            # fewer blocks, hence fewer mappers (the paper's ORC effect).
+            # fewer blocks, hence fewer mappers (the paper's ORC effect);
+            # zero-byte files occupy no blocks and add no mapper.
             map_tasks += self.cluster.splits_for(file.size_bytes)
+        # An executing job always runs at least one map task, even when
+        # every input is an empty intermediate file (the implicit task
+        # that discovers there is nothing to do still launches and must
+        # be charged as a wave).
+        map_tasks = max(1, map_tasks)
 
         side_data: dict[str, list[Any]] = {}
         side_bytes = 0
@@ -180,6 +206,24 @@ class MapReduceRunner:
             with perf.phase("jobs"):
                 for record in input_records:
                     output_records.extend(mapper(record))
+            # A map-only mapper whose every output record is a 2-tuple
+            # is almost certainly a shuffle mapper missing its reducer;
+            # failing here names the producing job instead of letting a
+            # downstream consumer crash confusingly.  (The first
+            # non-tuple record short-circuits the scan.)
+            if (
+                output_records
+                and not job.emits_pairs
+                and all(
+                    type(record) is tuple and len(record) == 2
+                    for record in output_records
+                )
+            ):
+                raise MapReduceError(
+                    f"job {job.name!r}: map-only mapper emitted only "
+                    f"(key, value) pairs — did you forget the reducer? "
+                    f"(set emits_pairs=True if 2-tuple records are intended)"
+                )
             counters.increment("map_output_records", len(output_records))
             shuffle_bytes = 0
             reduce_tasks = 0
@@ -258,6 +302,19 @@ class MapReduceRunner:
             map_tasks=map_tasks,
             reduce_tasks=reduce_tasks,
         )
+        retried = speculative = wasted = 0
+        if self.fault_plan is not None:
+            recovery, retried, speculative, wasted = self._recover_faults(
+                job,
+                counters,
+                map_tasks=map_tasks,
+                reduce_tasks=reduce_tasks,
+                map_bytes=input_work_bytes,
+                side_bytes=side_work_bytes,
+                shuffle_bytes=shuffle_bytes,
+                output_raw=output_file.raw_bytes,
+            )
+            cost += recovery
         return JobStats(
             name=job.name,
             map_only=job.is_map_only,
@@ -271,7 +328,129 @@ class MapReduceRunner:
             output_records=len(output_records),
             cost_seconds=cost,
             labels=job.labels,
+            retried_tasks=retried,
+            speculative_tasks=speculative,
+            wasted_bytes=wasted,
         )
+
+    # -- fault recovery ----------------------------------------------------------
+
+    def _abort(self, job: MapReduceJob, kind: str, index: int) -> None:
+        """Job-level abort: an aborted job commits no output."""
+        assert self.fault_plan is not None
+        self.hdfs.delete(job.output)
+        raise TaskFailedError(job.name, kind, index, self.fault_plan.max_attempts)
+
+    def _recover_faults(
+        self,
+        job: MapReduceJob,
+        counters: Counters,
+        *,
+        map_tasks: int,
+        reduce_tasks: int,
+        map_bytes: int,
+        side_bytes: int,
+        shuffle_bytes: int,
+        output_raw: int,
+    ) -> tuple[float, int, int, int]:
+        """Replay the fault plan against the completed job's task grid.
+
+        Recovery is an accounting pass: the happy-path execution above
+        already produced the (deterministic) results, so a simulated
+        crash only re-charges the re-executed work — re-scanned input
+        splits (plus re-broadcast side tables), re-fetched shuffle
+        partitions, re-written output — plus exponential backoff, and
+        bumps the fault counters.  Exhausting a task's attempts budget
+        aborts the job with :class:`TaskFailedError`.
+
+        Returns ``(extra_cost_seconds, retried, speculative, wasted)``.
+        """
+        plan = self.fault_plan
+        assert plan is not None
+        # The fault identity folds the job's data volumes in with its
+        # name: planner-generated names repeat across queries (every
+        # NTGA plan has an "ra:agg-join"), and keying on the name alone
+        # would replay the same fault pattern into every query.
+        token = f"{job.name}|{map_bytes}|{shuffle_bytes}|{output_raw}"
+        failed_map = failed_reduce = 0
+        retried = speculative = stragglers = write_retries = 0
+        rescanned = reshuffled = rewritten = 0  # discarded-work bytes
+        slow_scan = slow_shuffle = slow_write = 0.0  # unspeculated straggler drag
+        backoff_units = 0.0
+        slowdown = plan.straggler_slowdown - 1.0
+
+        for index in range(map_tasks):
+            failures = plan.task_failures(token, "map", index)
+            if failures >= plan.max_attempts:
+                self._abort(job, "map", index)
+            share = _even_share(map_bytes, map_tasks, index)
+            if failures:
+                failed_map += failures
+                retried += failures
+                rescanned += (share + side_bytes) * failures
+                backoff_units += float((1 << failures) - 1)
+            if plan.is_straggler(token, "map", index):
+                stragglers += 1
+                if plan.speculation:
+                    # The duplicate re-reads the split (and side tables);
+                    # the slow original's work is thrown away.
+                    speculative += 1
+                    rescanned += share + side_bytes
+                else:
+                    slow_scan += slowdown * share
+
+        for index in range(reduce_tasks):
+            failures = plan.task_failures(token, "reduce", index)
+            if failures >= plan.max_attempts:
+                self._abort(job, "reduce", index)
+            shuffle_share = _even_share(shuffle_bytes, reduce_tasks, index)
+            output_share = _even_share(output_raw, reduce_tasks, index)
+            if failures:
+                failed_reduce += failures
+                retried += failures
+                reshuffled += shuffle_share * failures
+                rewritten += output_share * failures
+                backoff_units += float((1 << failures) - 1)
+            if plan.is_straggler(token, "reduce", index):
+                stragglers += 1
+                if plan.speculation:
+                    speculative += 1
+                    reshuffled += shuffle_share
+                    rewritten += output_share
+                else:
+                    slow_shuffle += slowdown * shuffle_share
+                    slow_write += slowdown * output_share
+
+        write_failures = plan.write_failures(token)
+        if write_failures >= plan.max_attempts:
+            self._abort(job, "hdfs-write", 0)
+        if write_failures:
+            write_retries = write_failures
+            rewritten += output_raw * write_failures
+            backoff_units += float((1 << write_failures) - 1)
+
+        wasted = rescanned + reshuffled + rewritten
+        cost = self.cost_model.recovery_cost(
+            rescanned_bytes=rescanned + slow_scan,
+            reshuffled_bytes=reshuffled + slow_shuffle,
+            rewritten_bytes=rewritten + slow_write,
+            backoff_units=backoff_units,
+            speculative_tasks=speculative,
+        )
+        # Fault counters are created only when nonzero, so a faulted
+        # run's counter dict is the fault-free dict plus fault entries.
+        for name, value in (
+            ("failed_map_tasks", failed_map),
+            ("failed_reduce_tasks", failed_reduce),
+            ("retried_tasks", retried),
+            ("speculative_tasks", speculative),
+            ("straggler_tasks", stragglers),
+            ("wasted_bytes", wasted),
+            ("hdfs_write_retries", write_retries),
+        ):
+            if value:
+                counters.increment(name, value)
+        return cost, retried, speculative, wasted
 
     # -- workflows ----------------------------------------------------------------
 

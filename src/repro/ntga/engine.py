@@ -67,7 +67,9 @@ class NTGAEngine:
             store = load_triplegroups(graph, hdfs)
         with perf.phase("plan"):
             plan = self._planner(query, store)
-        runner = MapReduceRunner(hdfs, config.cluster, config.cost_model)
+        runner = MapReduceRunner(
+            hdfs, config.cluster, config.cost_model, config.fault_plan
+        )
 
         if plan.final_join_index is None:
             stats = runner.run_workflow(plan.jobs)

@@ -50,10 +50,25 @@ class TestClusterConfig:
 
     def test_splits(self):
         cluster = ClusterConfig(block_size=100)
-        assert cluster.splits_for(0) == 1
+        # Zero-byte files occupy no blocks: no mapper is charged for
+        # them (the runner floors a job's *total* tasks at one).
+        assert cluster.splits_for(0) == 0
         assert cluster.splits_for(100) == 1
         assert cluster.splits_for(101) == 2
         assert cluster.splits_for(1000) == 10
+
+    def test_zero_map_tasks_still_charges_one_wave(self):
+        cost = CostModel()
+        cluster = ClusterConfig()
+        empty = cost.job_cost(
+            cluster,
+            input_bytes=0,
+            shuffle_bytes=0,
+            output_bytes=0,
+            map_tasks=0,
+            reduce_tasks=0,
+        )
+        assert empty >= cost.map_only_startup + cost.map_task_overhead
 
 
 class TestCostModel:

@@ -1,0 +1,250 @@
+"""Unit and property tests for deterministic fault injection/recovery.
+
+The load-bearing invariant: a fault plan may change only the charged
+cost and the fault counters — result records and every base counter
+must be bit-identical to the fault-free run, and cost must be monotone
+non-decreasing in the fault rates.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MapReduceError, TaskFailedError
+from repro.mapreduce.cost import ClusterConfig
+from repro.mapreduce.faults import FAULT_COUNTERS, FaultPlan
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runner import MapReduceRunner
+
+
+def wordcount_job():
+    return MapReduceJob(
+        name="wc",
+        inputs=("in",),
+        output="out",
+        mapper=lambda record: [(record, 1)],
+        reducer=lambda key, values: [(key, sum(values))],
+    )
+
+
+def run_wordcount(records, plan=None, **cluster_kwargs):
+    hdfs = HDFS()
+    hdfs.write("in", records)
+    runner = MapReduceRunner(hdfs, ClusterConfig(**cluster_kwargs), fault_plan=plan)
+    stats = runner.run_workflow([wordcount_job()])
+    return hdfs, stats
+
+
+class TestFaultPlanDecisions:
+    def test_deterministic(self):
+        a = FaultPlan(seed=7, task_failure_rate=0.3, straggler_rate=0.3)
+        b = FaultPlan(seed=7, task_failure_rate=0.3, straggler_rate=0.3)
+        for index in range(50):
+            assert a.task_failures("j", "map", index) == b.task_failures("j", "map", index)
+            assert a.is_straggler("j", "map", index) == b.is_straggler("j", "map", index)
+        assert a.write_failures("j") == b.write_failures("j")
+
+    def test_seed_changes_decisions(self):
+        plans = [FaultPlan(seed=s, task_failure_rate=0.3) for s in range(4)]
+        patterns = {
+            tuple(plan.task_failures("j", "map", i) for i in range(64)) for plan in plans
+        }
+        assert len(patterns) > 1
+
+    def test_failure_count_within_budget(self):
+        plan = FaultPlan(seed=1, task_failure_rate=0.9, max_attempts=3)
+        for index in range(100):
+            assert 0 <= plan.task_failures("j", "map", index) <= 3
+
+    def test_zero_rates_inject_nothing(self):
+        plan = FaultPlan(seed=5)
+        assert plan.is_noop
+        assert plan.task_failures("j", "map", 0) == 0
+        assert not plan.is_straggler("j", "map", 0)
+        assert plan.write_failures("j") == 0
+
+    def test_failures_monotone_in_rate(self):
+        """Fixed unit floats: a higher rate can only add failures."""
+        for low, high in [(0.05, 0.2), (0.2, 0.6), (0.0, 0.9)]:
+            a = FaultPlan(seed=3, task_failure_rate=low)
+            b = FaultPlan(seed=3, task_failure_rate=high)
+            for index in range(80):
+                assert a.task_failures("j", "map", index) <= b.task_failures(
+                    "j", "map", index
+                )
+
+    def test_rate_frequency_is_roughly_calibrated(self):
+        plan = FaultPlan(seed=11, task_failure_rate=0.25)
+        failed = sum(
+            1 for i in range(2000) if plan.task_failures("j", "map", i) > 0
+        )
+        assert 400 < failed < 600  # ~25% of 2000, generous tolerance
+
+
+class TestFaultPlanConstruction:
+    def test_from_spec_two_fields_drives_all_rates(self):
+        plan = FaultPlan.from_spec("7,0.05")
+        assert plan.seed == 7
+        assert plan.task_failure_rate == 0.05
+        assert plan.straggler_rate == 0.05
+        assert plan.hdfs_write_failure_rate == 0.05
+
+    def test_from_spec_explicit_rates(self):
+        plan = FaultPlan.from_spec("3, 0.1, 0.2, 0.3")
+        assert (plan.seed, plan.task_failure_rate) == (3, 0.1)
+        assert plan.straggler_rate == 0.2
+        assert plan.hdfs_write_failure_rate == 0.3
+
+    @pytest.mark.parametrize("spec", ["7", "a,0.1", "7,x", "7,0.1,0.1,0.1,0.1", ""])
+    def test_from_spec_rejects_malformed(self, spec):
+        with pytest.raises(MapReduceError):
+            FaultPlan.from_spec(spec)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_failure_rate": 1.0},
+            {"task_failure_rate": -0.1},
+            {"straggler_rate": 1.5},
+            {"hdfs_write_failure_rate": 2.0},
+            {"max_attempts": 0},
+            {"straggler_slowdown": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(MapReduceError):
+            FaultPlan(seed=1, **kwargs)
+
+
+RECORDS = ["a", "b", "a", "c", "a", "b", "d"] * 8
+
+
+class TestRecovery:
+    def test_noop_plan_is_dropped(self):
+        runner = MapReduceRunner(HDFS(), fault_plan=FaultPlan(seed=9))
+        assert runner.fault_plan is None
+
+    def test_results_and_base_counters_identical(self):
+        hdfs_base, base = run_wordcount(RECORDS, block_size=32)
+        plan = FaultPlan.from_spec("7,0.3")
+        hdfs_faulted, faulted = run_wordcount(RECORDS, plan, block_size=32)
+        assert hdfs_faulted.read("out").records == hdfs_base.read("out").records
+        base_counters = {
+            k: v for k, v in faulted.counters.as_dict().items() if k not in FAULT_COUNTERS
+        }
+        assert base_counters == base.counters.as_dict()
+        assert faulted.total_cost >= base.total_cost
+
+    def test_fault_counters_appear_only_under_faults(self):
+        _, base = run_wordcount(RECORDS, block_size=32)
+        assert not FAULT_COUNTERS & set(base.counters.as_dict())
+        plan = FaultPlan(seed=7, task_failure_rate=0.5, max_attempts=30)
+        _, faulted = run_wordcount(RECORDS, plan, block_size=32)
+        assert faulted.counters["retried_tasks"] > 0
+        assert faulted.counters["wasted_bytes"] > 0
+        assert faulted.jobs[0].retried_tasks == faulted.counters["retried_tasks"]
+
+    def test_exhausted_budget_aborts_and_deletes_output(self):
+        plan = FaultPlan(seed=2, task_failure_rate=0.97, max_attempts=2)
+        hdfs = HDFS()
+        hdfs.write("in", RECORDS)
+        runner = MapReduceRunner(hdfs, ClusterConfig(block_size=32), fault_plan=plan)
+        with pytest.raises(TaskFailedError) as exc_info:
+            runner.run_job(wordcount_job())
+        error = exc_info.value
+        assert error.job_name == "wc"
+        assert error.attempts == 2
+        assert "aborting job" in str(error)
+        assert not hdfs.exists("out")  # an aborted job commits nothing
+
+    def test_speculation_counts_duplicates(self):
+        plan = FaultPlan(seed=4, straggler_rate=0.8, speculation=True)
+        _, stats = run_wordcount(RECORDS, plan, block_size=16)
+        assert stats.counters["speculative_tasks"] > 0
+        assert stats.counters["straggler_tasks"] >= stats.counters["speculative_tasks"]
+
+    def test_unspeculated_stragglers_cost_more_than_healthy(self):
+        _, base = run_wordcount(RECORDS, block_size=16)
+        plan = FaultPlan(
+            seed=4, straggler_rate=0.8, speculation=False, straggler_slowdown=8.0
+        )
+        _, slow = run_wordcount(RECORDS, plan, block_size=16)
+        assert "speculative_tasks" not in slow.counters.as_dict()
+        assert slow.counters["straggler_tasks"] > 0
+        assert slow.total_cost > base.total_cost
+
+    def test_straggler_slowdown_scales_cost(self):
+        mild_plan = FaultPlan(
+            seed=4, straggler_rate=0.8, speculation=False, straggler_slowdown=2.0
+        )
+        harsh_plan = FaultPlan(
+            seed=4, straggler_rate=0.8, speculation=False, straggler_slowdown=16.0
+        )
+        _, mild = run_wordcount(RECORDS, mild_plan, block_size=16)
+        _, harsh = run_wordcount(RECORDS, harsh_plan, block_size=16)
+        assert harsh.total_cost > mild.total_cost
+
+    def test_write_failures_are_retried_and_charged(self):
+        # Write-failure-only plan: isolates the HDFS retry channel.
+        plan = FaultPlan(seed=1, hdfs_write_failure_rate=0.9, max_attempts=40)
+        hdfs, stats = run_wordcount(RECORDS, plan, block_size=32)
+        _, base = run_wordcount(RECORDS, block_size=32)
+        assert stats.counters["hdfs_write_retries"] > 0
+        assert stats.total_cost > base.total_cost
+        assert hdfs.exists("out")  # transient failures still commit in the end
+
+
+# -- property tests ------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    records=st.lists(st.sampled_from("abcdef"), min_size=1, max_size=60),
+    seed=st.integers(0, 2**32),
+    rate=st.floats(0.0, 0.6),
+    block_size=st.integers(16, 256),
+)
+def test_faults_never_change_results(records, seed, rate, block_size):
+    """Any seeded plan: same rows, same base counters, cost only grows."""
+    hdfs_base, base = run_wordcount(records, block_size=block_size)
+    plan = FaultPlan(
+        seed=seed,
+        task_failure_rate=rate,
+        straggler_rate=rate,
+        hdfs_write_failure_rate=rate,
+        max_attempts=50,  # huge budget: property run should never abort
+    )
+    hdfs_faulted, faulted = run_wordcount(records, plan, block_size=block_size)
+    assert hdfs_faulted.read("out").records == hdfs_base.read("out").records
+    base_counters = {
+        k: v for k, v in faulted.counters.as_dict().items() if k not in FAULT_COUNTERS
+    }
+    assert base_counters == base.counters.as_dict()
+    assert faulted.total_cost >= base.total_cost
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32),
+    low=st.floats(0.0, 0.5),
+    delta=st.floats(0.0, 0.4),
+)
+def test_cost_monotone_in_fault_rate(seed, low, delta):
+    """Raising every rate can only add faults, hence cost (abort = inf)."""
+    high = low + delta
+
+    def cost_at(rate):
+        plan = FaultPlan(
+            seed=seed,
+            task_failure_rate=rate,
+            straggler_rate=rate,
+            hdfs_write_failure_rate=rate,
+        )
+        try:
+            _, stats = run_wordcount(RECORDS, plan, block_size=32)
+        except TaskFailedError:
+            return float("inf")
+        return stats.total_cost
+
+    assert cost_at(low) <= cost_at(high)

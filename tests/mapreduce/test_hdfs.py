@@ -76,6 +76,20 @@ def test_listdir_prefix():
     assert hdfs.listdir("vp/") == ["vp/a", "vp/b"]
 
 
+def test_listdir_respects_directory_boundaries():
+    """Regression: the raw startswith match leaked sibling directories
+    sharing a name prefix ('vp2/x' under 'vp')."""
+    hdfs = HDFS()
+    hdfs.write("vp", [])  # a file named exactly like the directory
+    hdfs.write("vp/a", [])
+    hdfs.write("vp2/x", [])
+    hdfs.write("vpextra", [])
+    assert hdfs.listdir("vp") == ["vp", "vp/a"]
+    assert hdfs.listdir("vp/") == ["vp", "vp/a"]
+    assert hdfs.listdir("vp2") == ["vp2/x"]
+    assert hdfs.listdir() == ["vp", "vp/a", "vp2/x", "vpextra"]
+
+
 def test_total_records():
     hdfs = HDFS()
     hdfs.write("a", [1, 2])

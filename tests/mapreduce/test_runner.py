@@ -76,6 +76,77 @@ class TestBasicExecution:
         make_runner(hdfs).run_job(job)
         assert ("left", 1) in seen and ("right", 2) in seen
 
+    def test_empty_inputs_still_run_one_map_task(self):
+        """Regression: a job over only empty intermediates charged zero
+        map tasks (and hence a zero-wave map phase)."""
+        hdfs = HDFS()
+        hdfs.write("empty", [])
+        job = MapReduceJob(
+            name="noop", inputs=("empty",), output="out", mapper=lambda r: [r]
+        )
+        stats = make_runner(hdfs).run_job(job)
+        assert stats.map_tasks == 1
+        assert stats.cost_seconds > 0
+        assert hdfs.read("out").records == []
+
+    def test_many_zero_byte_files_share_one_map_task(self):
+        """Regression: each zero-byte file charged a whole split, so N
+        empty intermediates cost N mappers instead of one."""
+        hdfs = HDFS()
+        for index in range(20):
+            hdfs.write(f"empty/{index}", [])
+        job = MapReduceJob(
+            name="merge",
+            inputs=tuple(f"empty/{index}" for index in range(20)),
+            output="out",
+            mapper=lambda r: [r],
+        )
+        stats = make_runner(hdfs).run_job(job)
+        assert stats.map_tasks == 1
+
+    def test_map_only_rejects_pair_shaped_output(self):
+        """A map-only job whose mapper emits only (key, value) pairs is
+        almost always missing its reducer; the error names the producer."""
+        hdfs = HDFS()
+        hdfs.write("in", ["a", "b"])
+        job = MapReduceJob(
+            name="halfjoin",
+            inputs=("in",),
+            output="out",
+            mapper=lambda r: [(r, 1)],
+        )
+        with pytest.raises(MapReduceError) as exc_info:
+            make_runner(hdfs).run_job(job)
+        message = str(exc_info.value)
+        assert "halfjoin" in message
+        assert "forget the reducer" in message
+
+    def test_map_only_pair_output_allowed_when_declared(self):
+        hdfs = HDFS()
+        hdfs.write("in", ["a", "b"])
+        job = MapReduceJob(
+            name="pairs-ok",
+            inputs=("in",),
+            output="out",
+            mapper=lambda r: [(r, 1)],
+            emits_pairs=True,
+        )
+        make_runner(hdfs).run_job(job)
+        assert hdfs.read("out").records == [("a", 1), ("b", 1)]
+
+    def test_map_only_mixed_output_not_flagged(self):
+        """Only an all-pairs output is suspicious; mixed shapes pass."""
+        hdfs = HDFS()
+        hdfs.write("in", ["a"])
+        job = MapReduceJob(
+            name="mixed",
+            inputs=("in",),
+            output="out",
+            mapper=lambda r: [(r, 1), r],
+        )
+        make_runner(hdfs).run_job(job)
+        assert hdfs.read("out").records == [("a", 1), "a"]
+
     def test_side_inputs_with_factory(self):
         hdfs = HDFS()
         hdfs.write("in", [1, 2])
