@@ -17,11 +17,11 @@ Per-dataset execution configs encode the paper's environment:
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro import perf
+from repro import obs, perf
+from repro.obs import Stopwatch
 from repro.bench.catalog import CatalogQuery, get_query
 from repro.core.engines import PAPER_ENGINES, make_engine, to_analytical
 from repro.core.results import EngineConfig, ExecutionReport
@@ -115,54 +115,55 @@ def run_experiment(
         expected = None
         if verify:
             expected = _canonical(make_engine("reference").execute(analytical, graph))
-        for engine_name in engines:
-            engine = make_engine(engine_name)
-            recorder = perf.active_recorder()
-            if recorder is not None:
-                recorder.begin_run(qid=query.qid, engine=engine_name)
-            started = time.perf_counter()
-            try:
-                report = engine.execute(analytical, graph, config)
-            except ReproError as error:
-                wall = time.perf_counter() - started
+        with obs.span(query.qid, "query", {"qid": query.qid, "experiment": exp_id}):
+            for engine_name in engines:
+                engine = make_engine(engine_name)
+                recorder = perf.active_recorder()
+                if recorder is not None:
+                    recorder.begin_run(qid=query.qid, engine=engine_name)
+                watch = Stopwatch().start()
+                try:
+                    report = engine.execute(analytical, graph, config)
+                except ReproError as error:
+                    wall = watch.stop()
+                    timing = recorder.end_run(wall) if recorder is not None else None
+                    result.measurements.append(
+                        QueryMeasurement(
+                            qid=query.qid,
+                            engine=engine_name,
+                            rows=0,
+                            cycles=0,
+                            map_only_cycles=0,
+                            cost_seconds=float("inf"),
+                            shuffle_bytes=0,
+                            materialized_bytes=0,
+                            wall_seconds=wall,
+                            failed=type(error).__name__,
+                            phases=dict(timing.phases) if timing is not None else {},
+                        )
+                    )
+                    continue
+                wall = watch.stop()
                 timing = recorder.end_run(wall) if recorder is not None else None
+                if expected is not None and _canonical(report) != expected:
+                    result.mismatches.append((query.qid, engine_name))
+                stats = report.stats
                 result.measurements.append(
                     QueryMeasurement(
                         qid=query.qid,
                         engine=engine_name,
-                        rows=0,
-                        cycles=0,
-                        map_only_cycles=0,
-                        cost_seconds=float("inf"),
-                        shuffle_bytes=0,
-                        materialized_bytes=0,
+                        rows=len(report.rows),
+                        cycles=report.cycles,
+                        map_only_cycles=report.map_only_cycles,
+                        cost_seconds=report.cost_seconds,
+                        shuffle_bytes=stats.total_shuffle_bytes if stats else 0,
+                        materialized_bytes=stats.total_materialized_bytes if stats else 0,
                         wall_seconds=wall,
-                        failed=type(error).__name__,
                         phases=dict(timing.phases) if timing is not None else {},
+                        counters=dict(sorted(stats.counters.as_dict().items())) if stats else {},
+                        rows_digest=perf.rows_digest(report.rows),
                     )
                 )
-                continue
-            wall = time.perf_counter() - started
-            timing = recorder.end_run(wall) if recorder is not None else None
-            if expected is not None and _canonical(report) != expected:
-                result.mismatches.append((query.qid, engine_name))
-            stats = report.stats
-            result.measurements.append(
-                QueryMeasurement(
-                    qid=query.qid,
-                    engine=engine_name,
-                    rows=len(report.rows),
-                    cycles=report.cycles,
-                    map_only_cycles=report.map_only_cycles,
-                    cost_seconds=report.cost_seconds,
-                    shuffle_bytes=stats.total_shuffle_bytes if stats else 0,
-                    materialized_bytes=stats.total_materialized_bytes if stats else 0,
-                    wall_seconds=wall,
-                    phases=dict(timing.phases) if timing is not None else {},
-                    counters=dict(sorted(stats.counters.as_dict().items())) if stats else {},
-                    rows_digest=perf.rows_digest(report.rows),
-                )
-            )
     return result
 
 

@@ -8,13 +8,21 @@ Commands:
 * ``bench``    — regenerate one of the paper's tables/figures
 * ``catalog``  — list the workload queries
 * ``generate`` — write a synthetic dataset as N-Triples
+* ``stats``    — profile a dataset (``--json`` for machine-readable)
+* ``trace``    — inspect/export a ``--trace`` JSONL execution trace
+
+``run``, ``compare``, and ``bench`` accept ``--trace PATH`` to record a
+structured execution trace (``repro-trace/v1`` JSONL; see
+``docs/observability.md``) which ``repro trace summary|tree|export``
+then reads.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from contextlib import contextmanager
+from typing import Callable, Iterator
 
 from repro.bench.catalog import CATALOG, get_query
 from repro.bench.harness import ALL_EXPERIMENTS
@@ -93,11 +101,31 @@ def _rows_to_csv(rows) -> str:
     return buffer.getvalue()
 
 
+@contextmanager
+def _tracing_to(path: str | None) -> Iterator[None]:
+    """Record a ``repro-trace/v1`` trace of the wrapped work to *path*
+    (no-op when *path* is None)."""
+    if path is None:
+        yield
+        return
+    from repro import obs
+    from repro.obs.sink import write_trace
+
+    with obs.tracing() as recorder:
+        yield
+    write_trace(recorder, path)
+    print(f"wrote trace {path}", file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro import obs
+
     _infer_dataset(args)
-    _, sparql = _resolve_query_text(args)
+    qid, sparql = _resolve_query_text(args)
     graph = _load_graph(args)
-    report = make_engine(args.engine).execute(to_analytical(sparql), graph)
+    with _tracing_to(args.trace):
+        with obs.span(qid, "query", {"qid": qid}):
+            report = make_engine(args.engine).execute(to_analytical(sparql), graph)
     if args.format == "csv":
         print(_rows_to_csv(report.rows), end="")
         return 0
@@ -107,21 +135,28 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"\nengine={report.engine} cycles={report.cycles} "
         f"(map-only {report.map_only_cycles}) simulated-cost={report.cost_seconds:.1f}s"
     )
+    if args.verbose and report.stats is not None:
+        print()
+        print(report.stats.describe())
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from repro import obs
+
     _infer_dataset(args)
     qid, sparql = _resolve_query_text(args)
     graph = _load_graph(args)
     analytical = to_analytical(sparql)
     print(f"{'engine':18s} {'rows':>6s} {'cycles':>7s} {'map-only':>9s} {'cost':>9s}")
-    for engine in PAPER_ENGINES:
-        report = make_engine(engine).execute(analytical, graph)
-        print(
-            f"{engine:18s} {len(report.rows):6d} {report.cycles:7d} "
-            f"{report.map_only_cycles:9d} {report.cost_seconds:8.1f}s"
-        )
+    with _tracing_to(args.trace):
+        with obs.span(qid, "query", {"qid": qid}):
+            for engine in PAPER_ENGINES:
+                report = make_engine(engine).execute(analytical, graph)
+                print(
+                    f"{engine:18s} {len(report.rows):6d} {report.cycles:7d} "
+                    f"{report.map_only_cycles:9d} {report.cost_seconds:8.1f}s"
+                )
     return 0
 
 
@@ -152,7 +187,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         known = ", ".join(sorted(ALL_EXPERIMENTS) + ["all (with --profile)"])
         print(f"unknown experiment {args.experiment!r}; known: {known}", file=sys.stderr)
         return 2
-    result = runner()
+    with _tracing_to(args.trace):
+        result = runner()
     if result.mismatches:
         print(f"WARNING: result mismatches: {result.mismatches}", file=sys.stderr)
     print(render_cost_table(result))
@@ -266,10 +302,52 @@ def cmd_catalog(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
     from repro.rdf.stats import profile
 
     graph = _load_graph(args)
-    print(profile(graph).describe())
+    stats = profile(graph)
+    if args.json:
+        print(json.dumps(stats.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(stats.describe())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.sink import read_trace
+
+    records = read_trace(args.trace_file)
+    if args.trace_command == "summary":
+        from repro.obs.summary import render_summary
+
+        print(render_summary(records))
+        return 0
+    if args.trace_command == "tree":
+        from repro.obs.summary import render_tree
+
+        print(render_tree(records, max_depth=args.depth))
+        return 0
+    # export
+    import json
+
+    from repro.obs.perfetto import to_chrome_trace, validate_chrome_trace
+
+    chrome = to_chrome_trace(records)
+    if args.check:
+        problems = validate_chrome_trace(chrome)
+        if problems:
+            for problem in problems:
+                print(f"invalid trace-event output: {problem}", file=sys.stderr)
+            return 1
+    rendered = json.dumps(chrome, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -295,15 +373,32 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--preset", default=None, help="dataset preset name")
         p.add_argument("--data", default=None, help="N-Triples file to query instead")
 
+    def add_trace_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="record a repro-trace/v1 JSONL execution trace here "
+            "(inspect with 'repro trace')",
+        )
+
     run = sub.add_parser("run", help="execute a query on one engine")
     add_query_options(run)
     run.add_argument("--engine", choices=sorted(ENGINE_FACTORIES), default="rapid-analytics")
     run.add_argument("--limit", type=int, default=10, help="rows to print")
     run.add_argument("--format", choices=("text", "csv"), default="text")
+    run.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="also print the per-job workflow breakdown and counters",
+    )
+    add_trace_option(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run a query on all four engines")
     add_query_options(compare)
+    add_trace_option(compare)
     compare.set_defaults(func=cmd_compare)
 
     explain_cmd = sub.add_parser("explain", help="show decomposition and MR plan")
@@ -347,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         "degradation per engine; --output/--golden write/verify the "
         "stable JSON report",
     )
+    add_trace_option(bench)
     bench.set_defaults(func=cmd_bench)
 
     catalog = sub.add_parser("catalog", help="list the workload queries")
@@ -363,7 +459,48 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--dataset", choices=sorted(_DATASET_GENERATORS), default="bsbm")
     stats.add_argument("--preset", default=None)
     stats.add_argument("--data", default=None, help="N-Triples file to profile instead")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the statistics as JSON (repro-graph-stats/v1)",
+    )
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser("trace", help="inspect a recorded execution trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-query/per-engine rollup (cycles, bytes, metrics)"
+    )
+    trace_summary.add_argument("trace_file", help="repro-trace/v1 JSONL file")
+    trace_summary.set_defaults(func=cmd_trace)
+
+    trace_tree = trace_sub.add_parser("tree", help="render the span hierarchy")
+    trace_tree.add_argument("trace_file", help="repro-trace/v1 JSONL file")
+    trace_tree.add_argument(
+        "--depth", type=int, default=None, help="limit the rendered depth"
+    )
+    trace_tree.set_defaults(func=cmd_trace)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="convert to another trace format"
+    )
+    trace_export.add_argument("trace_file", help="repro-trace/v1 JSONL file")
+    trace_export.add_argument(
+        "--format",
+        choices=("perfetto",),
+        default="perfetto",
+        help="output format (Chrome trace-event JSON for Perfetto)",
+    )
+    trace_export.add_argument(
+        "--output", "-o", default=None, help="write here instead of stdout"
+    )
+    trace_export.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the export against the trace-event shape first",
+    )
+    trace_export.set_defaults(func=cmd_trace)
     return parser
 
 

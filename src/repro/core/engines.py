@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Protocol
 
+from repro import obs
 from repro.core.query_model import AnalyticalQuery, from_select_query
 from repro.core.reference import ReferenceEngine
 from repro.core.results import EngineConfig, ExecutionReport
@@ -103,9 +104,10 @@ def run_query(
     transient write failures) into the simulated cluster; results are
     identical to the fault-free run, only cost and fault counters grow.
     """
-    return make_engine(engine).execute(
-        to_analytical(query), graph, _with_faults(config, faults)
-    )
+    with obs.span("query", "query", {"qid": "query"}):
+        return make_engine(engine).execute(
+            to_analytical(query), graph, _with_faults(config, faults)
+        )
 
 
 def run_all_engines(
@@ -118,6 +120,8 @@ def run_all_engines(
     """Run the same query on several engines (the paper's comparisons)."""
     analytical = to_analytical(query)
     config = _with_faults(config, faults)
-    return {
-        name: make_engine(name).execute(analytical, graph, config) for name in engines
-    }
+    with obs.span("query", "query", {"qid": "query"}):
+        return {
+            name: make_engine(name).execute(analytical, graph, config)
+            for name in engines
+        }

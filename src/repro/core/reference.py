@@ -121,9 +121,12 @@ class ReferenceEngine:
     def execute(
         self, query: AnalyticalQuery, graph: Graph, config: EngineConfig | None = None
     ) -> ExecutionReport:
-        return ExecutionReport(
-            engine=self.name,
-            rows=evaluate_analytical(query, graph),
-            stats=None,
-            plan=["in-memory"],
-        )
+        from repro import obs
+
+        with obs.span(self.name, "engine", {"engine": self.name}):
+            return ExecutionReport(
+                engine=self.name,
+                rows=evaluate_analytical(query, graph),
+                stats=None,
+                plan=["in-memory"],
+            )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro import perf
+from repro import obs, perf
 from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport
 from repro.hive.executor import HiveExecutor
@@ -24,16 +24,17 @@ class HiveEngine:
     ) -> ExecutionReport:
         config = config or EngineConfig()
         hdfs = HDFS(capacity=config.hdfs_capacity)
-        with perf.phase("load"):
-            store = load_vertical_partitions(graph, hdfs)
-        runner = MapReduceRunner(
-            hdfs, config.cluster, config.cost_model, config.fault_plan
-        )
-        executor = HiveExecutor(hdfs, store, runner, config, self.mode)
-        # Hive's "planning" is interleaved with job submission inside the
-        # executor, so its wall-clock lands in the runner's jobs/shuffle
-        # phases rather than a separate plan bracket.
-        rows, _final = executor.execute(query)
+        with obs.span(self.name, "engine", {"engine": self.name}):
+            with obs.span("load", "stage"), perf.phase("load"):
+                store = load_vertical_partitions(graph, hdfs)
+            runner = MapReduceRunner(
+                hdfs, config.cluster, config.cost_model, config.fault_plan
+            )
+            executor = HiveExecutor(hdfs, store, runner, config, self.mode)
+            # Hive's "planning" is interleaved with job submission inside
+            # the executor, so its wall-clock lands in the runner's
+            # jobs/shuffle phases rather than a separate plan bracket.
+            rows, _final = executor.execute(query)
         return ExecutionReport(
             engine=self.name,
             rows=rows,

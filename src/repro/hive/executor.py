@@ -32,6 +32,7 @@ from repro.core.query_model import (
     StarPattern,
     prop_key_of,
 )
+from repro import obs
 from repro.core.results import EngineConfig, Row
 from repro.errors import OverlapError, PlanningError
 from repro.mapreduce import cost
@@ -765,6 +766,7 @@ class HiveExecutor:
         try:
             composite = build_composite_n(query.subqueries)
         except OverlapError:
+            obs.event("rewrite-fallback", {"planner": "hive-mqo", "to": "hive-naive"})
             return self._run_naive(query)
 
         shared = set(composite.subqueries[0].filters)

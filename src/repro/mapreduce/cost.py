@@ -371,6 +371,50 @@ class CostModel:
             cost += output_bytes / (self.write_rate * map_parallelism)
         return cost
 
+    def job_cost_phases(
+        self,
+        cluster: ClusterConfig,
+        *,
+        input_bytes: int,
+        shuffle_bytes: int,
+        output_bytes: int,
+        map_tasks: int,
+        reduce_tasks: int,
+    ) -> list[tuple[str, float]]:
+        """The :meth:`job_cost` terms, decomposed into dataflow phases.
+
+        Returns ``(phase_name, seconds)`` pairs in timeline order —
+        ``map`` (startup + map waves + scan), then for full jobs
+        ``shuffle`` (transfer) and ``reduce`` (reduce waves), then
+        ``materialize`` (output write).  The phase seconds sum to
+        :meth:`job_cost` (up to float addition order); the trace
+        recorder lays them out back to back on the simulated timeline.
+        """
+        map_waves = max(1, math.ceil(map_tasks / cluster.map_slots))
+        map_parallelism = max(1, min(map_tasks, cluster.map_slots))
+        startup = self.job_startup if reduce_tasks > 0 else self.map_only_startup
+        map_seconds = (
+            startup
+            + map_waves * self.map_task_overhead
+            + input_bytes / (self.scan_rate * map_parallelism)
+        )
+        phases = [("map", map_seconds)]
+        if reduce_tasks > 0:
+            reduce_waves = math.ceil(reduce_tasks / cluster.reduce_slots)
+            reduce_parallelism = max(1, min(reduce_tasks, cluster.reduce_slots))
+            phases.append(
+                ("shuffle", shuffle_bytes / (self.shuffle_rate * reduce_parallelism))
+            )
+            phases.append(("reduce", reduce_waves * self.reduce_task_overhead))
+            phases.append(
+                ("materialize", output_bytes / (self.write_rate * reduce_parallelism))
+            )
+        else:
+            phases.append(
+                ("materialize", output_bytes / (self.write_rate * map_parallelism))
+            )
+        return phases
+
     def recovery_cost(
         self,
         *,

@@ -11,24 +11,9 @@ from typing import Iterator
 class Counters:
     """A bag of named integer counters.
 
-    Counter names used by the runner:
-
-    * ``map_input_records`` / ``map_output_records``
-    * ``combine_input_records`` / ``combine_output_records``
-    * ``reduce_input_records`` / ``reduce_output_records``
-    * ``hdfs_bytes_read`` / ``hdfs_bytes_written`` / ``shuffle_bytes``
-    * ``map_tasks`` / ``reduce_tasks`` / ``mr_cycles`` / ``map_only_cycles``
-
-    Fault-recovery counters (present only when a
-    :class:`repro.mapreduce.faults.FaultPlan` injected the matching
-    fault; see :data:`repro.mapreduce.faults.FAULT_COUNTERS`):
-
-    * ``failed_map_tasks`` / ``failed_reduce_tasks`` — crashed attempts
-    * ``retried_tasks`` — re-attempts launched after crashes
-    * ``speculative_tasks`` — straggler duplicates launched
-    * ``straggler_tasks`` — tasks flagged slow by the plan
-    * ``wasted_bytes`` — bytes of discarded (re-driven) work
-    * ``hdfs_write_retries`` — transient output-write re-drives
+    The full counter-name inventory (runner counters, fault-recovery
+    counters, and the trace-level operator metrics) lives in
+    ``docs/observability.md`` — the single source of truth.
     """
 
     _values: dict[str, int] = field(default_factory=lambda: defaultdict(int))

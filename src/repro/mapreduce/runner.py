@@ -22,7 +22,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro import perf
+from repro import obs, perf
 from repro.errors import MapReduceError, TaskFailedError
 from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size, estimate_total_size
 from repro.mapreduce.counters import Counters
@@ -69,6 +69,13 @@ class WorkflowStats:
             f"TOTAL: {self.cycles} cycles ({self.map_only_cycles} map-only), "
             f"cost={self.total_cost:.2f}s"
         )
+        # Fault runs would otherwise hide their recovery work entirely:
+        # the fault counters (retried_tasks, wasted_bytes, ...) live only
+        # in the counter dict, so surface every counter here.
+        values = self.counters.as_dict()
+        if values:
+            rendered = " ".join(f"{name}={values[name]}" for name in sorted(values))
+            lines.append(f"counters: {rendered}")
         return "\n".join(lines)
 
 
@@ -163,6 +170,17 @@ class MapReduceRunner:
     # -- single job ------------------------------------------------------------
 
     def run_job(self, job: MapReduceJob, counters: Counters | None = None) -> JobStats:
+        if obs._ACTIVE is None:  # tracing off: skip the span bracket entirely
+            return self._execute_job(job, counters, None)
+        with obs.span(f"job:{job.name}", "job") as span:
+            return self._execute_job(job, counters, span)
+
+    def _execute_job(
+        self,
+        job: MapReduceJob,
+        counters: Counters | None,
+        span: obs.Span | None,
+    ) -> JobStats:
         counters = counters if counters is not None else Counters()
 
         input_records: list[Any] = []
@@ -302,6 +320,38 @@ class MapReduceRunner:
             map_tasks=map_tasks,
             reduce_tasks=reduce_tasks,
         )
+        tracer = obs.active_tracer()
+        if span is not None and tracer is not None:
+            span.attrs.update(
+                map_only=job.is_map_only,
+                map_tasks=map_tasks,
+                reduce_tasks=reduce_tasks,
+                input_bytes=input_bytes,
+                side_input_bytes=side_bytes,
+                shuffle_bytes=shuffle_bytes,
+                output_bytes=output_file.size_bytes,
+                input_records=len(input_records),
+                output_records=len(output_records),
+                cost_seconds=cost,
+                labels=list(job.labels),
+            )
+            # Lay the cost model's phase decomposition back to back on
+            # the simulated timeline, then advance the clock by the
+            # job's (identical, up to float addition order) total.
+            offset = tracer.sim_now
+            for phase_name, seconds in self.cost_model.job_cost_phases(
+                self.cluster,
+                input_bytes=input_work_bytes + side_work_bytes,
+                shuffle_bytes=shuffle_bytes,
+                output_bytes=output_file.raw_bytes,
+                map_tasks=map_tasks,
+                reduce_tasks=reduce_tasks,
+            ):
+                tracer.add_closed_span(
+                    phase_name, "phase", sim_start=offset, sim_dur=seconds
+                )
+                offset += seconds
+            tracer.advance_sim(cost)
         retried = speculative = wasted = 0
         if self.fault_plan is not None:
             recovery, retried, speculative, wasted = self._recover_faults(
@@ -315,6 +365,20 @@ class MapReduceRunner:
                 output_raw=output_file.raw_bytes,
             )
             cost += recovery
+            if span is not None and tracer is not None:
+                if recovery:
+                    tracer.add_closed_span(
+                        "recovery",
+                        "phase",
+                        sim_dur=recovery,
+                        attrs={
+                            "retried_tasks": retried,
+                            "speculative_tasks": speculative,
+                            "wasted_bytes": wasted,
+                        },
+                    )
+                    tracer.advance_sim(recovery)
+                span.attrs["cost_seconds"] = cost
         return JobStats(
             name=job.name,
             map_only=job.is_map_only,
@@ -338,6 +402,10 @@ class MapReduceRunner:
     def _abort(self, job: MapReduceJob, kind: str, index: int) -> None:
         """Job-level abort: an aborted job commits no output."""
         assert self.fault_plan is not None
+        obs.event(
+            "job-abort",
+            {"kind": kind, "index": index, "attempts": self.fault_plan.max_attempts},
+        )
         self.hdfs.delete(job.output)
         raise TaskFailedError(job.name, kind, index, self.fault_plan.max_attempts)
 
@@ -389,8 +457,15 @@ class MapReduceRunner:
                 retried += failures
                 rescanned += (share + side_bytes) * failures
                 backoff_units += float((1 << failures) - 1)
+                obs.event(
+                    "task-retry", {"kind": "map", "index": index, "failures": failures}
+                )
             if plan.is_straggler(token, "map", index):
                 stragglers += 1
+                obs.event(
+                    "straggler",
+                    {"kind": "map", "index": index, "speculated": plan.speculation},
+                )
                 if plan.speculation:
                     # The duplicate re-reads the split (and side tables);
                     # the slow original's work is thrown away.
@@ -411,8 +486,16 @@ class MapReduceRunner:
                 reshuffled += shuffle_share * failures
                 rewritten += output_share * failures
                 backoff_units += float((1 << failures) - 1)
+                obs.event(
+                    "task-retry",
+                    {"kind": "reduce", "index": index, "failures": failures},
+                )
             if plan.is_straggler(token, "reduce", index):
                 stragglers += 1
+                obs.event(
+                    "straggler",
+                    {"kind": "reduce", "index": index, "speculated": plan.speculation},
+                )
                 if plan.speculation:
                     speculative += 1
                     reshuffled += shuffle_share
@@ -428,6 +511,7 @@ class MapReduceRunner:
             write_retries = write_failures
             rewritten += output_raw * write_failures
             backoff_units += float((1 << write_failures) - 1)
+            obs.event("hdfs-write-retry", {"failures": write_failures})
 
         wasted = rescanned + reshuffled + rewritten
         cost = self.cost_model.recovery_cost(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro import perf
+from repro import obs, perf
 from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport, Row
 from repro.mapreduce.hdfs import HDFS
@@ -63,32 +63,37 @@ class NTGAEngine:
     ) -> ExecutionReport:
         config = config or EngineConfig()
         hdfs = HDFS(capacity=config.hdfs_capacity)
-        with perf.phase("load"):
-            store = load_triplegroups(graph, hdfs)
-        with perf.phase("plan"):
-            plan = self._planner(query, store)
-        runner = MapReduceRunner(
-            hdfs, config.cluster, config.cost_model, config.fault_plan
-        )
-
-        if plan.final_join_index is None:
-            stats = runner.run_workflow(plan.jobs)
-            inject_default_rows(plan, hdfs)
-        else:
-            stats = runner.run_workflow(plan.jobs[: plan.final_join_index])
-            inject_default_rows(plan, hdfs)
-            stats.jobs.append(
-                runner.run_job(plan.jobs[plan.final_join_index], stats.counters)
+        with obs.span(self.name, "engine", {"engine": self.name}):
+            with obs.span("load", "stage"), perf.phase("load"):
+                store = load_triplegroups(graph, hdfs)
+            with obs.span("plan", "stage") as plan_span, perf.phase("plan"):
+                plan = self._planner(query, store)
+                if plan_span is not None:
+                    plan_span.attrs.update(
+                        jobs=len(plan.jobs), description=plan.description
+                    )
+            runner = MapReduceRunner(
+                hdfs, config.cluster, config.cost_model, config.fault_plan
             )
 
-        return ExecutionReport(
-            engine=self.name,
-            rows=_collect_rows(hdfs, plan, query),
-            stats=stats,
-            plan=[job.name for job in plan.jobs],
-            load_bytes=store.total_bytes,
-            plan_description=plan.description,
-        )
+            if plan.final_join_index is None:
+                stats = runner.run_workflow(plan.jobs)
+                inject_default_rows(plan, hdfs)
+            else:
+                stats = runner.run_workflow(plan.jobs[: plan.final_join_index])
+                inject_default_rows(plan, hdfs)
+                stats.jobs.append(
+                    runner.run_job(plan.jobs[plan.final_join_index], stats.counters)
+                )
+
+            return ExecutionReport(
+                engine=self.name,
+                rows=_collect_rows(hdfs, plan, query),
+                stats=stats,
+                plan=[job.name for job in plan.jobs],
+                load_bytes=store.total_bytes,
+                plan_description=plan.description,
+            )
 
 
 def rapid_plus_engine() -> NTGAEngine:

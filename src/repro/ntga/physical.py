@@ -19,6 +19,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from repro import obs
 from repro.core.query_model import PropKey, StarPattern
 from repro.errors import PlanningError
 from repro.mapreduce import cost
@@ -163,6 +164,8 @@ def make_star_filter(
             projected = TripleGroup(group.subject, tuple(kept))
         if p_prim <= projected.props():
             return projected
+        if obs._ACTIVE is not None:
+            obs.count("sigma_dropped_triplegroups")
         return None
 
     return filter_one
@@ -276,7 +279,13 @@ def restricted_alphas(
 def _emit_tagged(
     side: JoinSide, tag: str, joined: JoinedTripleGroup, variable: Variable
 ) -> Iterable[tuple[Term, tuple[str, JoinedTripleGroup]]]:
-    for key in side.keys_for(joined):
+    keys = list(side.keys_for(joined))
+    if obs._ACTIVE is not None and len(keys) > 1:
+        # χ (n-split): one triplegroup fans out into one record per
+        # distinct join-key value.
+        obs.count("nsplit_split_groups")
+        obs.count("nsplit_fanout", len(keys))
+    for key in keys:
         fixed = joined.fixed
         if not any(v == variable for v, _ in fixed):
             fixed = fixed + ((variable, key),)
@@ -367,12 +376,17 @@ def build_alpha_join_job(
     def reducer(key: Term, values: list) -> Iterable[JoinedTripleGroup]:
         lefts = [joined for tag, joined in values if tag == "L"]
         rights = [joined for tag, joined in values if tag == "R"]
+        tracing = obs._ACTIVE is not None
         for left in lefts:
             for right in rights:
                 merged = left.merge(right)
                 for expanded in _expand_extras(merged, extras):
                     if any_alpha_satisfied(alphas, expanded.props()):
+                        if tracing:
+                            obs.count("alpha_combinations_materialized")
                         yield expanded
+                    elif tracing:
+                        obs.count("alpha_combinations_pruned")
 
     return MapReduceJob(
         name=name,
@@ -471,6 +485,11 @@ def build_agg_join_job(
         props = joined.props()
         for subquery, star_map in zip(subqueries, star_maps):
             if not subquery.alpha.satisfied_by(props):
+                # The paper's superfluous-combination pruning: this
+                # detail record can contribute to no group of this
+                # subquery, so TG_AgJ skips it before aggregation.
+                if obs._ACTIVE is not None:
+                    obs.count("alpha_combinations_pruned")
                 continue
             solutions = joined_solutions(subquery.stars, joined, star_map)
             for solution in solutions:
@@ -503,6 +522,8 @@ def build_agg_join_job(
     subquery_by_id = {sq.subquery_id: sq for sq in subqueries}
 
     def reducer(key: tuple, values: list) -> Iterable[AggRow]:
+        if obs._ACTIVE is not None:
+            obs.count("agg_join_groups")
         subquery_id, group_key = key
         subquery = subquery_by_id[subquery_id]
         merged = values[0]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro import obs
 from repro.core.query_model import AnalyticalQuery
 from repro.errors import OverlapError
 from repro.mapreduce.hdfs import HDFS
@@ -160,7 +161,19 @@ def plan_rapid_analytics(
         try:
             composite = build_composite_n(query.subqueries)
         except OverlapError:
+            obs.event(
+                "rewrite-fallback",
+                {"planner": "rapid-analytics", "to": "rapid-plus"},
+            )
             return plan_rapid_plus(query, store, prefix=prefix)
+    obs.event(
+        "composite",
+        {
+            "stars": len(composite.stars),
+            "subqueries": len(composite.subqueries),
+            "fused": fuse_aggregations,
+        },
+    )
 
     jobs: list[MapReduceJob] = []
     prefilters = shared_prefilters(composite.subqueries)

@@ -1,0 +1,116 @@
+"""Structured execution tracing for the simulator stack.
+
+Where :mod:`repro.perf` answers "how much wall time went to each
+phase?", this package answers "what did the execution *do*": a
+hierarchical trace of spans (query → engine → plan → MR job → phase)
+and events (task retries, stragglers, aborts) on two clocks — real
+wall time and the cost model's simulated seconds — with per-span NTGA
+operator metrics (triplegroups dropped by σ^γopt, n-split fan-out,
+α-join combinations materialized vs. pruned, Agg-Join group counts,
+per-job shuffle/HDFS bytes).
+
+The module-level hooks follow the same contract as :func:`repro.perf.phase`:
+when no recorder is installed (``_ACTIVE is None``) every hook is a
+no-op beyond a single global read, so untraced runs pay effectively
+nothing.  Hot loops (the star filter, the α-join reducer) should guard
+their calls with ``if obs._ACTIVE is not None:`` to skip even the call.
+
+Submodules:
+
+* :mod:`repro.obs.model` — :class:`Span` / :class:`TraceEvent` /
+  :class:`TraceRecorder` / :class:`Stopwatch`;
+* :mod:`repro.obs.sink` — the ``repro-trace/v1`` JSONL reader/writer;
+* :mod:`repro.obs.summary` — per-query/per-engine rollups and the
+  ``repro trace summary`` / ``tree`` renderings;
+* :mod:`repro.obs.perfetto` — Chrome trace-event export for
+  Perfetto / ``chrome://tracing``.
+
+See ``docs/observability.md`` for the span model, the two-clock
+semantics, and the operator-metric glossary.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.model import Span, Stopwatch, TraceEvent, TraceRecorder
+
+__all__ = [
+    "Span",
+    "Stopwatch",
+    "TraceEvent",
+    "TraceRecorder",
+    "active_tracer",
+    "tracing",
+    "span",
+    "event",
+    "count",
+    "annotate",
+]
+
+#: The currently-installed recorder (None = tracing disabled).
+_ACTIVE: TraceRecorder | None = None
+
+
+def active_tracer() -> TraceRecorder | None:
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(recorder: TraceRecorder | None = None) -> Iterator[TraceRecorder]:
+    """Install *recorder* (a fresh one by default) for the duration.
+
+    The recorder is sealed (``close()``) on exit, so the caller can hand
+    it straight to :func:`repro.obs.sink.write_trace`.
+    """
+    global _ACTIVE
+    recorder = recorder if recorder is not None else TraceRecorder()
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+        recorder.close()
+
+
+@contextmanager
+def span(
+    name: str, kind: str = "span", attrs: dict[str, Any] | None = None
+) -> Iterator[Span | None]:
+    """Bracket the enclosed work in a trace span.
+
+    Yields the live :class:`Span` (for ``.attrs`` / ``.metrics``
+    updates mid-flight) when tracing is on, ``None`` when off.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        yield None
+        return
+    opened = recorder.begin_span(name, kind, attrs)
+    try:
+        yield opened
+    finally:
+        recorder.end_span(opened)
+
+
+def event(name: str, attrs: dict[str, Any] | None = None) -> None:
+    """Record a point-in-time event under the current span."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.add_event(name, attrs)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Add *amount* to operator metric *name* on the current span."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.count(name, amount)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the current span."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.annotate(**attrs)

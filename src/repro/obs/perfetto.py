@@ -1,0 +1,170 @@
+"""Chrome trace-event export (Perfetto / ``chrome://tracing``).
+
+``repro trace export --format perfetto`` converts a ``repro-trace/v1``
+trace into the JSON-object flavour of the Chrome trace-event format:
+complete spans (``ph: "X"``), instant events (``ph: "i"``), and
+metadata records (``ph: "M"``) naming the process and one thread
+("track") per engine.
+
+The exported timeline is the **simulated clock**: timestamps are the
+cost model's seconds scaled to microseconds, so the track layout shows
+the paper's numbers (MR-cycle structure, per-phase volume costs), not
+the simulator's own wall time.  Timestamps are absolute trace-wide, so
+consecutive engine executions appear end to end on their tracks in the
+order they ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_PID = 1
+#: Track for spans not enclosed by any engine span (the root, query
+#: brackets, harness setup).
+_CONTROL_TID = 0
+
+_US = 1_000_000  # simulated seconds → microseconds
+
+
+def to_chrome_trace(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Render trace records as a Chrome trace-event JSON object."""
+    spans = {r["id"]: r for r in records if r.get("type") == "span"}
+    header = next((r for r in records if r.get("type") == "header"), {})
+
+    # One track per engine *name*, in first-appearance order, so the two
+    # engines of a compare run sit on adjacent rows.
+    track_of_engine: dict[str, int] = {}
+    engine_span_track: dict[int, int] = {}
+    for span in sorted(spans.values(), key=lambda s: s["id"]):
+        if span["kind"] != "engine":
+            continue
+        engine = str(span["attrs"].get("engine", span["name"]))
+        if engine not in track_of_engine:
+            track_of_engine[engine] = len(track_of_engine) + 1
+        engine_span_track[span["id"]] = track_of_engine[engine]
+
+    def track_for(record: dict[str, Any]) -> int:
+        seen: set[int] = set()
+        current: int | None = record["id"] if record.get("type") == "span" else None
+        if current is None or current not in engine_span_track:
+            current = record.get("parent")
+        while current is not None and current not in seen:
+            seen.add(current)
+            if current in engine_span_track:
+                return engine_span_track[current]
+            parent_span = spans.get(current)
+            current = parent_span.get("parent") if parent_span else None
+        return _CONTROL_TID
+
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _CONTROL_TID,
+            "name": "process_name",
+            "args": {"name": "repro simulated timeline"},
+        },
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _CONTROL_TID,
+            "name": "thread_name",
+            "args": {"name": "control"},
+        },
+    ]
+    for engine, tid in track_of_engine.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": engine},
+            }
+        )
+
+    for record in records:
+        if record.get("type") == "span":
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": track_for(record),
+                    "name": record["name"],
+                    "cat": record["kind"],
+                    "ts": record["sim_start"] * _US,
+                    "dur": record["sim_dur"] * _US,
+                    "args": {
+                        "attrs": record.get("attrs", {}),
+                        "metrics": record.get("metrics", {}),
+                    },
+                }
+            )
+        elif record.get("type") == "event":
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": _PID,
+                    "tid": track_for(record),
+                    "name": record["name"],
+                    "cat": "event",
+                    "ts": record["sim_time"] * _US,
+                    "s": "t",  # thread-scoped instant
+                    "args": {"attrs": record.get("attrs", {})},
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": str(header.get("schema", "")),
+            "generator": str(header.get("generator", "")),
+            "clock": "simulated",
+        },
+    }
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Shape-check a Chrome trace-event object; returns problems found.
+
+    Checks the constraints Perfetto's JSON importer actually relies on:
+    a ``traceEvents`` array whose entries carry a valid ``ph``, the
+    fields mandatory for that phase, and numeric non-negative
+    timestamps/durations.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top-level value must be a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in {"X", "i", "I", "M", "B", "E", "b", "e", "n", "C"}:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"{where}: missing integer tid")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event dur must be a non-negative number, got {dur!r}"
+                )
+    return problems

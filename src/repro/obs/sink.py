@@ -1,0 +1,153 @@
+"""The ``repro-trace/v1`` JSONL trace format.
+
+One record per line, compact separators, keys sorted.  Record shapes
+(every key always present, so consumers need no existence checks):
+
+``header``
+    ``{"type": "header", "schema": "repro-trace/v1", "generator": ...,
+    "created_at": <wall seconds at close>}``
+``span``
+    ``{"type": "span", "id", "parent", "name", "kind", "sim_start",
+    "sim_dur", "wall_start", "wall_dur", "attrs", "metrics"}``
+``event``
+    ``{"type": "event", "id", "parent", "name", "sim_time",
+    "wall_time", "attrs"}``
+
+Spans and events share one id space and are emitted sorted by id —
+i.e. in creation order — after the header.  The **wall fields**
+(:data:`WALL_FIELDS`) are the only nondeterministic content: stripping
+them (:func:`stripped_bytes`) yields bytes that are identical across
+repeat runs of the same seeded workload, which the determinism test
+pins and downstream diffing relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.model import TraceRecorder
+
+TRACE_SCHEMA = "repro-trace/v1"
+
+#: Keys carrying real wall-clock time — the only nondeterministic
+#: fields in a trace record.
+WALL_FIELDS = ("wall_start", "wall_dur", "wall_time", "created_at")
+
+_ROUND = 9  # nanosecond resolution; avoids platform float-repr jitter
+
+
+def _round(value: float) -> float:
+    return round(value, _ROUND)
+
+
+def trace_records(recorder: TraceRecorder) -> list[dict[str, Any]]:
+    """Render a (closed) recorder as schema records, header first."""
+    recorder.close()
+    records: list[dict[str, Any]] = [
+        {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "generator": "repro.obs",
+            "created_at": _round(recorder.root.wall_end),
+        }
+    ]
+    body: list[tuple[int, dict[str, Any]]] = []
+    for span in recorder.spans:
+        body.append(
+            (
+                span.id,
+                {
+                    "type": "span",
+                    "id": span.id,
+                    "parent": span.parent,
+                    "name": span.name,
+                    "kind": span.kind,
+                    "sim_start": _round(span.sim_start),
+                    "sim_dur": _round(span.sim_dur),
+                    "wall_start": _round(span.wall_start),
+                    "wall_dur": _round(span.wall_dur),
+                    "attrs": span.attrs,
+                    "metrics": span.metrics,
+                },
+            )
+        )
+    for event in recorder.events:
+        body.append(
+            (
+                event.id,
+                {
+                    "type": "event",
+                    "id": event.id,
+                    "parent": event.parent,
+                    "name": event.name,
+                    "sim_time": _round(event.sim_time),
+                    "wall_time": _round(event.wall_time),
+                    "attrs": event.attrs,
+                },
+            )
+        )
+    body.sort(key=lambda pair: pair[0])
+    records.extend(record for _, record in body)
+    return records
+
+
+def write_trace(recorder: TraceRecorder, path: str | Path) -> Path:
+    """Write the trace as JSONL; returns the path written."""
+    path = Path(path)
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in trace_records(recorder)
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace, validating the header."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {path}: {exc}") from None
+    records: list[dict[str, Any]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}:{number}: malformed trace line: {exc}") from None
+        if not isinstance(record, dict) or "type" not in record:
+            raise ReproError(f"{path}:{number}: trace record must be an object with 'type'")
+        records.append(record)
+    if not records:
+        raise ReproError(f"{path}: empty trace")
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != TRACE_SCHEMA:
+        raise ReproError(
+            f"{path}: not a {TRACE_SCHEMA} trace "
+            f"(header: {json.dumps(header, sort_keys=True)[:120]})"
+        )
+    return records
+
+
+def strip_wall_fields(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Drop every wall-clock field — what's left is deterministic."""
+    return [
+        {key: value for key, value in record.items() if key not in WALL_FIELDS}
+        for record in records
+    ]
+
+
+def stripped_bytes(records: list[dict[str, Any]]) -> bytes:
+    """Canonical bytes of the deterministic content of a trace; equal
+    across repeat runs of the same seeded workload."""
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in strip_wall_fields(records)
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8")

@@ -1,0 +1,170 @@
+"""Rollups and renderings of ``repro-trace/v1`` records.
+
+The summary groups job spans under their enclosing engine span (and
+that engine's enclosing query span, when present) and aggregates
+exactly the quantities the paper argues with: MR cycles, simulated
+seconds, shuffle/HDFS byte volumes, operator metrics (α-join
+combinations pruned, triplegroups dropped, ...), and fault events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Job-span attributes summed into the per-engine rollup.
+_VOLUME_ATTRS = ("input_bytes", "shuffle_bytes", "output_bytes")
+
+#: Event names emitted by the fault-recovery path in the runner.
+FAULT_EVENT_NAMES = frozenset(
+    {"task-retry", "straggler", "hdfs-write-retry", "job-abort"}
+)
+
+
+@dataclass
+class EngineSummary:
+    """Aggregates for one engine span (one engine execution)."""
+
+    query: str
+    engine: str
+    span_id: int
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    jobs: int = 0
+    map_only_jobs: int = 0
+    volumes: dict[str, int] = field(default_factory=dict)
+    metrics: dict[str, int] = field(default_factory=dict)
+    fault_events: dict[str, int] = field(default_factory=dict)
+
+
+def _children_index(records: list[dict[str, Any]]) -> dict[int, list[dict[str, Any]]]:
+    children: dict[int, list[dict[str, Any]]] = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None:
+            children.setdefault(parent, []).append(record)
+    return children
+
+
+def _descendants(
+    root_id: int, children: dict[int, list[dict[str, Any]]]
+) -> Iterable[dict[str, Any]]:
+    stack = list(children.get(root_id, ()))
+    while stack:
+        record = stack.pop()
+        yield record
+        stack.extend(children.get(record["id"], ()))
+
+
+def summarize(records: list[dict[str, Any]]) -> list[EngineSummary]:
+    """One :class:`EngineSummary` per engine span, in trace order."""
+    spans = {r["id"]: r for r in records if r.get("type") == "span"}
+    children = _children_index(records)
+
+    def enclosing_query(span: dict[str, Any]) -> str:
+        parent = span.get("parent")
+        while parent is not None:
+            candidate = spans.get(parent)
+            if candidate is None:
+                break
+            if candidate["kind"] == "query":
+                return str(candidate["attrs"].get("qid", candidate["name"]))
+            parent = candidate.get("parent")
+        return "-"
+
+    summaries: list[EngineSummary] = []
+    for span in sorted(spans.values(), key=lambda s: s["id"]):
+        if span["kind"] != "engine":
+            continue
+        summary = EngineSummary(
+            query=enclosing_query(span),
+            engine=str(span["attrs"].get("engine", span["name"])),
+            span_id=span["id"],
+            sim_seconds=span["sim_dur"],
+            wall_seconds=span.get("wall_dur", 0.0),
+        )
+        for record in _descendants(span["id"], children):
+            if record.get("type") == "span":
+                if record["kind"] == "job":
+                    summary.jobs += 1
+                    if record["attrs"].get("map_only"):
+                        summary.map_only_jobs += 1
+                    for attr in _VOLUME_ATTRS:
+                        value = record["attrs"].get(attr)
+                        if isinstance(value, int):
+                            summary.volumes[attr] = summary.volumes.get(attr, 0) + value
+                for name, amount in record.get("metrics", {}).items():
+                    summary.metrics[name] = summary.metrics.get(name, 0) + amount
+            elif record.get("type") == "event":
+                if record["name"] in FAULT_EVENT_NAMES:
+                    summary.fault_events[record["name"]] = (
+                        summary.fault_events.get(record["name"], 0) + 1
+                    )
+        summaries.append(summary)
+    return summaries
+
+
+def render_summary(records: list[dict[str, Any]]) -> str:
+    """The ``repro trace summary`` table."""
+    summaries = summarize(records)
+    if not summaries:
+        return "trace contains no engine spans"
+    header = (
+        f"{'query':<12} {'engine':<16} {'jobs':>4} {'map-only':>8} "
+        f"{'sim(s)':>9} {'shuffle(B)':>11} {'hdfs-out(B)':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in summaries:
+        lines.append(
+            f"{s.query:<12} {s.engine:<16} {s.jobs:>4} {s.map_only_jobs:>8} "
+            f"{s.sim_seconds:>9.2f} {s.volumes.get('shuffle_bytes', 0):>11} "
+            f"{s.volumes.get('output_bytes', 0):>11}"
+        )
+        extras: list[str] = []
+        for name in sorted(s.metrics):
+            extras.append(f"{name}={s.metrics[name]}")
+        for name in sorted(s.fault_events):
+            extras.append(f"{name}×{s.fault_events[name]}")
+        if extras:
+            lines.append(f"{'':<12}   {' '.join(extras)}")
+    return "\n".join(lines)
+
+
+def render_tree(records: list[dict[str, Any]], max_depth: int | None = None) -> str:
+    """The ``repro trace tree`` rendering: the span hierarchy with both
+    clocks, metrics inline, events as leaf markers."""
+    children = _children_index(records)
+    lines: list[str] = []
+
+    def walk(record: dict[str, Any], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        if record.get("type") == "span":
+            line = (
+                f"{indent}{record['name']} [{record['kind']}] "
+                f"sim={record['sim_start']:.2f}+{record['sim_dur']:.2f}s "
+                f"wall={record.get('wall_dur', 0.0) * 1000:.1f}ms"
+            )
+            metrics = record.get("metrics", {})
+            if metrics:
+                line += "  " + " ".join(f"{k}={metrics[k]}" for k in sorted(metrics))
+            lines.append(line)
+            for child in sorted(children.get(record["id"], ()), key=lambda r: r["id"]):
+                walk(child, depth + 1)
+        else:
+            attrs = record.get("attrs", {})
+            detail = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+            lines.append(
+                f"{indent}! {record['name']} @sim={record['sim_time']:.2f}s"
+                + (f"  {detail}" if detail else "")
+            )
+
+    roots = [
+        r
+        for r in records
+        if r.get("type") == "span" and r.get("parent") is None
+    ]
+    for root in sorted(roots, key=lambda r: r["id"]):
+        walk(root, 0)
+    return "\n".join(lines) if lines else "trace contains no spans"

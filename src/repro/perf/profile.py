@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import json
 import platform
-import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -33,6 +32,7 @@ from repro.bench.harness import (
     table4_pubmed,
 )
 from repro.errors import ReproError
+from repro.obs import Stopwatch
 from repro.perf import PerfRecorder, recording, reference_mode
 
 #: Schema tag for the JSON report; bump on shape changes.
@@ -132,10 +132,10 @@ def profile_experiments(
         graph = _graph(dataset, preset)
 
         recorder = PerfRecorder()
-        started = time.perf_counter()
-        with recording(recorder):
-            result = runner(graph, verify)
-        wall = time.perf_counter() - started
+        with Stopwatch() as watch:
+            with recording(recorder):
+                result = runner(graph, verify)
+        wall = watch.seconds
 
         entry: dict[str, Any] = {
             "exp_id": name,
@@ -147,10 +147,10 @@ def profile_experiments(
         }
 
         if reference:
-            ref_started = time.perf_counter()
-            with reference_mode():
-                ref_result = runner(graph, verify)
-            ref_wall = time.perf_counter() - ref_started
+            with Stopwatch() as ref_watch:
+                with reference_mode():
+                    ref_result = runner(graph, verify)
+            ref_wall = ref_watch.seconds
             entry["reference_wall_seconds"] = round(ref_wall, 6)
             entry["speedup"] = round(ref_wall / wall, 3) if wall else None
             cached_sig = _measurement_signature(result)

@@ -85,6 +85,47 @@ class GraphStats:
         )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """Machine-readable statistics (``repro stats --json``).
+
+        Deterministically ordered: properties and classes sorted by IRI,
+        the equivalence-class histogram by its sorted member properties.
+        """
+        properties = {
+            stats.property.value: {
+                "triples": stats.triples,
+                "distinct_subjects": stats.distinct_subjects,
+                "distinct_objects": stats.distinct_objects,
+                "avg_fanout": round(stats.avg_fanout, 6),
+                "multi_valued": stats.is_multi_valued,
+            }
+            for stats in sorted(self.properties.values(), key=lambda s: s.property.value)
+        }
+        classes = {
+            (cls.value if isinstance(cls, IRI) else str(cls)): {
+                "subjects": size,
+                "selectivity": round(self.class_selectivity(cls), 6),
+            }
+            for cls, size in sorted(
+                self.class_sizes.items(),
+                key=lambda kv: kv[0].value if isinstance(kv[0], IRI) else str(kv[0]),
+            )
+        }
+        histogram = [
+            {"properties": sorted(prop.value for prop in ec), "subjects": count}
+            for ec, count in sorted(
+                self.equivalence_class_histogram.items(),
+                key=lambda kv: sorted(prop.value for prop in kv[0]),
+            )
+        ]
+        return {
+            "schema": "repro-graph-stats/v1",
+            "total_triples": self.total_triples,
+            "properties": properties,
+            "classes": classes,
+            "equivalence_classes": histogram,
+        }
+
 
 def profile(graph: Graph) -> GraphStats:
     """Compute full statistics in one pass over the graph."""

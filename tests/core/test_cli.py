@@ -1,5 +1,7 @@
 """CLI tests (invoked in-process through repro.cli.main)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -85,6 +87,121 @@ def test_stats_command(capsys):
     assert code == 0
     assert "multi-valued" in out
     assert "mesh_heading" in out
+
+
+def test_explain_hive_engine_with_graph(capsys):
+    code, out, _ = run_cli(
+        capsys, "explain", "G1", "--engine", "hive-naive", "--preset", "tiny"
+    )
+    assert code == 0
+    assert "hive" in out.lower()
+
+
+def test_explain_rejects_bad_engine():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["explain", "MG1", "--engine", "spark"])
+
+
+def test_run_verbose_prints_workflow_and_counters(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "G1", "--preset", "tiny", "--verbose"
+    )
+    assert code == 0
+    assert "TOTAL:" in out
+    assert "counters:" in out
+    assert "mr_cycles=" in out
+
+
+def test_stats_json(capsys):
+    code, out, _ = run_cli(
+        capsys, "stats", "--dataset", "pubmed", "--preset", "tiny", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["schema"] == "repro-graph-stats/v1"
+    assert payload["total_triples"] > 0
+    assert any("mesh_heading" in prop for prop in payload["properties"])
+    multi = [p for p in payload["properties"].values() if p["multi_valued"]]
+    assert multi
+    assert payload["equivalence_classes"]
+
+
+def test_stats_json_matches_describe_totals(capsys):
+    code, text_out, _ = run_cli(capsys, "stats", "--dataset", "bsbm", "--preset", "tiny")
+    assert code == 0
+    code, json_out, _ = run_cli(
+        capsys, "stats", "--dataset", "bsbm", "--preset", "tiny", "--json"
+    )
+    assert code == 0
+    payload = json.loads(json_out)
+    assert f"{payload['total_triples']} triples" in text_out
+
+
+def test_run_trace_and_trace_subcommands(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    code, _, err = run_cli(
+        capsys,
+        "run", "MG1", "--preset", "tiny",
+        "--engine", "rapid-analytics", "--trace", str(trace_path),
+    )
+    assert code == 0
+    assert f"wrote trace {trace_path}" in err
+    assert trace_path.exists()
+    first = json.loads(trace_path.read_text().splitlines()[0])
+    assert first == {"type": "header", "schema": "repro-trace/v1",
+                     "generator": "repro.obs", "created_at": first["created_at"]}
+
+    code, out, _ = run_cli(capsys, "trace", "summary", str(trace_path))
+    assert code == 0
+    assert "rapid-analytics" in out
+    assert "MG1" in out
+
+    code, out, _ = run_cli(capsys, "trace", "tree", str(trace_path), "--depth", "2")
+    assert code == 0
+    assert "MG1 [query]" in out
+    assert "sim=" in out
+
+    export_path = tmp_path / "run.perfetto.json"
+    code, out, _ = run_cli(
+        capsys,
+        "trace", "export", str(trace_path),
+        "--format", "perfetto", "--output", str(export_path), "--check",
+    )
+    assert code == 0
+    chrome = json.loads(export_path.read_text())
+    assert chrome["traceEvents"]
+    assert chrome["otherData"]["schema"] == "repro-trace/v1"
+
+
+def test_compare_trace_covers_all_engines(tmp_path, capsys):
+    trace_path = tmp_path / "compare.jsonl"
+    code, _, _ = run_cli(
+        capsys, "compare", "G1", "--preset", "tiny", "--trace", str(trace_path)
+    )
+    assert code == 0
+    engines = {
+        json.loads(line)["attrs"]["engine"]
+        for line in trace_path.read_text().splitlines()
+        if '"kind":"engine"' in line
+    }
+    assert engines == {"hive-naive", "hive-mqo", "rapid-plus", "rapid-analytics"}
+
+
+def test_trace_export_to_stdout(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    run_cli(capsys, "run", "G1", "--preset", "tiny", "--trace", str(trace_path))
+    code, out, _ = run_cli(capsys, "trace", "export", str(trace_path))
+    assert code == 0
+    assert json.loads(out)["traceEvents"]
+
+
+def test_trace_rejects_non_trace_file(tmp_path, capsys):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text("not json\n")
+    code, _, err = run_cli(capsys, "trace", "summary", str(bogus))
+    assert code == 1
+    assert "error:" in err
 
 
 def test_unknown_experiment_fails_cleanly(capsys):

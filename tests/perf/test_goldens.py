@@ -18,7 +18,13 @@ from repro.perf import reference_mode
 from repro.perf.goldens import GOLDEN_SCHEMA, check_golden_file
 
 GOLDEN_ROOT = Path(__file__).resolve().parents[1] / "golden"
-GOLDEN_FILES = sorted(GOLDEN_ROOT.glob("*.json"))
+# tests/golden/ also hosts other schema contracts (e.g. repro-trace/v1);
+# only counter goldens are recapturable here.
+GOLDEN_FILES = sorted(
+    path
+    for path in GOLDEN_ROOT.glob("*.json")
+    if json.loads(path.read_text()).get("schema") == GOLDEN_SCHEMA
+)
 
 
 def test_golden_files_are_committed():
