@@ -1,0 +1,391 @@
+"""Chaos soak harness: ``repro bench <experiment> --chaos seeds=N,rate=p``.
+
+Runs one paper experiment across a matrix of seeded fault plans with
+checkpointed recovery enabled, and checks the headline robustness
+contract end to end: **every resumed run completes with rows and base
+counters bit-identical to the fault-free run**, while the salvage
+accounting quantifies how much work each engine's checkpoints saved.
+
+This is the paper's workflow-length argument restated as a resilience
+experiment: naive Hive's 9-13 cycle plans run bigger jobs and carry a
+bigger commit ledger, so each failure wastes more simulated work and
+each re-submission re-validates more committed state than
+RAPIDAnalytics' 3-4 cycle plans — the report's per-engine
+``lost_seconds_per_failure`` makes the gap explicit.
+
+The report (schema ``repro-chaos-soak/v1``) is fully deterministic for
+a fixed spec: seeded fault plans, simulated costs, no wall-clock.  A
+committed report doubles as a golden (:func:`check_chaos_golden`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.bench.catalog import get_query
+from repro.bench.faults import (
+    FAULT_EXPERIMENTS,
+    _base_counters,
+    _build_graph,
+)
+from repro.bench.harness import QueryMeasurement, run_experiment
+from repro.errors import CheckpointError, ReproError
+from repro.mapreduce.checkpoint import RecoveryPolicy
+from repro.mapreduce.faults import FaultPlan
+
+#: Schema tag for the chaos soak report (bump on shape changes).
+CHAOS_SCHEMA = "repro-chaos-soak/v1"
+
+#: RecoveryStats fields summed per engine across the soak matrix.
+_RECOVERY_FIELDS = (
+    "resubmissions",
+    "jobs_skipped",
+    "salvaged_bytes",
+    "salvaged_seconds",
+    "wasted_seconds",
+    "wasted_bytes",
+    "overhead_seconds",
+)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parsed ``--chaos`` matrix: seeds 1..N, one fault plan per seed.
+
+    ``attempts`` defaults to 1 (tighter than the simulator's Hadoop
+    default of 4): a task aborts its job with ``rate**attempts`` odds,
+    and the soak exists to exercise the abort/resume path, not to watch
+    per-task retries absorb everything.  The generous resubmission
+    budget matches: a soak run should finish through recovery, so
+    budget exhaustion stays an explicit opt-in (`budget=...`) rather
+    than a default failure mode.
+    """
+
+    seeds: int
+    rate: float
+    attempts: int = 1
+    budget: int = 24
+    straggler_rate: float = 0.0
+    write_failure_rate: float = 0.0
+
+    @classmethod
+    def from_spec(cls, text: str) -> "ChaosSpec":
+        """Parse ``seeds=N,rate=p[,attempts=a][,budget=b][,straggler=s][,write=w]``."""
+        values: dict[str, str] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise CheckpointError(
+                    f"invalid chaos spec {text!r}: expected key=value, got {part!r}"
+                )
+            values[key.strip()] = value.strip()
+        unknown = set(values) - {
+            "seeds", "rate", "attempts", "budget", "straggler", "write",
+        }
+        if unknown:
+            raise CheckpointError(
+                f"invalid chaos spec {text!r}: unknown key(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        if "seeds" not in values or "rate" not in values:
+            raise CheckpointError(
+                f"invalid chaos spec {text!r}: seeds= and rate= are required"
+            )
+        try:
+            spec = cls(
+                seeds=int(values["seeds"]),
+                rate=float(values["rate"]),
+                attempts=int(values.get("attempts", 1)),
+                budget=int(values.get("budget", 24)),
+                straggler_rate=float(values.get("straggler", 0.0)),
+                write_failure_rate=float(values.get("write", 0.0)),
+            )
+        except ValueError as error:
+            raise CheckpointError(
+                f"invalid chaos spec {text!r}: {error}"
+            ) from None
+        if spec.seeds < 1:
+            raise CheckpointError(
+                f"invalid chaos spec {text!r}: seeds must be >= 1"
+            )
+        if not 0.0 <= spec.rate < 1.0:
+            raise CheckpointError(
+                f"invalid chaos spec {text!r}: rate must be in [0, 1)"
+            )
+        if spec.attempts < 1:
+            raise CheckpointError(
+                f"invalid chaos spec {text!r}: attempts must be >= 1"
+            )
+        return spec
+
+    def plan_for_seed(self, seed: int) -> FaultPlan:
+        return FaultPlan(
+            seed=seed,
+            task_failure_rate=self.rate,
+            straggler_rate=self.straggler_rate,
+            hdfs_write_failure_rate=self.write_failure_rate,
+            max_attempts=self.attempts,
+        )
+
+    def policy(self) -> RecoveryPolicy:
+        return RecoveryPolicy(max_resubmissions=self.budget)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seeds": self.seeds,
+            "rate": self.rate,
+            "attempts": self.attempts,
+            "budget": self.budget,
+            "straggler_rate": self.straggler_rate,
+            "write_failure_rate": self.write_failure_rate,
+        }
+
+
+def _per_failure(total: float, failures: int) -> float | None:
+    return round(total / failures, 6) if failures else None
+
+
+def chaos_soak_report(
+    experiment: str,
+    spec: ChaosSpec,
+    graph=None,
+) -> dict[str, Any]:
+    """Run *experiment* fault-free, then once per seed with recovery on.
+
+    Every chaos run is compared against the fault-free baseline: its
+    rows (order-sensitive digest) and base counters must match exactly,
+    its salvage accounting is recorded, and per-engine totals summarize
+    how much work the checkpoints saved versus lost per failure.
+    """
+    try:
+        dataset, preset, qids, engines, config_factory = FAULT_EXPERIMENTS[experiment]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_EXPERIMENTS))
+        raise ReproError(
+            f"unknown chaos experiment {experiment!r} (known: {known})"
+        ) from None
+    graph = graph if graph is not None else _build_graph(dataset, preset)
+    config = config_factory()
+    queries = [get_query(qid) for qid in qids]
+
+    baseline = run_experiment(
+        f"{experiment}-fault-free", "fault-free baseline",
+        queries, graph, engines, config, verify=False,
+    )
+    base_runs: dict[tuple[str, str], QueryMeasurement] = {
+        (m.qid, m.engine): m for m in baseline.measurements
+    }
+
+    runs: list[dict[str, Any]] = []
+    totals: dict[str, dict[str, float]] = {
+        engine: {field: 0.0 for field in _RECOVERY_FIELDS} for engine in engines
+    }
+    completed: dict[str, int] = {engine: 0 for engine in engines}
+    matched: dict[str, int] = {engine: 0 for engine in engines}
+    per_engine_runs: dict[str, int] = {engine: 0 for engine in engines}
+
+    for seed in range(1, spec.seeds + 1):
+        chaos_config = replace(
+            config, fault_plan=spec.plan_for_seed(seed), recovery=spec.policy()
+        )
+        soak = run_experiment(
+            f"{experiment}-chaos-seed{seed}", f"chaos soak, seed {seed}",
+            queries, graph, engines, chaos_config, verify=False,
+        )
+        for measurement in soak.measurements:
+            base = base_runs[(measurement.qid, measurement.engine)]
+            per_engine_runs[measurement.engine] += 1
+            entry: dict[str, Any] = {
+                "seed": seed,
+                "qid": measurement.qid,
+                "engine": measurement.engine,
+                "completed": not measurement.failed,
+                "failed": measurement.failed,
+                "rows": measurement.rows,
+                "recovery": dict(measurement.recovery),
+            }
+            if measurement.failed:
+                entry["rows_match_baseline"] = False
+                entry["base_counters_match_baseline"] = False
+                entry["baseline_cost_seconds"] = repr(base.cost_seconds)
+                entry["chaos_cost_seconds"] = None
+                entry["extra_cost_seconds"] = None
+                runs.append(entry)
+                continue
+            rows_ok = measurement.rows_digest == base.rows_digest
+            counters_ok = _base_counters(measurement) == _base_counters(base)
+            entry["rows_match_baseline"] = rows_ok
+            entry["base_counters_match_baseline"] = counters_ok
+            entry["baseline_cost_seconds"] = repr(base.cost_seconds)
+            entry["chaos_cost_seconds"] = repr(measurement.cost_seconds)
+            entry["extra_cost_seconds"] = round(
+                measurement.cost_seconds - base.cost_seconds, 6
+            )
+            runs.append(entry)
+            completed[measurement.engine] += 1
+            if rows_ok and counters_ok:
+                matched[measurement.engine] += 1
+            for field in _RECOVERY_FIELDS:
+                totals[measurement.engine][field] += float(
+                    measurement.recovery.get(field, 0)
+                )
+
+    summary: dict[str, Any] = {}
+    for engine in engines:
+        engine_totals = totals[engine]
+        failures = int(engine_totals["resubmissions"])
+        lost = engine_totals["wasted_seconds"] + engine_totals["overhead_seconds"]
+        at_risk = engine_totals["salvaged_seconds"] + lost
+        summary[engine] = {
+            "runs": per_engine_runs[engine],
+            "completed": completed[engine],
+            "bit_identical": matched[engine] == per_engine_runs[engine],
+            "failures": failures,
+            "jobs_skipped": int(engine_totals["jobs_skipped"]),
+            "salvaged_bytes": int(engine_totals["salvaged_bytes"]),
+            "salvaged_seconds": round(engine_totals["salvaged_seconds"], 6),
+            "wasted_seconds": round(engine_totals["wasted_seconds"], 6),
+            "overhead_seconds": round(engine_totals["overhead_seconds"], 6),
+            "lost_seconds": round(lost, 6),
+            # The headline comparison: how much simulated work one
+            # failure costs this engine (the aborted attempt's waste plus
+            # the resubmission's checkpoint-validation overhead).  Long
+            # workflows run bigger jobs and carry bigger ledgers, so
+            # hive-naive loses strictly more here than rapid-analytics.
+            "lost_seconds_per_failure": _per_failure(lost, failures),
+            "salvaged_seconds_per_failure": _per_failure(
+                engine_totals["salvaged_seconds"], failures
+            ),
+            # Fraction of at-risk work (salvaged + lost) the checkpoints
+            # actually saved across the matrix.
+            "salvage_ratio": round(engine_totals["salvaged_seconds"] / at_risk, 6)
+            if at_risk
+            else None,
+        }
+
+    verdicts: dict[str, Any] = {
+        "all_complete": all(run["completed"] for run in runs),
+        "all_bit_identical": all(
+            run["rows_match_baseline"] and run["base_counters_match_baseline"]
+            for run in runs
+        ),
+    }
+    naive = summary.get("hive-naive")
+    rapid = summary.get("rapid-analytics")
+    if (
+        naive is not None
+        and rapid is not None
+        and naive["lost_seconds_per_failure"] is not None
+        and rapid["lost_seconds_per_failure"] is not None
+    ):
+        verdicts["hive_naive_loses_more_per_failure"] = (
+            naive["lost_seconds_per_failure"] > rapid["lost_seconds_per_failure"]
+        )
+    else:
+        verdicts["hive_naive_loses_more_per_failure"] = None
+
+    return {
+        "schema": CHAOS_SCHEMA,
+        "experiment": experiment,
+        "dataset": dataset,
+        "preset": preset,
+        "chaos": spec.as_dict(),
+        "engines": list(engines),
+        "queries": list(qids),
+        "runs": runs,
+        "summary": summary,
+        "verdicts": verdicts,
+    }
+
+
+def spec_from_report(report: dict[str, Any]) -> ChaosSpec:
+    return ChaosSpec(**report["chaos"])
+
+
+def check_chaos_golden(path: str | Path) -> list[str]:
+    """Re-run a committed soak report's config and diff against it.
+
+    Returns human-readable differences (empty = bit-identical) so CI
+    catches any checkpoint/resume change that moves a salvage number, a
+    resumed cost, or an invariant verdict.
+    """
+    golden = json.loads(Path(path).read_text())
+    fresh = chaos_soak_report(golden["experiment"], spec_from_report(golden))
+    problems: list[str] = []
+    for field in ("schema", "dataset", "preset", "chaos", "engines", "queries"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    golden_runs = {
+        (r["seed"], r["qid"], r["engine"]): r for r in golden.get("runs", [])
+    }
+    fresh_runs = {
+        (r["seed"], r["qid"], r["engine"]): r for r in fresh.get("runs", [])
+    }
+    for key in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(key), fresh_runs.get(key)
+        if old is None or new is None:
+            problems.append(
+                f"{key}: present only in {'fresh' if old is None else 'golden'}"
+            )
+            continue
+        for field in sorted((set(old) | set(new)) - {"seed", "qid", "engine"}):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"seed {key[0]} {key[1]}/{key[2]}: {field} differs: "
+                    f"golden={old.get(field)!r} fresh={new.get(field)!r}"
+                )
+    for field in ("summary", "verdicts"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    return problems
+
+
+def write_chaos_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_chaos_report(report: dict[str, Any]) -> str:
+    """Terminal view: per-engine salvage across the soak matrix."""
+    chaos = report["chaos"]
+    lines = [
+        f"{report['experiment']} chaos soak "
+        f"(seeds=1..{chaos['seeds']}, rate={chaos['rate']}, "
+        f"attempts={chaos['attempts']}, budget={chaos['budget']})",
+        f"{'engine':18s} {'runs':>5s} {'fails':>6s} {'skips':>6s} "
+        f"{'salvaged':>11s} {'wasted':>10s} {'overhead':>10s} {'lost/fail':>10s}",
+    ]
+    for engine in report["engines"]:
+        stats = report["summary"][engine]
+        per_failure = stats["lost_seconds_per_failure"]
+        lines.append(
+            f"{engine:18s} {stats['runs']:5d} {stats['failures']:6d} "
+            f"{stats['jobs_skipped']:6d} {stats['salvaged_seconds']:10.1f}s "
+            f"{stats['wasted_seconds']:9.1f}s {stats['overhead_seconds']:9.1f}s "
+            + (f"{per_failure:9.1f}s" if per_failure is not None else f"{'-':>10s}")
+        )
+    verdicts = report["verdicts"]
+    lines.append(
+        f"all runs completed: {verdicts['all_complete']}; "
+        f"rows+counters bit-identical to fault-free: "
+        f"{verdicts['all_bit_identical']}"
+    )
+    if verdicts["hive_naive_loses_more_per_failure"] is not None:
+        lines.append(
+            "hive-naive loses more work per failure than rapid-analytics: "
+            f"{verdicts['hive_naive_loses_more_per_failure']}"
+        )
+    return "\n".join(lines)

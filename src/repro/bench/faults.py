@@ -31,6 +31,7 @@ from repro.bench.harness import (
 from repro.core.engines import PAPER_ENGINES
 from repro.core.results import EngineConfig
 from repro.errors import ReproError
+from repro.mapreduce.checkpoint import RECOVERY_COUNTERS
 from repro.mapreduce.faults import FAULT_COUNTERS, FaultPlan
 from repro.rdf.graph import Graph
 
@@ -82,10 +83,14 @@ def _build_graph(dataset: str, preset: str) -> Graph:
 
 
 def _base_counters(measurement: QueryMeasurement) -> dict[str, int]:
+    # Base = everything the fault layer AND the checkpoint/resume layer
+    # do not own; this is the subset required to stay bit-identical to
+    # the fault-free run (under recovery, resumed runs add the
+    # RECOVERY_COUNTERS on top of an identical base).
     return {
         name: value
         for name, value in measurement.counters.items()
-        if name not in FAULT_COUNTERS
+        if name not in FAULT_COUNTERS and name not in RECOVERY_COUNTERS
     }
 
 

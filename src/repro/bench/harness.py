@@ -50,6 +50,10 @@ class QueryMeasurement:
     counters: dict[str, int] = field(default_factory=dict)
     #: Order-sensitive fingerprint of the result rows.
     rows_digest: str = ""
+    #: Checkpoint/resume salvage accounting
+    #: (:meth:`repro.mapreduce.RecoveryStats.as_dict`); empty unless the
+    #: engine ran under a :class:`repro.mapreduce.RecoveryPolicy`.
+    recovery: dict[str, object] = field(default_factory=dict)
 
     @property
     def full_cycles(self) -> int:
@@ -162,6 +166,9 @@ def run_experiment(
                         phases=dict(timing.phases) if timing is not None else {},
                         counters=dict(sorted(stats.counters.as_dict().items())) if stats else {},
                         rows_digest=perf.rows_digest(report.rows),
+                        recovery=stats.recovery.as_dict()
+                        if stats is not None and stats.recovery is not None
+                        else {},
                     )
                 )
     return result

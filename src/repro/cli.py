@@ -30,7 +30,7 @@ from repro.bench.reporting import render_cost_table, render_gains_table
 from repro.core.engines import ENGINE_FACTORIES, PAPER_ENGINES, make_engine, to_analytical
 from repro.core.explain import explain
 from repro.datasets import bsbm, chem2bio2rdf, pubmed
-from repro.errors import ReproError
+from repro.errors import CheckpointError, ReproError, WorkflowAbortedError
 from repro.rdf import ntriples
 from repro.rdf.graph import Graph
 
@@ -117,15 +117,36 @@ def _tracing_to(path: str | None) -> Iterator[None]:
     print(f"wrote trace {path}", file=sys.stderr)
 
 
+def _run_config(args: argparse.Namespace):
+    """Build the EngineConfig for ``repro run`` from --faults/--recover
+    (None when neither is given, so the default-config path is
+    untouched)."""
+    if not getattr(args, "faults", None) and getattr(args, "recover", None) is None:
+        return None
+    from repro.core.results import EngineConfig
+    from repro.mapreduce.checkpoint import RecoveryPolicy
+    from repro.mapreduce.faults import FaultPlan
+
+    return EngineConfig(
+        fault_plan=FaultPlan.from_spec(args.faults) if args.faults else None,
+        recovery=RecoveryPolicy(max_resubmissions=args.recover)
+        if args.recover is not None
+        else None,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro import obs
 
     _infer_dataset(args)
     qid, sparql = _resolve_query_text(args)
     graph = _load_graph(args)
+    config = _run_config(args)
     with _tracing_to(args.trace):
         with obs.span(qid, "query", {"qid": qid}):
-            report = make_engine(args.engine).execute(to_analytical(sparql), graph)
+            report = make_engine(args.engine).execute(
+                to_analytical(sparql), graph, config
+            )
     if args.format == "csv":
         print(_rows_to_csv(report.rows), end="")
         return 0
@@ -171,9 +192,14 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.faults and args.profile:
-        print("--faults and --profile are mutually exclusive", file=sys.stderr)
+    modes = [flag for flag in ("faults", "profile", "chaos") if getattr(args, flag)]
+    if len(modes) > 1:
+        print(
+            "--" + " and --".join(modes) + " are mutually exclusive", file=sys.stderr
+        )
         return 2
+    if args.chaos:
+        return _bench_chaos(args)
     if args.faults:
         return _bench_faults(args)
     if args.profile:
@@ -241,6 +267,58 @@ def _bench_faults(args: argparse.Namespace) -> int:
     ]
     if bad:
         print(f"INVARIANT VIOLATION: results drifted under faults: {bad}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_chaos(args: argparse.Namespace) -> int:
+    """``repro bench <experiment> --chaos seeds=N,rate=p``: soak the
+    experiment across a seed matrix with checkpointed recovery enabled;
+    every resumed run must stay bit-identical to the fault-free run."""
+    from repro.bench.chaos import (
+        ChaosSpec,
+        chaos_soak_report,
+        check_chaos_golden,
+        render_chaos_report,
+        write_chaos_report,
+    )
+    from repro.bench.faults import FAULT_EXPERIMENTS
+
+    if args.experiment not in FAULT_EXPERIMENTS:
+        known = ", ".join(sorted(FAULT_EXPERIMENTS))
+        print(
+            f"unknown chaos experiment {args.experiment!r}; known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = ChaosSpec.from_spec(args.chaos)
+    with _tracing_to(args.trace):
+        report = chaos_soak_report(args.experiment, spec)
+    print(render_chaos_report(report))
+    if args.output:
+        path = write_chaos_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        from pathlib import Path
+
+        problems = check_chaos_golden(Path(args.golden))
+        if problems:
+            for problem in problems:
+                print(f"chaos golden mismatch: {problem}", file=sys.stderr)
+            return 1
+        print(f"chaos golden ok: {args.golden}")
+    verdicts = report["verdicts"]
+    if not verdicts["all_complete"] or not verdicts["all_bit_identical"]:
+        bad = [
+            f"seed{run['seed']}:{run['qid']}/{run['engine']}"
+            for run in report["runs"]
+            if not run["completed"]
+            or not (run["rows_match_baseline"] and run["base_counters_match_baseline"])
+        ]
+        print(
+            f"INVARIANT VIOLATION: chaos runs not bit-identical to fault-free: {bad}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -393,6 +471,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the per-job workflow breakdown and counters",
     )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SEED,RATE",
+        help="run under a seeded fault plan "
+        "('seed,rate[,straggler_rate[,write_rate[,attempts]]]')",
+    )
+    run.add_argument(
+        "--recover",
+        nargs="?",
+        type=int,
+        const=8,
+        default=None,
+        metavar="BUDGET",
+        help="recover job aborts via checkpointed workflow resubmission "
+        "(optional resubmission budget, default 8)",
+    )
     add_trace_option(run)
     run.set_defaults(func=cmd_run)
 
@@ -438,9 +533,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SEED,RATE",
         help="run fault-free and under a seeded fault plan "
-        "('seed,rate[,straggler_rate[,write_rate]]'), report cost "
+        "('seed,rate[,straggler_rate[,write_rate[,attempts]]]'), report cost "
         "degradation per engine; --output/--golden write/verify the "
         "stable JSON report",
+    )
+    bench.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="chaos soak: run the experiment across a seeded fault matrix "
+        "with checkpointed recovery ('seeds=N,rate=p[,attempts=a]"
+        "[,budget=b]'); resumed runs must be bit-identical to the "
+        "fault-free run; --output/--golden write/verify the "
+        "repro-chaos-soak/v1 report",
     )
     add_trace_option(bench)
     bench.set_defaults(func=cmd_bench)
@@ -509,6 +614,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except (WorkflowAbortedError, CheckpointError) as error:
+        # Typed recovery failures get their own exit code so scripted
+        # soaks can distinguish "budget exhausted" / "bad ledger or
+        # chaos spec" from ordinary errors; the messages are already
+        # self-describing one-liners.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

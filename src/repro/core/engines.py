@@ -15,6 +15,7 @@ from repro.core.query_model import AnalyticalQuery, from_select_query
 from repro.core.reference import ReferenceEngine
 from repro.core.results import EngineConfig, ExecutionReport
 from repro.errors import PlanningError
+from repro.mapreduce.checkpoint import RecoveryPolicy
 from repro.mapreduce.faults import FaultPlan
 from repro.rdf.graph import Graph
 from repro.sparql.ast import SelectQuery
@@ -84,11 +85,21 @@ def to_analytical(query: str | SelectQuery | AnalyticalQuery) -> AnalyticalQuery
     return from_select_query(parse_query(query), source_text=query)
 
 
-def _with_faults(config: EngineConfig | None, faults: FaultPlan | None) -> EngineConfig | None:
-    """Overlay a fault plan on a config (building a default if needed)."""
-    if faults is None:
+def _with_faults(
+    config: EngineConfig | None,
+    faults: FaultPlan | None,
+    recovery: RecoveryPolicy | None = None,
+) -> EngineConfig | None:
+    """Overlay a fault plan / recovery policy on a config (building a
+    default if needed)."""
+    if faults is None and recovery is None:
         return config
-    return replace(config or EngineConfig(), fault_plan=faults)
+    overrides: dict[str, object] = {}
+    if faults is not None:
+        overrides["fault_plan"] = faults
+    if recovery is not None:
+        overrides["recovery"] = recovery
+    return replace(config or EngineConfig(), **overrides)
 
 
 def run_query(
@@ -97,16 +108,21 @@ def run_query(
     engine: str = "rapid-analytics",
     config: EngineConfig | None = None,
     faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> ExecutionReport:
     """Parse (if needed), plan, and execute *query* on the named engine.
 
     *faults* injects a seeded fault plan (task crashes, stragglers,
     transient write failures) into the simulated cluster; results are
     identical to the fault-free run, only cost and fault counters grow.
+    *recovery* additionally turns job aborts into checkpointed workflow
+    re-submissions (see :class:`repro.mapreduce.RecoveryPolicy`), so a
+    faulted query completes with the fault-free rows unless the
+    resubmission budget is exhausted.
     """
     with obs.span("query", "query", {"qid": "query"}):
         return make_engine(engine).execute(
-            to_analytical(query), graph, _with_faults(config, faults)
+            to_analytical(query), graph, _with_faults(config, faults, recovery)
         )
 
 
@@ -116,10 +132,11 @@ def run_all_engines(
     config: EngineConfig | None = None,
     engines: tuple[str, ...] = PAPER_ENGINES,
     faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> dict[str, ExecutionReport]:
     """Run the same query on several engines (the paper's comparisons)."""
     analytical = to_analytical(query)
-    config = _with_faults(config, faults)
+    config = _with_faults(config, faults, recovery)
     with obs.span("query", "query", {"qid": "query"}):
         return {
             name: make_engine(name).execute(analytical, graph, config)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.mapreduce.checkpoint import RecoveryPolicy
 from repro.mapreduce.cost import ClusterConfig, CostModel, register_sized_dict
 from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.runner import WorkflowStats
@@ -35,6 +36,9 @@ class EngineConfig:
     paper's MG13 naive-Hive failure reproduces by setting it.
     ``fault_plan`` injects seeded task crashes / stragglers / write
     failures with Hadoop-style recovery (None = fault-free).
+    ``recovery`` enables workflow-level checkpoint/resume: job aborts
+    re-submit the workflow from the HDFS commit ledger instead of
+    failing the query (None = aborts stay fatal, as before).
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -42,6 +46,7 @@ class EngineConfig:
     mapjoin_threshold: int = 64 * 1024
     hdfs_capacity: int | None = None
     fault_plan: FaultPlan | None = None
+    recovery: RecoveryPolicy | None = None
 
 
 @dataclass

@@ -97,9 +97,12 @@ def generate(config: BSBMConfig = BSBMConfig()) -> Graph:
         add(Triple(product, BSBM_NS.label, Literal(f"product {p}")))
         add(Triple(product, BSBM_NS.producer, BSBM_INST_NS.term(f"Producer{p % config.producers}")))
         feature_count = rng.randint(config.min_features, config.max_features)
-        chosen: set[IRI] = set()
+        # Draw-ordered dict, not a set: iteration order must be a function
+        # of the rng stream, never of PYTHONHASHSEED — triple insertion
+        # order reaches the engines' physical layouts (see Graph).
+        chosen: dict[IRI, None] = {}
         while len(chosen) < feature_count:
-            chosen.add(weighted_choice(rng, features, feature_weights))
+            chosen[weighted_choice(rng, features, feature_weights)] = None
         for feature in chosen:
             add(Triple(product, BSBM_NS.productFeature, feature))
         for _ in range(config.offers_per_product):

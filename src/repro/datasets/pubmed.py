@@ -103,9 +103,12 @@ def generate(config: PubMedConfig = PubMedConfig()) -> Graph:
         for author in rng.sample(authors, k=min(rng.randint(1, 5), len(authors))):
             add(Triple(pub, PUBMED_NS.author, author))
         mesh_count = rng.randint(config.min_mesh, config.max_mesh)
-        chosen_mesh: set[Literal] = set()
+        # Draw-ordered dict, not a set: iteration order must be a function
+        # of the rng stream, never of PYTHONHASHSEED — triple insertion
+        # order reaches the engines' physical layouts (see Graph).
+        chosen_mesh: dict[Literal, None] = {}
         while len(chosen_mesh) < mesh_count:
-            chosen_mesh.add(weighted_choice(rng, mesh_terms, mesh_weights))
+            chosen_mesh[weighted_choice(rng, mesh_terms, mesh_weights)] = None
         for term in chosen_mesh:
             add(Triple(pub, PUBMED_NS.mesh_heading, term))
         for _ in range(rng.randint(0, 6)):

@@ -67,6 +67,19 @@ class TaskFailedError(MapReduceError):
     (default 4) failed attempts of one task.  Raised only under a
     :class:`repro.mapreduce.faults.FaultPlan` whose injected crashes
     outlast the budget.
+
+    The runner enriches the raised instance with the work done before
+    the abort, so post-mortems see the partial accounting instead of
+    losing it with the exception:
+
+    * ``job_output`` — the HDFS path of the (deleted) output;
+    * ``job_counters`` — the aborted job's counter contributions
+      (never merged into the workflow's counters);
+    * ``wasted_seconds`` / ``wasted_bytes`` — the aborted attempt's
+      charged cost and discarded output bytes;
+    * ``partial_stats`` — the surrounding workflow's
+      :class:`~repro.mapreduce.runner.WorkflowStats` for the jobs that
+      *did* complete (attached by ``run_workflow`` / the engines).
     """
 
     def __init__(self, job_name: str, kind: str, task_index: int, attempts: int):
@@ -74,9 +87,65 @@ class TaskFailedError(MapReduceError):
         self.kind = kind
         self.task_index = task_index
         self.attempts = attempts
+        self.job_output: str | None = None
+        self.job_counters = None  # Counters of the aborted job (partial)
+        self.wasted_seconds: float = 0.0
+        self.wasted_bytes: int = 0
+        self.partial_stats = None  # WorkflowStats of the committed prefix
         super().__init__(
             f"job {job_name!r}: {kind} task {task_index} failed "
             f"{attempts} of {attempts} attempts; aborting job"
+        )
+
+
+class CheckpointError(MapReduceError):
+    """The workflow checkpoint layer was misused or is inconsistent.
+
+    Raised for malformed :class:`~repro.mapreduce.checkpoint.RecoveryPolicy`
+    specs, for commit-ledger lookups whose stored entry no longer matches
+    the durable output it points at, and for chaos-soak specs the
+    harness cannot parse.  Distinct from :class:`TaskFailedError` (an
+    injected fault) — a ``CheckpointError`` means the recovery machinery
+    itself, not the simulated cluster, is in a bad state.
+    """
+
+
+class WorkflowAbortedError(MapReduceError):
+    """A recovered workflow exhausted its resubmission budget.
+
+    Raised by the checkpoint/resume layer when a job keeps aborting
+    (:class:`TaskFailedError`) across
+    :attr:`~repro.mapreduce.checkpoint.RecoveryPolicy.max_resubmissions`
+    workflow re-submissions.  Unlike a bare :class:`TaskFailedError`,
+    this carries everything a post-mortem needs:
+
+    * ``failed_job`` — the job that could not be pushed through;
+    * ``resubmissions`` — how many re-submissions were spent;
+    * ``partial_stats`` — the :class:`~repro.mapreduce.runner.WorkflowStats`
+      of the work committed before giving up;
+    * ``committed_jobs`` — the ledger state: jobs whose outputs remain
+      durable in simulated HDFS (a later run with a larger budget would
+      skip them);
+    * ``cause`` — the final :class:`TaskFailedError`.
+    """
+
+    def __init__(
+        self,
+        failed_job: str,
+        resubmissions: int,
+        partial_stats=None,
+        committed_jobs: tuple[str, ...] = (),
+        cause: TaskFailedError | None = None,
+    ):
+        self.failed_job = failed_job
+        self.resubmissions = resubmissions
+        self.partial_stats = partial_stats
+        self.committed_jobs = committed_jobs
+        self.cause = cause
+        super().__init__(
+            f"workflow aborted: job {failed_job!r} still failing after "
+            f"{resubmissions} resubmission(s); "
+            f"{len(committed_jobs)} job(s) checkpointed in the commit ledger"
         )
 
 

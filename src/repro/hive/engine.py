@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro import obs, perf
 from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport
+from repro.errors import TaskFailedError
 from repro.hive.executor import HiveExecutor
 from repro.hive.tables import load_vertical_partitions
 from repro.mapreduce.hdfs import HDFS
@@ -28,13 +29,34 @@ class HiveEngine:
             with obs.span("load", "stage"), perf.phase("load"):
                 store = load_vertical_partitions(graph, hdfs)
             runner = MapReduceRunner(
-                hdfs, config.cluster, config.cost_model, config.fault_plan
+                hdfs,
+                config.cluster,
+                config.cost_model,
+                config.fault_plan,
+                recovery=config.recovery,
             )
-            executor = HiveExecutor(hdfs, store, runner, config, self.mode)
             # Hive's "planning" is interleaved with job submission inside
-            # the executor, so its wall-clock lands in the runner's
-            # jobs/shuffle phases rather than a separate plan bracket.
-            rows, _final = executor.execute(query)
+            # the executor, so checkpoint/resume works as an engine-level
+            # re-drive: on a job abort, a fresh executor recompiles the
+            # query against the same HDFS, where compilation is
+            # deterministic (counter-based job names, size-driven
+            # map-join decisions over unchanged files) — so every
+            # ledger-committed job is skipped and only the failed suffix
+            # recomputes, exactly the workflow-resubmission semantics.
+            failures = 0
+            while True:
+                executor = HiveExecutor(hdfs, store, runner, config, self.mode)
+                try:
+                    rows, _final = executor.execute(query)
+                except TaskFailedError as error:
+                    error.partial_stats = executor.stats
+                    if config.recovery is None:
+                        raise
+                    failures += 1
+                    runner.note_workflow_failure(error, config.recovery, failures)
+                    continue
+                break
+            runner.finalize(executor.stats)
         return ExecutionReport(
             engine=self.name,
             rows=rows,

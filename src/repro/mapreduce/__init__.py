@@ -1,6 +1,14 @@
 """Deterministic MapReduce simulator: HDFS, jobs, runner, cost model,
-and seeded fault injection with Hadoop-style recovery."""
+seeded fault injection with Hadoop-style recovery, and workflow-level
+checkpoint/resume via the HDFS commit ledger."""
 
+from repro.mapreduce.checkpoint import (
+    RECOVERY_COUNTERS,
+    CommitLedger,
+    LedgerEntry,
+    RecoveryPolicy,
+    RecoveryStats,
+)
 from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import FAULT_COUNTERS, FaultPlan
@@ -10,6 +18,7 @@ from repro.mapreduce.runner import MapReduceRunner, WorkflowStats
 
 __all__ = [
     "ClusterConfig",
+    "CommitLedger",
     "CostModel",
     "Counters",
     "FAULT_COUNTERS",
@@ -17,8 +26,12 @@ __all__ = [
     "HDFS",
     "HDFSFile",
     "JobStats",
+    "LedgerEntry",
     "MapReduceJob",
     "MapReduceRunner",
+    "RECOVERY_COUNTERS",
+    "RecoveryPolicy",
+    "RecoveryStats",
     "WorkflowStats",
     "estimate_size",
 ]

@@ -342,6 +342,17 @@ class CostModel:
     #: duplicate pays one extra task launch.
     retry_backoff: float = 2.0
     speculation_overhead: float = 0.4
+    #: Workflow-resubmission terms (charged only under a RecoveryPolicy,
+    #: and only when a failure actually forces a re-submission).  The
+    #: driver pays a fixed re-launch charge, then validates each
+    #: commit-ledger entry (a _SUCCESS-marker/fingerprint check) and
+    #: re-reads the committed bytes' metadata at a fast sequential rate
+    #: — cheap relative to recomputing, which is the whole point of
+    #: checkpointing, but proportional to how much a long workflow has
+    #: materialized (naive Hive pays more here than RAPIDAnalytics).
+    resubmit_overhead: float = 6.0
+    checkpoint_validate_overhead: float = 0.25
+    checkpoint_read_rate: float = 64.0 * 1024  # bytes/sec, sequential revalidation
 
     def job_cost(
         self,
@@ -440,3 +451,19 @@ class CostModel:
         cost += reshuffled_bytes / self.shuffle_rate
         cost += rewritten_bytes / self.write_rate
         return cost
+
+    def resubmit_cost(self, *, committed_jobs: int, committed_bytes: int) -> float:
+        """Simulated seconds to re-submit a failed workflow.
+
+        Charged once per workflow re-submission by the checkpoint/resume
+        layer: a fixed driver re-launch charge, plus per-committed-job
+        checkpoint validation, plus a sequential re-read of the
+        committed bytes at :attr:`checkpoint_read_rate`.  Non-negative
+        and non-decreasing in both arguments, so total recovery overhead
+        is monotone in the number of failures (given a fixed ledger).
+        """
+        return (
+            self.resubmit_overhead
+            + committed_jobs * self.checkpoint_validate_overhead
+            + committed_bytes / self.checkpoint_read_rate
+        )

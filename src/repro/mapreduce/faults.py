@@ -104,20 +104,26 @@ class FaultPlan:
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultPlan":
-        """Parse a CLI spec: ``seed,rate[,straggler_rate[,write_rate]]``.
+        """Parse a CLI spec:
+        ``seed,rate[,straggler_rate[,write_rate[,attempts]]]``.
 
         With only two fields the task-failure rate also drives the
         straggler and HDFS-write rates, so ``--faults 7,0.05`` exercises
-        every recovery path with a single knob.
+        every recovery path with a single knob.  The optional fifth
+        field lowers ``max_attempts`` (e.g. ``...,0,0,1`` turns every
+        injected task failure into a job abort — the shape checkpointed
+        workflow recovery exists for).
         """
         parts = [part.strip() for part in spec.split(",")]
-        if not 2 <= len(parts) <= 4:
+        if not 2 <= len(parts) <= 5:
             raise MapReduceError(
-                f"fault spec must be 'seed,rate[,straggler_rate[,write_rate]]': {spec!r}"
+                "fault spec must be "
+                f"'seed,rate[,straggler_rate[,write_rate[,attempts]]]': {spec!r}"
             )
         try:
             seed = int(parts[0])
-            rates = [float(part) for part in parts[1:]]
+            rates = [float(part) for part in parts[1:4]]
+            attempts = int(parts[4]) if len(parts) > 4 else cls.max_attempts
         except ValueError:
             raise MapReduceError(f"malformed fault spec {spec!r}") from None
         task_rate = rates[0]
@@ -128,6 +134,7 @@ class FaultPlan:
             task_failure_rate=task_rate,
             straggler_rate=straggler_rate,
             hdfs_write_failure_rate=write_rate,
+            max_attempts=attempts,
         )
 
     @property

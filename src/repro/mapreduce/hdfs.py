@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.errors import HDFSError, HDFSOutOfSpaceError
+from repro.mapreduce.checkpoint import CommitLedger
 from repro.mapreduce.cost import estimate_total_size
 
 
@@ -47,6 +48,13 @@ class HDFS:
     #: reduction, we use a representative 10x factor).
     compression_ratio: float = 0.1
     _files: dict[str, HDFSFile] = field(default_factory=dict)
+    #: The workflow commit ledger (checkpoint metadata).  It lives on the
+    #: filesystem object because that is its durability unit — like the
+    #: ``_SUCCESS`` markers real Hadoop keeps beside committed outputs —
+    #: so a re-submitted workflow against the *same* HDFS sees the same
+    #: committed state.  Entries are metadata only: they never count
+    #: toward ``used_bytes`` or the capacity limit.
+    ledger: CommitLedger = field(default_factory=CommitLedger, repr=False)
     #: Running total of stored bytes, maintained by write/delete so that
     #: the per-write capacity check stays O(1) instead of re-summing
     #: every file (quadratic over a workflow's materializations).

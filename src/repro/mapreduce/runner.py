@@ -23,7 +23,18 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro import obs, perf
-from repro.errors import MapReduceError, TaskFailedError
+from repro.errors import (
+    CheckpointError,
+    MapReduceError,
+    TaskFailedError,
+    WorkflowAbortedError,
+)
+from repro.mapreduce.checkpoint import (
+    LedgerEntry,
+    RecoveryPolicy,
+    RecoveryStats,
+    fingerprint_inputs,
+)
 from repro.mapreduce.cost import ClusterConfig, CostModel, estimate_size, estimate_total_size
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import FaultPlan
@@ -38,6 +49,11 @@ class WorkflowStats:
 
     jobs: list[JobStats] = field(default_factory=list)
     counters: Counters = field(default_factory=Counters)
+    #: Salvage accounting, attached by ``MapReduceRunner.finalize`` when
+    #: the runner carries a :class:`~repro.mapreduce.checkpoint.RecoveryPolicy`.
+    #: ``None`` on every non-recovered run, so the default path's numbers
+    #: are untouched.
+    recovery: RecoveryStats | None = None
 
     @property
     def cycles(self) -> int:
@@ -53,7 +69,10 @@ class WorkflowStats:
 
     @property
     def total_cost(self) -> float:
-        return sum(job.cost_seconds for job in self.jobs)
+        cost = sum(job.cost_seconds for job in self.jobs)
+        if self.recovery is not None:
+            cost += self.recovery.extra_seconds
+        return cost
 
     @property
     def total_shuffle_bytes(self) -> int:
@@ -76,6 +95,10 @@ class WorkflowStats:
         if values:
             rendered = " ".join(f"{name}={values[name]}" for name in sorted(values))
             lines.append(f"counters: {rendered}")
+        if self.recovery is not None and (
+            self.recovery.resubmissions or self.recovery.jobs_skipped
+        ):
+            lines.append(self.recovery.describe())
         return "\n".join(lines)
 
 
@@ -151,6 +174,15 @@ class MapReduceRunner:
     its attempts budget.  Recovery changes only the fault counters and
     the charged cost — results and base counters stay bit-identical to
     the fault-free run.
+
+    With a :class:`~repro.mapreduce.checkpoint.RecoveryPolicy`, job
+    aborts stop being fatal to the whole workflow: every successful job
+    commits a checkpoint into the HDFS commit ledger, and a workflow
+    re-submission (:meth:`run_workflow`'s retry loop, or an engine-level
+    re-drive) skips ledger-committed jobs, recomputing only the failed
+    suffix.  Skipped jobs replay their stored stats and counters, so a
+    resumed run's rows and base counters are bit-identical to an
+    uninterrupted one.
     """
 
     def __init__(
@@ -159,6 +191,7 @@ class MapReduceRunner:
         cluster: ClusterConfig | None = None,
         cost_model: CostModel | None = None,
         fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ):
         self.hdfs = hdfs
         self.cluster = cluster or ClusterConfig()
@@ -166,23 +199,47 @@ class MapReduceRunner:
         if fault_plan is not None and fault_plan.is_noop:
             fault_plan = None  # zero rates: skip the recovery pass entirely
         self.fault_plan = fault_plan
+        self.recovery = recovery
+        self.recovery_stats = RecoveryStats()
+        #: Workflow submission ordinal, folded into the fault identity so
+        #: a re-submission draws fresh faults (a deterministic plan would
+        #: otherwise replay the identical abort forever).  Zero for the
+        #: first submission, which keeps first-run fault draws
+        #: bit-identical to the pre-checkpoint simulator.
+        self._submission = 0
 
     # -- single job ------------------------------------------------------------
 
     def run_job(self, job: MapReduceJob, counters: Counters | None = None) -> JobStats:
+        fingerprint: str | None = None
+        if self.recovery is not None:
+            fingerprint = fingerprint_inputs(self.hdfs, job)
+            skipped = self._checkpoint_skip(job, fingerprint, counters)
+            if skipped is not None:
+                return skipped
+        # The job's own counter contributions accumulate in a scratch bag
+        # and merge into the caller's counters only on success, so an
+        # aborted job never pollutes the workflow's accounting (the
+        # scratch travels on the TaskFailedError instead).
+        scratch = Counters()
         if obs._ACTIVE is None:  # tracing off: skip the span bracket entirely
-            return self._execute_job(job, counters, None)
-        with obs.span(f"job:{job.name}", "job") as span:
-            return self._execute_job(job, counters, span)
+            stats = self._execute_job(job, scratch, None)
+        else:
+            with obs.span(f"job:{job.name}", "job") as span:
+                stats = self._execute_job(job, scratch, span)
+        if counters is not None:
+            counters.merge(scratch)
+        if self.recovery is not None:
+            assert fingerprint is not None
+            self._checkpoint_commit(job, fingerprint, stats, scratch)
+        return stats
 
     def _execute_job(
         self,
         job: MapReduceJob,
-        counters: Counters | None,
+        counters: Counters,
         span: obs.Span | None,
     ) -> JobStats:
-        counters = counters if counters is not None else Counters()
-
         input_records: list[Any] = []
         input_bytes = 0  # on-disk bytes (drives split count and counters)
         input_work_bytes = 0  # decompressed bytes (drives scan cost)
@@ -354,16 +411,26 @@ class MapReduceRunner:
             tracer.advance_sim(cost)
         retried = speculative = wasted = 0
         if self.fault_plan is not None:
-            recovery, retried, speculative, wasted = self._recover_faults(
-                job,
-                counters,
-                map_tasks=map_tasks,
-                reduce_tasks=reduce_tasks,
-                map_bytes=input_work_bytes,
-                side_bytes=side_work_bytes,
-                shuffle_bytes=shuffle_bytes,
-                output_raw=output_file.raw_bytes,
-            )
+            try:
+                recovery, retried, speculative, wasted = self._recover_faults(
+                    job,
+                    counters,
+                    map_tasks=map_tasks,
+                    reduce_tasks=reduce_tasks,
+                    map_bytes=input_work_bytes,
+                    side_bytes=side_work_bytes,
+                    shuffle_bytes=shuffle_bytes,
+                    output_raw=output_file.raw_bytes,
+                )
+            except TaskFailedError as error:
+                # Attach the aborted attempt's work so post-mortems see
+                # it: the scratch counters (never merged anywhere), the
+                # attempt's charged base cost, and the discarded output.
+                error.job_output = job.output
+                error.job_counters = counters
+                error.wasted_seconds = cost
+                error.wasted_bytes = output_file.size_bytes
+                raise
             cost += recovery
             if span is not None and tracer is not None:
                 if recovery:
@@ -440,6 +507,14 @@ class MapReduceRunner:
         # NTGA plan has an "ra:agg-join"), and keying on the name alone
         # would replay the same fault pattern into every query.
         token = f"{job.name}|{map_bytes}|{shuffle_bytes}|{output_raw}"
+        if self._submission:
+            # A re-submitted workflow is a new set of task attempts: fold
+            # the submission ordinal into the fault identity so the plan
+            # draws fresh faults instead of replaying the same abort.
+            # First submissions (ordinal 0) keep the original token, so
+            # runs that never fail are bit-identical to the
+            # pre-checkpoint simulator.
+            token = f"{token}|resubmit{self._submission}"
         failed_map = failed_reduce = 0
         retried = speculative = stragglers = write_retries = 0
         rescanned = reshuffled = rewritten = 0  # discarded-work bytes
@@ -536,11 +611,194 @@ class MapReduceRunner:
                 counters.increment(name, value)
         return cost, retried, speculative, wasted
 
+    # -- checkpoint / resume -------------------------------------------------------
+
+    def _checkpoint_skip(
+        self, job: MapReduceJob, fingerprint: str, counters: Counters | None
+    ) -> JobStats | None:
+        """Skip *job* if the commit ledger holds a valid checkpoint.
+
+        A hit replays the stored stats and counter deltas, so the
+        resumed workflow's accounting matches an uninterrupted run;
+        the durable output in HDFS is reused as-is.  Returns ``None``
+        (execute normally) on a miss or an invalidated entry.
+        """
+        entry = self.hdfs.ledger.lookup(job.name, job.output, fingerprint)
+        if entry is None:
+            return None
+        if not self.hdfs.exists(entry.output):
+            raise CheckpointError(
+                f"commit ledger entry for job {job.name!r} points at "
+                f"{entry.output!r}, which no longer exists in HDFS"
+            )
+        if counters is not None:
+            for name, value in entry.counters.items():
+                counters.increment(name, value)
+        rec = self.recovery_stats
+        rec.jobs_skipped += 1
+        rec.salvaged_bytes += entry.output_bytes
+        rec.salvaged_seconds += entry.cost_seconds
+        obs.event(
+            "checkpoint-skip",
+            {"job": job.name, "output_bytes": entry.output_bytes},
+        )
+        return self.hdfs.ledger.entry_stats(entry)
+
+    def _checkpoint_commit(
+        self,
+        job: MapReduceJob,
+        fingerprint: str,
+        stats: JobStats,
+        scratch: Counters,
+    ) -> None:
+        """Record a successfully completed job in the commit ledger."""
+        self.hdfs.ledger.commit(
+            LedgerEntry(
+                job_name=job.name,
+                output=job.output,
+                fingerprint=fingerprint,
+                output_bytes=stats.output_bytes,
+                output_records=stats.output_records,
+                cost_seconds=stats.cost_seconds,
+                stats=stats,
+                counters=scratch.as_dict(),
+            )
+        )
+        obs.event(
+            "checkpoint-commit",
+            {
+                "job": job.name,
+                "output_bytes": stats.output_bytes,
+                "fingerprint": fingerprint,
+            },
+        )
+
+    def note_workflow_failure(
+        self, error: TaskFailedError, recovery: RecoveryPolicy, failures: int
+    ) -> None:
+        """Account one workflow-level job abort; authorize a resubmission.
+
+        *failures* is the 1-based count of aborts seen by the caller's
+        submission loop.  Within the
+        :attr:`~repro.mapreduce.checkpoint.RecoveryPolicy.max_resubmissions`
+        budget this charges the resubmission (driver re-launch plus
+        checkpoint validation of the current ledger) and bumps the
+        submission ordinal; past the budget it raises
+        :class:`~repro.errors.WorkflowAbortedError` carrying the partial
+        stats and ledger state.  Shared by :meth:`run_workflow`'s retry
+        loop and the engine-level re-drives (Hive's stepwise executor).
+        """
+        rec = self.recovery_stats
+        rec.wasted_seconds += error.wasted_seconds
+        rec.wasted_bytes += error.wasted_bytes
+        ledger = self.hdfs.ledger
+        if failures > recovery.max_resubmissions:
+            obs.event(
+                "workflow-abort",
+                {
+                    "job": error.job_name,
+                    "resubmissions": recovery.max_resubmissions,
+                    "committed_jobs": len(ledger),
+                },
+            )
+            raise WorkflowAbortedError(
+                error.job_name,
+                recovery.max_resubmissions,
+                partial_stats=error.partial_stats,
+                committed_jobs=ledger.committed_jobs(),
+                cause=error,
+            ) from error
+        rec.resubmissions += 1
+        rec.overhead_seconds += self.cost_model.resubmit_cost(
+            committed_jobs=len(ledger), committed_bytes=ledger.total_bytes
+        )
+        self._submission += 1
+        obs.event(
+            "workflow-resume",
+            {
+                "job": error.job_name,
+                "resubmission": rec.resubmissions,
+                "committed_jobs": len(ledger),
+            },
+        )
+
+    def finalize(self, stats: WorkflowStats) -> WorkflowStats:
+        """Attach the runner's salvage accounting to an engine's stats.
+
+        Called once per engine execution, after the last workflow step:
+        injects the recovery counters (``workflow_resubmissions``,
+        ``jobs_skipped_by_checkpoint``, ``salvaged_bytes``) and pins
+        :attr:`WorkflowStats.recovery`.  A no-op without a
+        :class:`~repro.mapreduce.checkpoint.RecoveryPolicy`, so
+        non-recovered runs keep ``recovery=None`` and an unchanged
+        counter bag.
+        """
+        if self.recovery is None:
+            return stats
+        rec = self.recovery_stats
+        stats.recovery = rec
+        for name, value in (
+            ("workflow_resubmissions", rec.resubmissions),
+            ("jobs_skipped_by_checkpoint", rec.jobs_skipped),
+            ("salvaged_bytes", rec.salvaged_bytes),
+        ):
+            if value:
+                stats.counters.increment(name, value)
+        return stats
+
     # -- workflows ----------------------------------------------------------------
 
-    def run_workflow(self, jobs: Sequence[MapReduceJob]) -> WorkflowStats:
-        """Run jobs in order; later jobs may read earlier outputs."""
-        stats = WorkflowStats()
-        for job in jobs:
-            stats.jobs.append(self.run_job(job, stats.counters))
+    def run_workflow(
+        self,
+        jobs: Sequence[MapReduceJob],
+        recovery: RecoveryPolicy | None = None,
+        stats: WorkflowStats | None = None,
+    ) -> WorkflowStats:
+        """Run jobs in order; later jobs may read earlier outputs.
+
+        *recovery* (defaulting to the runner's policy) turns job aborts
+        into workflow re-submissions: the failed submission's partial
+        stats are attached to the error and discarded, the workflow is
+        re-submitted against the same HDFS, ledger-committed jobs are
+        skipped, and only the failed suffix recomputes — until the jobs
+        all complete or the resubmission budget is exhausted
+        (:class:`~repro.errors.WorkflowAbortedError`).
+
+        *stats*, when given, is a continuation: the completed jobs and
+        counters are appended to it (engines use this to run a trailing
+        job sequence under the same aggregate stats).
+        """
+        if recovery is None:
+            recovery = self.recovery
+        if recovery is None:
+            result = stats if stats is not None else WorkflowStats()
+            for job in jobs:
+                try:
+                    result.jobs.append(self.run_job(job, result.counters))
+                except TaskFailedError as error:
+                    # Keep the committed prefix's accounting reachable
+                    # from the error instead of losing it with the raise.
+                    error.partial_stats = result
+                    raise
+            return result
+        failures = 0
+        while True:
+            # Each submission accumulates into fresh stats: skipped jobs
+            # replay their checkpointed stats/counters, so a successful
+            # submission is complete on its own and a failed one can be
+            # discarded wholesale (it still travels on the error).
+            attempt = WorkflowStats()
+            try:
+                for job in jobs:
+                    attempt.jobs.append(self.run_job(job, attempt.counters))
+            except TaskFailedError as error:
+                error.partial_stats = attempt
+                failures += 1
+                self.note_workflow_failure(error, recovery, failures)
+                continue
+            break
+        if stats is None:
+            return attempt
+        stats.jobs.extend(attempt.jobs)
+        stats.counters.merge(attempt.counters)
         return stats

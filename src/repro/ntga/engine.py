@@ -73,18 +73,28 @@ class NTGAEngine:
                         jobs=len(plan.jobs), description=plan.description
                     )
             runner = MapReduceRunner(
-                hdfs, config.cluster, config.cost_model, config.fault_plan
+                hdfs,
+                config.cluster,
+                config.cost_model,
+                config.fault_plan,
+                recovery=config.recovery,
             )
 
+            # run_workflow handles checkpoint/resume internally when the
+            # config carries a RecoveryPolicy; the trailing final-join
+            # call is a continuation of the same stats, so a failure in
+            # it resubmits only the final join (the prefix's outputs are
+            # already durable and, if recovery is on, ledger-committed).
             if plan.final_join_index is None:
                 stats = runner.run_workflow(plan.jobs)
                 inject_default_rows(plan, hdfs)
             else:
                 stats = runner.run_workflow(plan.jobs[: plan.final_join_index])
                 inject_default_rows(plan, hdfs)
-                stats.jobs.append(
-                    runner.run_job(plan.jobs[plan.final_join_index], stats.counters)
+                stats = runner.run_workflow(
+                    [plan.jobs[plan.final_join_index]], stats=stats
                 )
+            runner.finalize(stats)
 
             return ExecutionReport(
                 engine=self.name,

@@ -220,3 +220,88 @@ def test_parser_rejects_bad_engine():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "G1", "--engine", "spark"])
+
+
+def test_run_with_faults_and_recovery(capsys):
+    """An abort-prone plan plus --recover completes with the fault-free
+    rows and prints the recovery breakdown under -v."""
+    code, clean_out, _ = run_cli(
+        capsys, "run", "G1", "--preset", "tiny", "--format", "csv"
+    )
+    assert code == 0
+    code, out, _ = run_cli(
+        capsys, "run", "G1", "--preset", "tiny", "--format", "csv",
+        "--faults", "13,0.1,0,0,1", "--recover", "32",
+    )
+    assert code == 0
+    assert out == clean_out
+
+
+def test_run_recover_budget_exhaustion_exits_2(capsys):
+    """With a one-resubmission budget against a near-certain abort, the
+    typed WorkflowAbortedError surfaces as a one-line exit-2 diagnostic."""
+    code, _, err = run_cli(
+        capsys, "run", "G1", "--preset", "tiny",
+        "--faults", "1,0.97,0,0,1", "--recover", "1",
+    )
+    assert code == 2
+    assert "workflow aborted" in err
+    assert err.count("\n") == 1  # a single line, not a traceback
+
+
+def test_run_invalid_recovery_budget_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "run", "G1", "--preset", "tiny", "--recover", "0"
+    )
+    assert code == 2
+    assert "error:" in err
+
+
+def test_bench_chaos_smoke(capsys, tmp_path):
+    out_path = tmp_path / "chaos.json"
+    code, out, _ = run_cli(
+        capsys, "bench", "table3-bsbm-tiny",
+        "--chaos", "seeds=1,rate=0.1", "--output", str(out_path),
+    )
+    assert code == 0
+    assert "chaos soak" in out
+    assert "bit-identical to fault-free: True" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro-chaos-soak/v1"
+    assert report["verdicts"]["all_bit_identical"] is True
+
+
+def test_bench_chaos_golden_roundtrip(capsys, tmp_path):
+    out_path = tmp_path / "chaos.json"
+    run_cli(
+        capsys, "bench", "table3-bsbm-tiny",
+        "--chaos", "seeds=1,rate=0.1", "--output", str(out_path),
+    )
+    code, out, _ = run_cli(
+        capsys, "bench", "table3-bsbm-tiny",
+        "--chaos", "seeds=1,rate=0.1", "--golden", str(out_path),
+    )
+    assert code == 0
+    assert "chaos golden ok" in out
+
+
+def test_bench_chaos_bad_spec_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "bench", "table3-bsbm-tiny", "--chaos", "seeds=,rate"
+    )
+    assert code == 2
+    assert "invalid chaos spec" in err
+
+
+def test_bench_chaos_unknown_experiment(capsys):
+    code, _, err = run_cli(capsys, "bench", "nope", "--chaos", "seeds=1,rate=0.1")
+    assert code == 2
+    assert "unknown chaos experiment" in err
+
+
+def test_bench_chaos_mutually_exclusive_with_profile(capsys):
+    code, _, err = run_cli(
+        capsys, "bench", "figure8a", "--chaos", "seeds=1,rate=0.1", "--profile"
+    )
+    assert code == 2
+    assert "mutually exclusive" in err
