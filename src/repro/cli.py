@@ -6,6 +6,7 @@ Commands:
 * ``compare``  — run a query on all four engines and tabulate
 * ``explain``  — show the decomposition and MR plan
 * ``bench``    — regenerate one of the paper's tables/figures
+* ``serve``    — simulate the concurrent query service on a workload
 * ``catalog``  — list the workload queries
 * ``generate`` — write a synthetic dataset as N-Triples
 * ``stats``    — profile a dataset (``--json`` for machine-readable)
@@ -30,7 +31,7 @@ from repro.bench.reporting import render_cost_table, render_gains_table
 from repro.core.engines import ENGINE_FACTORIES, PAPER_ENGINES, make_engine, to_analytical
 from repro.core.explain import explain
 from repro.datasets import bsbm, chem2bio2rdf, pubmed
-from repro.errors import CheckpointError, ReproError, WorkflowAbortedError
+from repro.errors import CheckpointError, ReproError, ServeError, WorkflowAbortedError
 from repro.rdf import ntriples
 from repro.rdf.graph import Graph
 
@@ -137,11 +138,16 @@ def _run_config(args: argparse.Namespace):
 
 def cmd_run(args: argparse.Namespace) -> int:
     from repro import obs
+    from repro.errors import MapReduceError
 
     _infer_dataset(args)
     qid, sparql = _resolve_query_text(args)
     graph = _load_graph(args)
-    config = _run_config(args)
+    try:
+        config = _run_config(args)
+    except MapReduceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     with _tracing_to(args.trace):
         with obs.span(qid, "query", {"qid": qid}):
             report = make_engine(args.engine).execute(
@@ -235,6 +241,7 @@ def _bench_faults(args: argparse.Namespace) -> int:
         render_fault_report,
         write_fault_report,
     )
+    from repro.errors import MapReduceError
     from repro.mapreduce.faults import FaultPlan
 
     if args.experiment not in FAULT_EXPERIMENTS:
@@ -244,7 +251,13 @@ def _bench_faults(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    plan = FaultPlan.from_spec(args.faults)
+    try:
+        plan = FaultPlan.from_spec(args.faults)
+    except MapReduceError as error:
+        # A malformed spec is a usage error (exit 2, one line), not a
+        # simulator failure.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     report = fault_resilience_report(args.experiment, plan)
     print(render_fault_report(report))
     if args.output:
@@ -366,6 +379,49 @@ def _bench_profile(args: argparse.Namespace) -> int:
                 print(f"golden mismatch: {problem}", file=sys.stderr)
             return 1
         print(f"golden ok: {args.golden}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve --workload seeds=N,clients=C,mix=...``: drive the
+    concurrent query service with a seeded arrival process and report
+    latency percentiles, cache hit rates, and the batched-vs-unbatched
+    cost savings (repro-serve-workload/v1)."""
+    from repro.serve import (
+        WorkloadSpec,
+        check_serve_golden,
+        render_serve_report,
+        serve_workload_report,
+        write_serve_report,
+    )
+
+    spec = WorkloadSpec.from_spec(args.workload)
+    with _tracing_to(args.trace):
+        report = serve_workload_report(spec)
+    print(render_serve_report(report))
+    if args.output:
+        path = write_serve_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        from pathlib import Path
+
+        problems = check_serve_golden(Path(args.golden))
+        if problems:
+            for problem in problems:
+                print(f"serve golden mismatch: {problem}", file=sys.stderr)
+            return 1
+        print(f"serve golden ok: {args.golden}")
+    if not report["verdicts"]["all_rows_match"]:
+        bad = [
+            f"seed{run['seed']}:{run['mismatched_requests']}"
+            for run in report["runs"]
+            if not run["rows_match_solo"]
+        ]
+        print(
+            f"INVARIANT VIOLATION: served answers differ from cold solo runs: {bad}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -550,6 +606,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_option(bench)
     bench.set_defaults(func=cmd_bench)
 
+    serve = sub.add_parser(
+        "serve", help="simulate the concurrent query service on a seeded workload"
+    )
+    serve.add_argument(
+        "--workload",
+        required=True,
+        metavar="SPEC",
+        help="workload matrix: 'seeds=N,clients=C,mix=NAME[,requests=R]"
+        "[,window=W][,rate=r][,engine=e][,batch=on|off][,cache=on|off]"
+        "[,deadline=d][,max_pending=m]' (mixes: bsbm-star, chem-overlap, "
+        "pubmed-mesh)",
+    )
+    serve.add_argument(
+        "--output", default=None, help="write the repro-serve-workload/v1 report here"
+    )
+    serve.add_argument(
+        "--golden",
+        default=None,
+        help="also re-check a committed serve-workload golden report",
+    )
+    add_trace_option(serve)
+    serve.set_defaults(func=cmd_serve)
+
     catalog = sub.add_parser("catalog", help="list the workload queries")
     catalog.add_argument("--verbose", "-v", action="store_true")
     catalog.set_defaults(func=cmd_catalog)
@@ -614,11 +693,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (WorkflowAbortedError, CheckpointError) as error:
-        # Typed recovery failures get their own exit code so scripted
-        # soaks can distinguish "budget exhausted" / "bad ledger or
-        # chaos spec" from ordinary errors; the messages are already
-        # self-describing one-liners.
+    except (WorkflowAbortedError, CheckpointError, ServeError) as error:
+        # Typed recovery/serving failures get their own exit code so
+        # scripts can distinguish "budget exhausted" / "bad ledger,
+        # chaos, or workload spec" from ordinary errors; the messages
+        # are already self-describing one-liners.
         print(f"error: {error}", file=sys.stderr)
         return 2
     except ReproError as error:

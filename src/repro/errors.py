@@ -172,3 +172,16 @@ class HDFSOutOfSpaceError(HDFSError):
 
 class DatasetError(ReproError):
     """Invalid dataset generator configuration."""
+
+
+class ServeError(ReproError):
+    """The concurrent query service was misconfigured or misused.
+
+    Raised for invalid :class:`~repro.serve.service.ServiceConfig` /
+    :class:`~repro.serve.workload.WorkloadSpec` values and malformed
+    ``repro serve --workload`` specs.  Per-request problems (parse
+    errors, rejected admissions, missed deadlines) are *not* raised —
+    they are reported in the request's
+    :class:`~repro.serve.service.ServeResponse` so one bad request
+    cannot take down the batch it arrived with.
+    """

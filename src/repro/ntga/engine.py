@@ -2,17 +2,19 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro import obs, perf
 from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport, Row
 from repro.mapreduce.hdfs import HDFS
-from repro.mapreduce.runner import MapReduceRunner
+from repro.mapreduce.runner import MapReduceRunner, WorkflowStats
 from repro.ntga.physical import AggRow, TripleGroupStore, load_triplegroups
 from repro.ntga.planner import (
     NTGAPlan,
     inject_default_rows,
+    plan_batch,
     plan_rapid_analytics,
     plan_rapid_plus,
 )
@@ -21,12 +23,23 @@ from repro.rdf.graph import Graph
 Planner = Callable[[AnalyticalQuery, TripleGroupStore], NTGAPlan]
 
 
-def _collect_rows(hdfs: HDFS, plan: NTGAPlan, query: AnalyticalQuery) -> list[Row]:
-    records = hdfs.read(plan.final_output).records
+def _collect_output(
+    hdfs: HDFS,
+    path: str,
+    query: AnalyticalQuery,
+    subquery_id: int | None = None,
+) -> list[Row]:
+    """Read one query's answers from *path* and apply DISTINCT plus the
+    result modifiers.  ``subquery_id`` selects a single id's rows out of
+    a shared (batch) agg file; None accepts every aggregated row, the
+    solo-plan shape."""
+    records = hdfs.read(path).records
     rows: list[Row] = []
     projection = set(query.projection)
     for record in records:
         if isinstance(record, AggRow):
+            if subquery_id is not None and record.subquery_id != subquery_id:
+                continue
             rows.append(
                 {v: t for v, t in record.as_dict().items() if v in projection}
             )
@@ -37,6 +50,10 @@ def _collect_rows(hdfs: HDFS, plan: NTGAPlan, query: AnalyticalQuery) -> list[Ro
     from repro.core.reference import apply_result_modifiers
 
     return apply_result_modifiers(query, rows)
+
+
+def _collect_rows(hdfs: HDFS, plan: NTGAPlan, query: AnalyticalQuery) -> list[Row]:
+    return _collect_output(hdfs, plan.final_output, query)
 
 
 def deduplicate_rows(rows: list[Row]) -> list[Row]:
@@ -104,6 +121,87 @@ class NTGAEngine:
                 load_bytes=store.total_bytes,
                 plan_description=plan.description,
             )
+
+
+@dataclass
+class BatchReport:
+    """What one cross-request MQO batch execution produced: per-query
+    answer rows plus the single shared workflow's accounting."""
+
+    engine: str
+    queries: list[AnalyticalQuery]
+    rows_by_query: list[list[Row]]
+    stats: WorkflowStats
+    plan: list[str]
+    load_bytes: int
+    plan_description: str
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def cost_seconds(self) -> float:
+        return self.stats.total_cost
+
+
+def execute_batch(
+    queries: list[AnalyticalQuery],
+    graph: Graph,
+    config: EngineConfig | None = None,
+    prefix: str = "mqo",
+) -> BatchReport:
+    """Execute several overlapping queries as one shared NTGA workflow.
+
+    The cross-request analogue of :meth:`NTGAEngine.execute`: one
+    triplegroup load, one composite plan over every query's subqueries
+    (:func:`repro.ntga.planner.plan_batch`), shared α-join + fused
+    TG_AgJ cycles run once, then per-query map-only split joins — with
+    the same empty-group default injection, fault-plan, and checkpointed
+    recovery semantics as a solo run (the split joins continue the same
+    :class:`~repro.mapreduce.runner.WorkflowStats`).
+
+    Raises :class:`~repro.errors.OverlapError` when the queries' graph
+    patterns do not all overlap; callers fall back to solo execution.
+    """
+    config = config or EngineConfig()
+    hdfs = HDFS(capacity=config.hdfs_capacity)
+    with obs.span(
+        "mqo-batch", "engine", {"engine": "rapid-analytics", "queries": len(queries)}
+    ):
+        with obs.span("load", "stage"), perf.phase("load"):
+            store = load_triplegroups(graph, hdfs)
+        with obs.span("plan", "stage") as plan_span, perf.phase("plan"):
+            plan = plan_batch(queries, store, prefix=prefix)
+            if plan_span is not None:
+                plan_span.attrs.update(
+                    jobs=len(plan.jobs), description=plan.description
+                )
+        runner = MapReduceRunner(
+            hdfs,
+            config.cluster,
+            config.cost_model,
+            config.fault_plan,
+            recovery=config.recovery,
+        )
+        stats = runner.run_workflow(plan.jobs[: plan.split_index])
+        inject_default_rows(plan, hdfs)
+        if plan.split_index < len(plan.jobs):
+            stats = runner.run_workflow(plan.jobs[plan.split_index :], stats=stats)
+        runner.finalize(stats)
+
+        return BatchReport(
+            engine="rapid-analytics",
+            queries=list(queries),
+            rows_by_query=[
+                _collect_output(hdfs, path, query, subquery_id)
+                for query, (path, subquery_id) in zip(queries, plan.outputs)
+            ],
+            stats=stats,
+            plan=[job.name for job in plan.jobs],
+            load_bytes=store.total_bytes,
+            plan_description=plan.description,
+        )
 
 
 def rapid_plus_engine() -> NTGAEngine:

@@ -65,6 +65,7 @@ def build_final_join_job(
     agg_inputs: tuple[str, ...],
     subquery_count: int,
     output: str,
+    subquery_ids: tuple[int, ...] | None = None,
 ) -> MapReduceJob:
     """Map-only TG_Join of aggregated triplegroups plus the outer
     SELECT's expression extensions and projection.
@@ -72,24 +73,34 @@ def build_final_join_job(
     Empty-group default rows are injected into the agg files before this
     job runs (:func:`inject_default_rows`), so they flow through the
     normal input stream.
+
+    ``subquery_ids`` names the composite-plan ids that belong to
+    *query*, in subquery order.  A solo plan owns ids ``0..n-1`` (the
+    default); a cross-request batch plan (:func:`plan_batch`) hands each
+    member query its slice of the merged id space, making this job the
+    paper's n-split (χ) back to one requester: it streams the first id,
+    side-joins the rest, and ignores every other requester's rows.
     """
     extends = query.outer_extends
     projection = set(query.projection)
+    ids = tuple(subquery_ids) if subquery_ids is not None else tuple(
+        range(subquery_count)
+    )
 
     def mapper_factory(side_data: dict[str, list[Any]]):
         rows_by_subquery: dict[int, list[dict[Variable, Term]]] = {
-            i: [] for i in range(subquery_count)
+            i: [] for i in ids
         }
         for records in side_data.values():
             for record in records:
-                if isinstance(record, AggRow):
+                if isinstance(record, AggRow) and record.subquery_id in rows_by_subquery:
                     rows_by_subquery[record.subquery_id].append(record.as_dict())
 
         def mapper(record: Any) -> Iterable[dict[Variable, Term]]:
-            if not isinstance(record, AggRow) or record.subquery_id != 0:
+            if not isinstance(record, AggRow) or record.subquery_id != ids[0]:
                 return
             partials = [record.as_dict()]
-            for subquery_id in range(1, subquery_count):
+            for subquery_id in ids[1:]:
                 partials = [
                     {**left, **right}
                     for left in partials
@@ -257,6 +268,150 @@ def plan_rapid_analytics(
         defaults_by_plan=defaults,
         final_join_index=final_join_index,
         description=composite.describe(),
+    )
+
+
+@dataclass
+class BatchPlan:
+    """A cross-request MQO workflow: shared evaluation, per-query split.
+
+    ``jobs[:split_index]`` evaluate the merged composite pattern once
+    (α-joins plus one fused TG_AgJ over *every* request's aggregations);
+    ``jobs[split_index:]`` are the per-query map-only n-split joins.
+    ``outputs[i]`` locates query *i*'s answers: ``(path, None)`` for a
+    split-join output of solution rows, or ``(path, subquery_id)`` when
+    the query needs no final join and reads its own id straight out of
+    the shared agg file.
+    """
+
+    queries: list[AnalyticalQuery]
+    jobs: list[MapReduceJob]
+    split_index: int
+    outputs: list[tuple[str, int | None]]
+    #: Per-query slices of the merged subquery-id space.
+    merged_ids: list[tuple[int, ...]]
+    defaults_by_plan: list[tuple[CompositePlan, str]] = field(default_factory=list)
+    description: str = ""
+
+
+def plan_batch(
+    queries: list[AnalyticalQuery],
+    store: TripleGroupStore,
+    prefix: str = "mqo",
+) -> BatchPlan:
+    """Compile several overlapping queries into one shared workflow.
+
+    Flattens every query's grouping subqueries into one merged list
+    (structurally identical subqueries from different queries collapse
+    to a single entry), rewrites the lot into one composite pattern
+    (:func:`build_composite_n` — raises :class:`OverlapError` when any
+    pattern fails to overlap the base, in which case the caller falls
+    back to solo execution), evaluates it with shared α-join cycles and
+    a single fused TG_AgJ, then n-splits (χ) per requester with map-only
+    joins over each query's slice of the merged id space.
+    """
+    merged: list[Any] = []
+    merged_ids: list[tuple[int, ...]] = []
+    for query in queries:
+        ids: list[int] = []
+        for subquery in query.subqueries:
+            index = next(
+                (
+                    i
+                    for i, existing in enumerate(merged)
+                    if existing == subquery and i not in ids
+                ),
+                None,
+            )
+            if index is None:
+                index = len(merged)
+                merged.append(subquery)
+            ids.append(index)
+        merged_ids.append(tuple(ids))
+
+    if len(merged) == 1:
+        composite = single_pattern_plan(merged[0])
+    else:
+        composite = build_composite_n(merged)
+    obs.event(
+        "composite",
+        {
+            "stars": len(composite.stars),
+            "subqueries": len(composite.subqueries),
+            "queries": len(queries),
+            "fused": True,
+        },
+    )
+
+    jobs: list[MapReduceJob] = []
+    prefilters = shared_prefilters(composite.subqueries)
+    detail_path: str | None = None
+    joined = frozenset({0})
+    if len(composite.stars) > 1:
+        steps = derive_join_steps(composite)
+        previous: str | None = None
+        for index, step in enumerate(steps):
+            output = f"{prefix}/join{index}"
+            jobs.append(
+                build_alpha_join_job(
+                    name=f"{prefix}:alpha-join-{index}",
+                    step=step,
+                    plan=composite,
+                    store=store,
+                    previous_output=previous,
+                    joined_so_far=joined,
+                    output=output,
+                    prefilters=prefilters,
+                )
+            )
+            joined = joined | {step.new_star}
+            previous = output
+        detail_path = previous
+
+    agg_output = f"{prefix}/agg"
+    jobs.append(
+        build_agg_join_job(
+            name=f"{prefix}:agg-join",
+            plan=composite,
+            detail_input=detail_path,
+            store=store,
+            output=agg_output,
+            prefilters=prefilters,
+        )
+    )
+    split_index = len(jobs)
+
+    outputs: list[tuple[str, int | None]] = []
+    for index, (query, ids) in enumerate(zip(queries, merged_ids)):
+        if len(ids) > 1 or query.outer_extends:
+            output = f"{prefix}/result{index}"
+            jobs.append(
+                build_final_join_job(
+                    name=f"{prefix}:split-join-{index}",
+                    query=query,
+                    agg_inputs=(agg_output,),
+                    subquery_count=len(ids),
+                    output=output,
+                    subquery_ids=ids,
+                )
+            )
+            outputs.append((output, None))
+        else:
+            # Single-subquery, no outer expressions: the query's answers
+            # are exactly its id's rows in the shared agg file.
+            outputs.append((agg_output, ids[0]))
+
+    return BatchPlan(
+        queries=list(queries),
+        jobs=jobs,
+        split_index=split_index,
+        outputs=outputs,
+        merged_ids=merged_ids,
+        defaults_by_plan=[(composite, agg_output)],
+        description=(
+            f"{len(queries)}-query MQO batch over {len(merged)} merged "
+            f"subqueries\n" + composite.describe()
+        ),
     )
 
 

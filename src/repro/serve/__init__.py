@@ -1,0 +1,52 @@
+"""Concurrent analytical-query serving (``repro serve``).
+
+Lifts the paper's overlap-driven sharing from intra-query to
+cross-request: a :class:`~repro.serve.service.QueryService` schedules
+many queries against one shared graph with admission control, plan and
+result caches keyed by canonical query fingerprints, and an MQO batcher
+that merges overlapping requests into one composite workflow and
+n-splits the answers back.  See ``docs/serving.md``.
+"""
+
+from repro.serve.cache import LRUCache
+from repro.serve.fingerprint import Fingerprint, fingerprint_query
+from repro.serve.service import (
+    DEADLINE,
+    FAILED,
+    OK,
+    REJECTED,
+    QueryService,
+    ServeRequest,
+    ServeResponse,
+    ServiceConfig,
+)
+from repro.serve.workload import (
+    SERVE_SCHEMA,
+    WORKLOAD_MIXES,
+    WorkloadSpec,
+    check_serve_golden,
+    render_serve_report,
+    serve_workload_report,
+    write_serve_report,
+)
+
+__all__ = [
+    "DEADLINE",
+    "FAILED",
+    "Fingerprint",
+    "LRUCache",
+    "OK",
+    "QueryService",
+    "REJECTED",
+    "SERVE_SCHEMA",
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceConfig",
+    "WORKLOAD_MIXES",
+    "WorkloadSpec",
+    "check_serve_golden",
+    "fingerprint_query",
+    "render_serve_report",
+    "serve_workload_report",
+    "write_serve_report",
+]

@@ -1,0 +1,70 @@
+"""A counting LRU cache, shared by the plan and result caches.
+
+Plain ``dict`` insertion order doubles as the recency list (Python
+dicts iterate oldest-inserted first; ``get`` re-inserts), so behaviour
+is deterministic and independent of ``PYTHONHASHSEED`` — eviction order
+is a pure function of the get/put sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from repro.errors import ServeError
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with hit/miss counters."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ServeError(f"cache capacity must be >= 1: {capacity!r}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: dict[Hashable, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._entries.pop(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries[key] = value  # re-insert = mark most recent
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Read without touching recency or counters."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,48 @@
+"""Canonical query fingerprints for the service caches.
+
+Two textually different queries that parse to the same AST — different
+prefix names, whitespace, prefixed vs. full IRIs — must share cache
+entries, so the fingerprint is computed over the *canonical
+serialization* (:func:`repro.sparql.serializer.serialize_query`: full
+IRIs, fixed clause order, no prefixes), not the raw text.  The
+serializer round-trip property (``parse(serialize(ast)) == ast``,
+enforced in tests/sparql) is what makes this a sound cache key.
+
+The plan cache is keyed by digest alone (decomposition is
+graph-independent); the result cache folds in the graph version and the
+engine (see :mod:`repro.serve.service`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.query_model import AnalyticalQuery, from_select_query
+from repro.sparql.parser import parse_query
+from repro.sparql.serializer import serialize_query
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A canonicalized query: digest + the artifacts computing it made."""
+
+    digest: str
+    canonical: str
+    query: AnalyticalQuery
+
+
+def fingerprint_query(text: str) -> Fingerprint:
+    """Parse, canonicalize, and digest one SPARQL query.
+
+    Raises :class:`repro.errors.SparqlError` on malformed input — the
+    service maps that to a per-request failure, not a crash.
+    """
+    ast = parse_query(text)
+    canonical = serialize_query(ast)
+    digest = hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+    return Fingerprint(
+        digest=digest,
+        canonical=canonical,
+        query=from_select_query(ast, source_text=text),
+    )

@@ -1,0 +1,557 @@
+"""The concurrent analytical-query service.
+
+:class:`QueryService` accepts many SPARQL queries against one shared
+graph and exploits cross-request sharing three ways, in order:
+
+1. **result cache** — answers keyed by (canonical fingerprint, graph
+   version, engine) are returned without touching the cluster;
+2. **request dedup** — identical queries arriving in the same batching
+   window execute once and fan the answer out;
+3. **MQO batching** — *different* queries whose graph patterns overlap
+   (paper Defs 3.1/3.2) are merged into one composite workflow
+   (:func:`repro.ntga.planner.plan_batch`), executed once, and n-split
+   (χ) back to each requester.
+
+Two clocks, one contract.  Requests carry *simulated* arrival times;
+admission, batching windows, worker queueing, latencies, and deadlines
+all live on the simulated clock, so every response field is a pure
+function of (graph, config, request sequence) — byte-reproducible
+across runs, thread counts, and ``PYTHONHASHSEED``.  Real wall-clock
+parallelism is an orthogonal execution detail: executable units are
+dispatched to a thread pool purely to overlap Python work, and the pool
+never influences simulated results.  When a :mod:`repro.obs` tracer or
+:mod:`repro.perf` recorder is active, units run serially on the
+coordinator thread instead (both recorders keep single implicit
+stacks), which changes nothing observable but the wall time.
+
+The service works with every engine (``EngineConfig`` fault plans and
+checkpointed recovery compose — a batch resubmits exactly like a solo
+workflow); pattern-merge batching itself engages on the
+``rapid-analytics`` engine, the only planner with a composite operator.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro import obs, perf
+from repro.core.engines import make_engine
+from repro.core.results import EngineConfig, Row
+from repro.errors import OverlapError, ReproError, ServeError, SparqlError
+from repro.ntga.engine import execute_batch
+from repro.rdf.graph import Graph
+from repro.serve.cache import LRUCache
+from repro.serve.fingerprint import Fingerprint, fingerprint_query
+
+#: Response status values.
+OK = "ok"
+REJECTED = "rejected"
+FAILED = "failed"
+DEADLINE = "deadline-exceeded"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Scheduler knobs (all times in simulated seconds)."""
+
+    engine: str = "rapid-analytics"
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+    #: Simulated executor slots *and* real thread-pool width.
+    workers: int = 4
+    #: Admission cap: queued + in-flight requests at arrival time.
+    max_pending: int = 64
+    #: Batching window length; arrivals inside one window are scheduled
+    #: together at its close.
+    batch_window: float = 0.25
+    plan_cache_size: int = 128
+    result_cache_size: int = 256
+    enable_result_cache: bool = True
+    enable_batching: bool = True
+    #: Default per-request deadline (None = no deadline).
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        from repro.core.engines import ENGINE_FACTORIES
+
+        if self.engine not in ENGINE_FACTORIES:
+            known = ", ".join(sorted(ENGINE_FACTORIES))
+            raise ServeError(f"unknown engine {self.engine!r} (known: {known})")
+        if self.workers < 1:
+            raise ServeError(f"workers must be >= 1: {self.workers!r}")
+        if self.max_pending < 1:
+            raise ServeError(f"max_pending must be >= 1: {self.max_pending!r}")
+        if not self.batch_window > 0.0:
+            raise ServeError(f"batch_window must be > 0: {self.batch_window!r}")
+        if self.deadline is not None and not self.deadline > 0.0:
+            raise ServeError(f"deadline must be > 0: {self.deadline!r}")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One query submission.  ``arrival`` is on the simulated clock;
+    arrivals earlier than windows the service already closed are clamped
+    forward (you cannot submit into the past)."""
+
+    text: str
+    arrival: float = 0.0
+    label: str = ""
+    deadline: float | None = None
+
+
+@dataclass
+class ServeResponse:
+    """The service's answer to one request."""
+
+    request_id: int
+    label: str
+    status: str
+    arrival: float
+    fingerprint: str | None = None
+    rows: list[Row] | None = None
+    error: str | None = None
+    started: float | None = None
+    completed: float | None = None
+    latency: float | None = None
+    #: Where the answer came from: ``result-cache`` / ``dedup`` /
+    #: ``batch`` / ``solo`` (None for rejected or failed requests).
+    source: str | None = None
+    plan_cached: bool = False
+    #: Distinct queries merged into the unit that produced this answer.
+    batch_size: int = 0
+    #: Simulated cost of that unit (shared across its members).
+    unit_cost: float = 0.0
+
+
+class _Group:
+    """All same-window requests for one distinct fingerprint."""
+
+    __slots__ = ("fp", "requests")
+
+    def __init__(self, fp: Fingerprint):
+        self.fp = fp
+        self.requests: list[tuple[int, ServeRequest]] = []
+
+
+class _Unit:
+    """One executable workflow: a solo query or a merged batch."""
+
+    __slots__ = ("groups", "rows_by_group", "cost", "error")
+
+    def __init__(self, groups: list[_Group]):
+        self.groups = groups
+        self.rows_by_group: list[list[Row]] | None = None
+        self.cost = 0.0
+        self.error: str | None = None
+
+
+_COUNTER_KEYS = (
+    "requests",
+    "admitted",
+    "rejected",
+    "failed",
+    "deadline_exceeded",
+    "dedup_requests",
+    "batch_windows",
+    "batch_merges",
+    "batch_merged_requests",
+    "units_solo",
+    "units_batch",
+)
+
+
+class QueryService:
+    """Deterministic concurrent scheduler over one shared graph."""
+
+    def __init__(self, graph: Graph, config: ServiceConfig | None = None):
+        self.graph = graph
+        self.config = config or ServiceConfig()
+        self.plan_cache = LRUCache(self.config.plan_cache_size)
+        self.result_cache = LRUCache(self.config.result_cache_size)
+        self.counters: dict[str, int] = {key: 0 for key in _COUNTER_KEYS}
+        self.executed_cost_seconds = 0.0
+        self._next_id = 0
+        self._floor = 0.0  # close time of the last processed window
+        self._worker_free = [0.0] * self.config.workers
+        self._open: list[float] = []  # completion times of admitted work
+
+    # -- public API --------------------------------------------------------------
+
+    def serve(self, requests: list[ServeRequest]) -> list[ServeResponse]:
+        """Process a batch of submissions; responses in request order."""
+        window = self.config.batch_window
+        numbered: list[tuple[int, ServeRequest]] = []
+        for request in requests:
+            if request.arrival < 0.0:
+                raise ServeError(f"arrival must be >= 0: {request.arrival!r}")
+            if request.arrival < self._floor:
+                request = replace(request, arrival=self._floor)
+            numbered.append((self._next_id, request))
+            self._next_id += 1
+
+        by_window: dict[int, list[tuple[int, ServeRequest]]] = {}
+        for rid, request in sorted(numbered, key=lambda r: (r[1].arrival, r[0])):
+            by_window.setdefault(int(request.arrival // window), []).append(
+                (rid, request)
+            )
+
+        responses: dict[int, ServeResponse] = {}
+        for index in sorted(by_window):
+            close = (index + 1) * window
+            for response in self._run_window(by_window[index], close):
+                responses[response.request_id] = response
+            self._floor = max(self._floor, close)
+        return [responses[rid] for rid, _ in numbered]
+
+    def query(self, text: str, label: str = "") -> ServeResponse:
+        """Serve a single query arriving now (at the service's clock)."""
+        return self.serve([ServeRequest(text=text, arrival=self._floor, label=label)])[0]
+
+    def counter_snapshot(self) -> dict[str, int]:
+        """Scheduler + cache counters, deterministically ordered."""
+        snapshot = dict(self.counters)
+        for name, cache in (("plan_cache", self.plan_cache), ("result_cache", self.result_cache)):
+            for key, value in cache.stats().items():
+                snapshot[f"{name}_{key}"] = value
+        return snapshot
+
+    # -- one batching window -----------------------------------------------------
+
+    def _run_window(
+        self, arrivals: list[tuple[int, ServeRequest]], close: float
+    ) -> list[ServeResponse]:
+        config = self.config
+        responses: list[ServeResponse] = []
+        admitted: list[tuple[int, ServeRequest]] = []
+
+        for rid, request in arrivals:
+            self.counters["requests"] += 1
+            self._open = [t for t in self._open if t > request.arrival]
+            pending = len(self._open) + len(admitted)
+            if pending >= config.max_pending:
+                self.counters["rejected"] += 1
+                obs.event(
+                    "request-reject",
+                    {"request": rid, "arrival": request.arrival, "pending": pending},
+                )
+                responses.append(
+                    ServeResponse(
+                        request_id=rid,
+                        label=request.label,
+                        status=REJECTED,
+                        arrival=request.arrival,
+                        error=f"admission control: {pending} requests pending",
+                    )
+                )
+                continue
+            self.counters["admitted"] += 1
+            obs.event(
+                "request-admit",
+                {"request": rid, "arrival": request.arrival, "close": close},
+            )
+            admitted.append((rid, request))
+
+        if admitted:
+            self.counters["batch_windows"] += 1
+        groups, failed = self._resolve_plans(admitted, close)
+        responses.extend(failed)
+        groups, cached = self._consult_result_cache(groups, close)
+        responses.extend(cached)
+        units = self._form_units(groups, close)
+        self._execute_units(units)
+        responses.extend(self._settle_units(units, close))
+        return responses
+
+    def _resolve_plans(
+        self, admitted: list[tuple[int, ServeRequest]], close: float
+    ) -> tuple[list[_Group], list[ServeResponse]]:
+        """Fingerprint + decompose each admitted request (plan cache),
+        collapsing same-fingerprint requests into one group."""
+        groups: dict[str, _Group] = {}
+        failures: list[ServeResponse] = []
+        for rid, request in admitted:
+            try:
+                fp = self._fingerprint(request.text)
+            except SparqlError as error:
+                self.counters["failed"] += 1
+                self._open.append(close)
+                obs.event("request-failed", {"request": rid, "error": str(error)})
+                failures.append(
+                    ServeResponse(
+                        request_id=rid,
+                        label=request.label,
+                        status=FAILED,
+                        arrival=request.arrival,
+                        error=str(error),
+                        completed=close,
+                        latency=close - request.arrival,
+                    )
+                )
+                continue
+            group = groups.get(fp.digest)
+            if group is None:
+                group = groups[fp.digest] = _Group(fp)
+            else:
+                self.counters["dedup_requests"] += 1
+            group.requests.append((rid, request))
+        return list(groups.values()), failures
+
+    def _fingerprint(self, text: str) -> Fingerprint:
+        hit = self.plan_cache.peek(text)
+        if hit is not None:
+            self.plan_cache.get(text)  # touch recency + hit counter
+            obs.event("cache-hit", {"cache": "plan", "digest": hit.digest})
+            return hit
+        fp = fingerprint_query(text)
+        self.plan_cache.misses += 1
+        # Key by raw text (a plan-cache hit must skip the parse), but
+        # share one entry between spelling variants of the same query.
+        canonical_hit = self.plan_cache.peek(fp.canonical)
+        if canonical_hit is not None:
+            fp = canonical_hit
+        else:
+            self.plan_cache.put(fp.canonical, fp)
+        self.plan_cache.put(text, fp)
+        return fp
+
+    def _result_key(self, digest: str) -> tuple[str, int, str]:
+        return (digest, self.graph.version, self.config.engine)
+
+    def _consult_result_cache(
+        self, groups: list[_Group], close: float
+    ) -> tuple[list[_Group], list[ServeResponse]]:
+        if not self.config.enable_result_cache:
+            return groups, []
+        misses: list[_Group] = []
+        responses: list[ServeResponse] = []
+        for group in groups:
+            rows = self.result_cache.get(self._result_key(group.fp.digest))
+            if rows is None:
+                misses.append(group)
+                continue
+            obs.event(
+                "cache-hit",
+                {
+                    "cache": "result",
+                    "digest": group.fp.digest,
+                    "requests": len(group.requests),
+                },
+            )
+            for rid, request in group.requests:
+                self._open.append(close)
+                responses.append(
+                    self._finish(
+                        rid,
+                        request,
+                        group,
+                        rows,
+                        started=close,
+                        completed=close,
+                        source="result-cache",
+                        batch_size=0,
+                        unit_cost=0.0,
+                    )
+                )
+        return misses, responses
+
+    # -- unit formation and execution --------------------------------------------
+
+    def _form_units(self, groups: list[_Group], close: float) -> list[_Unit]:
+        """Partition the window's distinct queries into executable units,
+        greedily merging overlapping patterns when batching is enabled."""
+        if (
+            not self.config.enable_batching
+            or self.config.engine != "rapid-analytics"
+            or len(groups) < 2
+        ):
+            return [_Unit([group]) for group in groups]
+
+        from repro.ntga.composite import build_composite_n
+
+        batches: list[list[_Group]] = []
+        for group in groups:
+            placed = False
+            for batch in batches:
+                subqueries = [
+                    sq for member in batch for sq in member.fp.query.subqueries
+                ]
+                subqueries.extend(group.fp.query.subqueries)
+                try:
+                    if len(subqueries) > 1:
+                        build_composite_n(subqueries)
+                    placed = True
+                except OverlapError:
+                    continue
+                batch.append(group)
+                break
+            if not placed:
+                batches.append([group])
+
+        units = []
+        for batch in batches:
+            units.append(_Unit(batch))
+            if len(batch) > 1:
+                self.counters["batch_merges"] += 1
+                self.counters["batch_merged_requests"] += sum(
+                    len(member.requests) for member in batch
+                )
+                obs.event(
+                    "batch-merge",
+                    {
+                        "close": close,
+                        "queries": [member.fp.digest for member in batch],
+                        "requests": sum(len(m.requests) for m in batch),
+                    },
+                )
+        return units
+
+    def _run_unit(self, unit: _Unit) -> None:
+        config = self.config
+        try:
+            if len(unit.groups) == 1:
+                report = make_engine(config.engine).execute(
+                    unit.groups[0].fp.query, self.graph, config.engine_config
+                )
+                unit.rows_by_group = [report.rows]
+                unit.cost = report.cost_seconds
+            else:
+                batch = execute_batch(
+                    [group.fp.query for group in unit.groups],
+                    self.graph,
+                    config.engine_config,
+                )
+                unit.rows_by_group = batch.rows_by_query
+                unit.cost = batch.cost_seconds
+        except ReproError as error:
+            unit.error = f"{type(error).__name__}: {error}"
+
+    def _execute_units(self, units: list[_Unit]) -> None:
+        """Run every unit, really.  Serial whenever a tracer/perf
+        recorder is active (both keep single implicit stacks); otherwise
+        the first unit runs inline to warm the graph's derived-layout
+        caches, the rest overlap on the pool.  Results are identical
+        either way — units only share read-only state."""
+        serial = (
+            obs.active_tracer() is not None
+            or perf.active_recorder() is not None
+            or self.config.workers == 1
+            or len(units) <= 1
+        )
+        if serial:
+            for unit in units:
+                self._run_unit(unit)
+            return
+        self._run_unit(units[0])
+        with ThreadPoolExecutor(
+            max_workers=min(self.config.workers, len(units) - 1)
+        ) as pool:
+            futures = [pool.submit(self._run_unit, unit) for unit in units[1:]]
+            for future in futures:
+                future.result()
+
+    def _settle_units(self, units: list[_Unit], close: float) -> list[ServeResponse]:
+        """Assign simulated workers to units in deterministic order and
+        turn execution results into responses."""
+        responses: list[ServeResponse] = []
+        for unit in units:
+            worker = min(range(len(self._worker_free)), key=self._worker_free.__getitem__)
+            started = max(close, self._worker_free[worker])
+            completed = started + unit.cost
+            self._worker_free[worker] = completed
+            self.executed_cost_seconds += unit.cost
+            if len(unit.groups) > 1:
+                self.counters["units_batch"] += 1
+            else:
+                self.counters["units_solo"] += 1
+
+            for group, rows in zip(
+                unit.groups,
+                unit.rows_by_group or [None] * len(unit.groups),
+            ):
+                if unit.error is None and len(unit.groups) > 1:
+                    obs.event(
+                        "batch-split",
+                        {
+                            "digest": group.fp.digest,
+                            "rows": len(rows),
+                            "requests": len(group.requests),
+                        },
+                    )
+                if unit.error is None and self.config.enable_result_cache:
+                    self.result_cache.put(self._result_key(group.fp.digest), rows)
+                source = "batch" if len(unit.groups) > 1 else "solo"
+                for position, (rid, request) in enumerate(group.requests):
+                    self._open.append(completed)
+                    if unit.error is not None:
+                        self.counters["failed"] += 1
+                        obs.event(
+                            "request-failed", {"request": rid, "error": unit.error}
+                        )
+                        responses.append(
+                            ServeResponse(
+                                request_id=rid,
+                                label=request.label,
+                                status=FAILED,
+                                arrival=request.arrival,
+                                fingerprint=group.fp.digest,
+                                error=unit.error,
+                                started=started,
+                                completed=completed,
+                                latency=completed - request.arrival,
+                            )
+                        )
+                        continue
+                    responses.append(
+                        self._finish(
+                            rid,
+                            request,
+                            group,
+                            rows,
+                            started=started,
+                            completed=completed,
+                            source=source if position == 0 else "dedup",
+                            batch_size=len(unit.groups),
+                            unit_cost=unit.cost,
+                        )
+                    )
+        return responses
+
+    def _finish(
+        self,
+        rid: int,
+        request: ServeRequest,
+        group: _Group,
+        rows: list[Row],
+        *,
+        started: float,
+        completed: float,
+        source: str,
+        batch_size: int,
+        unit_cost: float,
+    ) -> ServeResponse:
+        latency = completed - request.arrival
+        deadline = request.deadline if request.deadline is not None else self.config.deadline
+        response = ServeResponse(
+            request_id=rid,
+            label=request.label,
+            status=OK,
+            arrival=request.arrival,
+            fingerprint=group.fp.digest,
+            rows=list(rows),
+            started=started,
+            completed=completed,
+            latency=latency,
+            source=source,
+            batch_size=batch_size,
+            unit_cost=unit_cost,
+        )
+        if deadline is not None and latency > deadline:
+            self.counters["deadline_exceeded"] += 1
+            obs.event(
+                "request-deadline",
+                {"request": rid, "latency": latency, "deadline": deadline},
+            )
+            response.status = DEADLINE
+            response.rows = None
+            response.error = f"deadline exceeded: {latency:.6f}s > {deadline:.6f}s"
+        return response

@@ -1,0 +1,425 @@
+"""Seeded serving workloads: ``repro serve --workload seeds=N,clients=C,mix=...``.
+
+Drives :class:`~repro.serve.service.QueryService` with a deterministic
+arrival process over the bench catalog and emits a
+``repro-serve-workload/v1`` report: latency percentiles, cache hit
+rates, batch-merge counters, and the headline batched-vs-unbatched
+cost comparison — the total simulated cost the service actually spent
+versus what serving every completed request cold and solo would have
+cost.  Every answer is checked bit-identical (rows *and* order) against
+a cold solo execution of the same query, so the report doubles as a
+correctness oracle for the sharing layers.
+
+Interarrival gaps are uniform in ``[0.5, 1.5) / rate`` — drawn from
+``random.Random(seed)`` without transcendental functions, so committed
+golden reports stay byte-identical across platforms and libm versions.
+
+Mixes are named slices of the catalog:
+
+* ``chem-overlap`` — MG6/MG7/MG8/G8, four chem queries over the same
+  assay star (mutually overlapping): exercises MQO merge + n-split;
+* ``bsbm-star`` — the BSBM table-3 queries, which do *not* cross-merge:
+  exercises dedup and the result cache only;
+* ``pubmed-mesh`` — MG11/MG13/MG14 (MG13+MG14 overlap, MG11 solo).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import perf
+from repro.bench.catalog import get_query
+from repro.bench.harness import bsbm_config, chem_config, pubmed_config
+from repro.core.engines import make_engine, to_analytical
+from repro.core.results import EngineConfig
+from repro.errors import ServeError
+from repro.rdf.graph import Graph
+from repro.serve.service import (
+    DEADLINE,
+    OK,
+    QueryService,
+    ServeRequest,
+    ServiceConfig,
+)
+
+#: Schema tag for the serve workload report (bump on shape changes).
+SERVE_SCHEMA = "repro-serve-workload/v1"
+
+#: mix name -> (dataset, preset, qids, engine-config factory)
+WORKLOAD_MIXES: dict[
+    str, tuple[str, str, tuple[str, ...], Callable[[], EngineConfig]]
+] = {
+    "chem-overlap": ("chem", "tiny", ("MG6", "MG7", "MG8", "G8"), chem_config),
+    "bsbm-star": (
+        "bsbm",
+        "tiny",
+        ("G1", "G2", "MG1", "MG2", "MG3", "MG4"),
+        bsbm_config,
+    ),
+    "pubmed-mesh": ("pubmed", "tiny", ("MG11", "MG13", "MG14"), pubmed_config),
+}
+
+_FLAGS = {"on": True, "off": False, "true": True, "false": False}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parsed ``--workload`` spec.  ``seeds`` runs the same mix through
+    1..N independent arrival seeds against fresh services."""
+
+    seeds: int
+    clients: int
+    mix: str
+    requests: int = 24
+    window: float = 0.25
+    rate: float = 8.0
+    engine: str = "rapid-analytics"
+    batching: bool = True
+    caching: bool = True
+    deadline: float | None = None
+    max_pending: int = 64
+
+    @classmethod
+    def from_spec(cls, text: str) -> "WorkloadSpec":
+        """Parse ``seeds=N,clients=C,mix=name[,requests=R][,window=W]
+        [,rate=r][,engine=e][,batch=on|off][,cache=on|off]
+        [,deadline=d][,max_pending=m]``."""
+        values: dict[str, str] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ServeError(
+                    f"invalid workload spec {text!r}: expected key=value, got {part!r}"
+                )
+            values[key.strip()] = value.strip()
+        known = {
+            "seeds", "clients", "mix", "requests", "window", "rate",
+            "engine", "batch", "cache", "deadline", "max_pending",
+        }
+        unknown = set(values) - known
+        if unknown:
+            raise ServeError(
+                f"invalid workload spec {text!r}: unknown key(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        missing = [key for key in ("seeds", "clients", "mix") if key not in values]
+        if missing:
+            raise ServeError(
+                f"invalid workload spec {text!r}: {', '.join(missing)} required"
+            )
+
+        def flag(key: str, default: bool) -> bool:
+            raw = values.get(key)
+            if raw is None:
+                return default
+            if raw.lower() not in _FLAGS:
+                raise ServeError(
+                    f"invalid workload spec {text!r}: {key} must be on/off, "
+                    f"got {raw!r}"
+                )
+            return _FLAGS[raw.lower()]
+
+        try:
+            spec = cls(
+                seeds=int(values["seeds"]),
+                clients=int(values["clients"]),
+                mix=values["mix"],
+                requests=int(values.get("requests", 24)),
+                window=float(values.get("window", 0.25)),
+                rate=float(values.get("rate", 8.0)),
+                engine=values.get("engine", "rapid-analytics"),
+                batching=flag("batch", True),
+                caching=flag("cache", True),
+                deadline=float(values["deadline"]) if "deadline" in values else None,
+                max_pending=int(values.get("max_pending", 64)),
+            )
+        except ValueError as error:
+            raise ServeError(f"invalid workload spec {text!r}: {error}") from None
+        if spec.seeds < 1:
+            raise ServeError(f"invalid workload spec {text!r}: seeds must be >= 1")
+        if spec.clients < 1:
+            raise ServeError(f"invalid workload spec {text!r}: clients must be >= 1")
+        if spec.requests < 1:
+            raise ServeError(f"invalid workload spec {text!r}: requests must be >= 1")
+        if spec.mix not in WORKLOAD_MIXES:
+            known_mixes = ", ".join(sorted(WORKLOAD_MIXES))
+            raise ServeError(
+                f"invalid workload spec {text!r}: unknown mix {spec.mix!r} "
+                f"(known: {known_mixes})"
+            )
+        if not spec.window > 0.0:
+            raise ServeError(f"invalid workload spec {text!r}: window must be > 0")
+        if not spec.rate > 0.0:
+            raise ServeError(f"invalid workload spec {text!r}: rate must be > 0")
+        return spec
+
+    def service_config(self, engine_config: EngineConfig) -> ServiceConfig:
+        return ServiceConfig(
+            engine=self.engine,
+            engine_config=engine_config,
+            workers=self.clients,
+            max_pending=self.max_pending,
+            batch_window=self.window,
+            enable_batching=self.batching,
+            enable_result_cache=self.caching,
+            deadline=self.deadline,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seeds": self.seeds,
+            "clients": self.clients,
+            "mix": self.mix,
+            "requests": self.requests,
+            "window": self.window,
+            "rate": self.rate,
+            "engine": self.engine,
+            "batching": self.batching,
+            "caching": self.caching,
+            "deadline": self.deadline,
+            "max_pending": self.max_pending,
+        }
+
+
+def workload_requests(spec: WorkloadSpec, seed: int) -> list[ServeRequest]:
+    """The deterministic arrival sequence for one seed: uniform query
+    choice over the mix, uniform interarrival gaps with mean 1/rate."""
+    _, _, qids, _ = WORKLOAD_MIXES[spec.mix]
+    rng = random.Random(seed)
+    clock = 0.0
+    requests: list[ServeRequest] = []
+    for _ in range(spec.requests):
+        qid = qids[rng.randrange(len(qids))]
+        clock += (0.5 + rng.random()) / spec.rate
+        requests.append(
+            ServeRequest(
+                text=get_query(qid).sparql,
+                arrival=round(clock, 6),
+                label=qid,
+            )
+        )
+    return requests
+
+
+def _percentile(sorted_values: list[float], percent: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * percent // 100))  # ceil
+    return sorted_values[int(rank) - 1]
+
+
+def _latency_summary(latencies: list[float]) -> dict[str, float]:
+    ordered = sorted(latencies)
+    total = sum(ordered)
+    return {
+        "count": len(ordered),
+        "mean": round(total / len(ordered), 6) if ordered else 0.0,
+        "p50": round(_percentile(ordered, 50), 6),
+        "p90": round(_percentile(ordered, 90), 6),
+        "p99": round(_percentile(ordered, 99), 6),
+        "max": round(ordered[-1], 6) if ordered else 0.0,
+    }
+
+
+def serve_workload_report(
+    spec: WorkloadSpec, graph: Graph | None = None
+) -> dict[str, Any]:
+    """Run the workload matrix and assemble the versioned report.
+
+    The baseline against which savings are computed is the no-sharing
+    server: every completed request executed cold, solo, on the same
+    engine and config.  Those solo runs double as the bit-identity
+    oracle — each served answer's row digest (order-sensitive) must
+    equal its query's solo digest.
+    """
+    dataset, preset, qids, config_factory = WORKLOAD_MIXES[spec.mix]
+    if graph is None:
+        from repro.bench.faults import _build_graph
+
+        graph = _build_graph(dataset, preset)
+    engine_config = config_factory()
+
+    baseline: dict[str, dict[str, Any]] = {}
+    for qid in qids:
+        report = make_engine(spec.engine).execute(
+            to_analytical(get_query(qid).sparql), graph, engine_config
+        )
+        baseline[qid] = {
+            "rows": len(report.rows),
+            "cost_seconds": round(report.cost_seconds, 6),
+            "digest": perf.rows_digest(report.rows),
+        }
+
+    runs: list[dict[str, Any]] = []
+    total_baseline = total_served = 0.0
+    all_rows_match = True
+    per_seed_reduced: list[bool] = []
+    for seed in range(1, spec.seeds + 1):
+        service = QueryService(graph, spec.service_config(engine_config))
+        responses = service.serve(workload_requests(spec, seed))
+
+        statuses: dict[str, int] = {}
+        sources: dict[str, int] = {}
+        mismatches: list[int] = []
+        baseline_cost = 0.0
+        latencies: list[float] = []
+        for response in responses:
+            statuses[response.status] = statuses.get(response.status, 0) + 1
+            if response.source is not None:
+                sources[response.source] = sources.get(response.source, 0) + 1
+            if response.status in (OK, DEADLINE):
+                baseline_cost += baseline[response.label]["cost_seconds"]
+                latencies.append(response.latency)
+            if response.status == OK and (
+                perf.rows_digest(response.rows) != baseline[response.label]["digest"]
+            ):
+                mismatches.append(response.request_id)
+
+        served_cost = service.executed_cost_seconds
+        counters = service.counter_snapshot()
+        rows_match = not mismatches
+        all_rows_match = all_rows_match and rows_match
+        total_baseline += baseline_cost
+        total_served += served_cost
+        per_seed_reduced.append(served_cost < baseline_cost)
+        runs.append(
+            {
+                "seed": seed,
+                "requests": len(responses),
+                "statuses": dict(sorted(statuses.items())),
+                "sources": dict(sorted(sources.items())),
+                "latency": _latency_summary(latencies),
+                "baseline_cost_seconds": round(baseline_cost, 6),
+                "served_cost_seconds": round(served_cost, 6),
+                "saved_seconds": round(baseline_cost - served_cost, 6),
+                "saved_ratio": round(1.0 - served_cost / baseline_cost, 6)
+                if baseline_cost
+                else None,
+                "rows_match_solo": rows_match,
+                "mismatched_requests": mismatches,
+                "counters": dict(sorted(counters.items())),
+            }
+        )
+
+    verdicts = {
+        "all_rows_match": all_rows_match,
+        # The tentpole claim: sharing strictly reduces total simulated
+        # cost on every seed (meaningless with both levers off).
+        "cost_strictly_reduced": all(per_seed_reduced)
+        if (spec.batching or spec.caching)
+        else None,
+    }
+    return {
+        "schema": SERVE_SCHEMA,
+        "mix": spec.mix,
+        "dataset": dataset,
+        "preset": preset,
+        "queries": list(qids),
+        "workload": spec.as_dict(),
+        "baseline": baseline,
+        "runs": runs,
+        "summary": {
+            "total_baseline_cost_seconds": round(total_baseline, 6),
+            "total_served_cost_seconds": round(total_served, 6),
+            "total_saved_seconds": round(total_baseline - total_served, 6),
+            "total_saved_ratio": round(1.0 - total_served / total_baseline, 6)
+            if total_baseline
+            else None,
+        },
+        "verdicts": verdicts,
+    }
+
+
+def spec_from_report(report: dict[str, Any]) -> WorkloadSpec:
+    return WorkloadSpec(**report["workload"])
+
+
+def check_serve_golden(path: str | Path) -> list[str]:
+    """Re-run a committed report's workload and diff against it.
+
+    Returns human-readable differences (empty = bit-identical), so CI
+    catches any scheduler, cache, or batching change that moves a
+    latency, a counter, or a verdict.
+    """
+    golden = json.loads(Path(path).read_text())
+    fresh = serve_workload_report(spec_from_report(golden))
+    problems: list[str] = []
+    for field in ("schema", "mix", "dataset", "preset", "queries", "workload", "baseline"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    golden_runs = {run["seed"]: run for run in golden.get("runs", [])}
+    fresh_runs = {run["seed"]: run for run in fresh.get("runs", [])}
+    for seed in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(seed), fresh_runs.get(seed)
+        if old is None or new is None:
+            problems.append(
+                f"seed {seed}: present only in {'fresh' if old is None else 'golden'}"
+            )
+            continue
+        for field in sorted((set(old) | set(new)) - {"seed"}):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"seed {seed}: {field} differs: "
+                    f"golden={old.get(field)!r} fresh={new.get(field)!r}"
+                )
+    for field in ("summary", "verdicts"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    return problems
+
+
+def write_serve_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_serve_report(report: dict[str, Any]) -> str:
+    """Terminal view: per-seed sharing effectiveness."""
+    workload = report["workload"]
+    lines = [
+        f"{report['mix']} serve workload "
+        f"(seeds=1..{workload['seeds']}, clients={workload['clients']}, "
+        f"requests={workload['requests']}, engine={workload['engine']}, "
+        f"batch={'on' if workload['batching'] else 'off'}, "
+        f"cache={'on' if workload['caching'] else 'off'})",
+        f"{'seed':>4s} {'reqs':>5s} {'ok':>4s} {'hits':>5s} {'merged':>7s} "
+        f"{'baseline':>10s} {'served':>9s} {'saved':>8s} {'p50':>8s} {'p99':>8s}",
+    ]
+    for run in report["runs"]:
+        counters = run["counters"]
+        lines.append(
+            f"{run['seed']:4d} {run['requests']:5d} "
+            f"{run['statuses'].get('ok', 0):4d} "
+            f"{counters.get('result_cache_hits', 0):5d} "
+            f"{counters.get('batch_merged_requests', 0):7d} "
+            f"{run['baseline_cost_seconds']:9.1f}s {run['served_cost_seconds']:8.1f}s "
+            f"{(run['saved_ratio'] or 0.0) * 100:7.1f}% "
+            f"{run['latency']['p50']:8.3f} {run['latency']['p99']:8.3f}"
+        )
+    summary = report["summary"]
+    verdicts = report["verdicts"]
+    lines.append(
+        f"total: baseline {summary['total_baseline_cost_seconds']:.1f}s, "
+        f"served {summary['total_served_cost_seconds']:.1f}s, "
+        f"saved {summary['total_saved_seconds']:.1f}s"
+    )
+    lines.append(
+        f"answers bit-identical to cold solo runs: {verdicts['all_rows_match']}; "
+        f"cost strictly reduced on every seed: {verdicts['cost_strictly_reduced']}"
+    )
+    return "\n".join(lines)

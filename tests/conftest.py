@@ -26,6 +26,17 @@ def canonical_rows(rows) -> Counter:
     )
 
 
+def canonical_sorted_rows(rows) -> list[tuple[tuple[str, str], ...]]:
+    """Engine-independent *sorted canonical form*: every row rendered as
+    sorted ``(name, n3)`` pairs, rows sorted — duplicates preserved, so
+    equality is bag-equality and a mismatch diff is readable.  The
+    differential suite's and the scheduler tests' shared oracle form."""
+    return sorted(
+        tuple(sorted((variable.name, term.n3()) for variable, term in row.items()))
+        for row in rows
+    )
+
+
 @pytest.fixture(scope="session")
 def bsbm_small() -> Graph:
     return bsbm.generate(bsbm.BSBMConfig(products=80, vendors=10, offers_per_product=2))

@@ -305,3 +305,68 @@ def test_bench_chaos_mutually_exclusive_with_profile(capsys):
     )
     assert code == 2
     assert "mutually exclusive" in err
+
+
+def test_serve_smoke(capsys, tmp_path):
+    out_path = tmp_path / "serve.json"
+    code, out, _ = run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=2,mix=chem-overlap,requests=6",
+        "--output", str(out_path),
+    )
+    assert code == 0
+    assert "chem-overlap serve workload" in out
+    assert "answers bit-identical to cold solo runs: True" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro-serve-workload/v1"
+    assert report["verdicts"]["all_rows_match"] is True
+    assert report["verdicts"]["cost_strictly_reduced"] is True
+
+
+def test_serve_golden_roundtrip(capsys, tmp_path):
+    out_path = tmp_path / "serve.json"
+    run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=2,mix=chem-overlap,requests=6",
+        "--output", str(out_path),
+    )
+    code, out, _ = run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=2,mix=chem-overlap,requests=6",
+        "--golden", str(out_path),
+    )
+    assert code == 0
+    assert "serve golden ok" in out
+
+
+def test_serve_bad_workload_spec_exits_2(capsys):
+    code, _, err = run_cli(capsys, "serve", "--workload", "seeds=banana")
+    assert code == 2
+    assert "invalid workload spec" in err
+    assert err.count("\n") == 1  # a single line, not a traceback
+
+
+def test_serve_unknown_mix_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "serve", "--workload", "seeds=1,clients=1,mix=nope"
+    )
+    assert code == 2
+    assert "unknown mix" in err
+
+
+def test_run_bad_faults_spec_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "run", "G1", "--preset", "tiny", "--faults", "1,9.5"
+    )
+    assert code == 2
+    assert "error:" in err
+    assert err.count("\n") == 1
+
+
+def test_bench_faults_bad_spec_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "bench", "table3-bsbm-tiny", "--faults", "banana"
+    )
+    assert code == 2
+    assert "error:" in err
+    assert err.count("\n") == 1

@@ -1,0 +1,36 @@
+"""Canonical query fingerprints: spelling variants collapse, different
+queries separate, garbage raises."""
+
+import pytest
+
+from repro.bench.catalog import get_query
+from repro.errors import SparqlError
+from repro.serve import fingerprint_query
+
+MG6 = get_query("MG6").sparql
+
+
+def test_fingerprint_is_stable():
+    assert fingerprint_query(MG6).digest == fingerprint_query(MG6).digest
+
+
+def test_spelling_variants_share_a_digest():
+    reformatted = "\n\n".join(line.strip() for line in MG6.splitlines())
+    variant = fingerprint_query(reformatted)
+    original = fingerprint_query(MG6)
+    assert variant.digest == original.digest
+    assert variant.canonical == original.canonical
+
+
+def test_different_queries_get_different_digests():
+    assert fingerprint_query(MG6).digest != fingerprint_query(get_query("MG7").sparql).digest
+
+
+def test_fingerprint_carries_the_analytical_query():
+    fp = fingerprint_query(MG6)
+    assert fp.query.subqueries  # decomposed, ready for the planner
+
+
+def test_garbage_raises_sparql_error():
+    with pytest.raises(SparqlError):
+        fingerprint_query("SELECT WHERE {{{")
