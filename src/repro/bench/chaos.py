@@ -67,7 +67,7 @@ class ChaosSpec:
     seeds: int
     rate: float
     attempts: int = 1
-    budget: int = 24
+    budget: int = 64
     straggler_rate: float = 0.0
     write_failure_rate: float = 0.0
 
@@ -102,7 +102,7 @@ class ChaosSpec:
                 seeds=int(values["seeds"]),
                 rate=float(values["rate"]),
                 attempts=int(values.get("attempts", 1)),
-                budget=int(values.get("budget", 24)),
+                budget=int(values.get("budget", 64)),
                 straggler_rate=float(values.get("straggler", 0.0)),
                 write_failure_rate=float(values.get("write", 0.0)),
             )

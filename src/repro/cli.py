@@ -118,11 +118,41 @@ def _tracing_to(path: str | None) -> Iterator[None]:
     print(f"wrote trace {path}", file=sys.stderr)
 
 
+def _validated_representation(args: argparse.Namespace) -> str | None:
+    """Validate a ``--representation`` override early, so a malformed
+    mode is a usage error (exit 2) before any graph is built.  Raises
+    :class:`ReproError` on a bad spelling; returns None when absent."""
+    raw = getattr(args, "representation", None)
+    if raw is None:
+        return None
+    from repro.ntga.factorized import validate_representation
+
+    return validate_representation(raw)
+
+
+@contextmanager
+def _ambient_representation(mode: str | None) -> Iterator[None]:
+    """Run the wrapped work under an ambient NTGA representation
+    override (no-op when *mode* is None)."""
+    if mode is None:
+        yield
+        return
+    from repro.ntga.factorized import active_representation
+
+    with active_representation(mode):
+        yield
+
+
 def _run_config(args: argparse.Namespace):
-    """Build the EngineConfig for ``repro run`` from --faults/--recover
-    (None when neither is given, so the default-config path is
-    untouched)."""
-    if not getattr(args, "faults", None) and getattr(args, "recover", None) is None:
+    """Build the EngineConfig for ``repro run`` from
+    --faults/--recover/--representation (None when none is given, so
+    the default-config path is untouched)."""
+    representation = _validated_representation(args)
+    if (
+        not getattr(args, "faults", None)
+        and getattr(args, "recover", None) is None
+        and representation is None
+    ):
         return None
     from repro.core.results import EngineConfig
     from repro.mapreduce.checkpoint import RecoveryPolicy
@@ -133,6 +163,7 @@ def _run_config(args: argparse.Namespace):
         recovery=RecoveryPolicy(max_resubmissions=args.recover)
         if args.recover is not None
         else None,
+        representation=representation,
     )
 
 
@@ -140,14 +171,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.errors import MapReduceError
 
+    try:
+        config = _run_config(args)
+    except (MapReduceError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     _infer_dataset(args)
     qid, sparql = _resolve_query_text(args)
     graph = _load_graph(args)
-    try:
-        config = _run_config(args)
-    except MapReduceError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
     with _tracing_to(args.trace):
         with obs.span(qid, "query", {"qid": qid}):
             report = make_engine(args.engine).execute(
@@ -171,12 +202,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro import obs
 
+    try:
+        representation = _validated_representation(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     _infer_dataset(args)
     qid, sparql = _resolve_query_text(args)
     graph = _load_graph(args)
     analytical = to_analytical(sparql)
     print(f"{'engine':18s} {'rows':>6s} {'cycles':>7s} {'map-only':>9s} {'cost':>9s}")
-    with _tracing_to(args.trace):
+    with _tracing_to(args.trace), _ambient_representation(representation):
         with obs.span(qid, "query", {"qid": qid}):
             for engine in PAPER_ENGINES:
                 report = make_engine(engine).execute(analytical, graph)
@@ -204,6 +240,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "--" + " and --".join(modes) + " are mutually exclusive", file=sys.stderr
         )
         return 2
+    if getattr(args, "representation", None) is not None and modes:
+        # --profile runs its own factorized/flat A/B; --faults/--chaos
+        # pin their goldens under the default representation.  An
+        # override would silently change what those modes certify.
+        print(
+            f"--representation cannot be combined with --{modes[0]}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        representation = _validated_representation(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.chaos:
         return _bench_chaos(args)
     if args.faults:
@@ -219,7 +269,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         known = ", ".join(sorted(ALL_EXPERIMENTS) + ["all (with --profile)"])
         print(f"unknown experiment {args.experiment!r}; known: {known}", file=sys.stderr)
         return 2
-    with _tracing_to(args.trace):
+    with _tracing_to(args.trace), _ambient_representation(representation):
         result = runner()
     if result.mismatches:
         print(f"WARNING: result mismatches: {result.mismatches}", file=sys.stderr)
@@ -341,7 +391,9 @@ def _bench_profile(args: argparse.Namespace) -> int:
     cached-vs-reference invariant check, optionally against a golden."""
     from repro.perf.profile import (
         PROFILE_EXPERIMENTS,
+        PROFILE_SCHEMA,
         ProfileMismatchError,
+        check_profile_golden,
         profile_experiments,
         render_report,
         write_report,
@@ -369,11 +421,21 @@ def _bench_profile(args: argparse.Namespace) -> int:
         path = write_report(report, args.output)
         print(f"wrote {path}")
     if args.golden:
+        import json
         from pathlib import Path
 
-        from repro.perf.goldens import check_golden_file
+        golden_path = Path(args.golden)
+        # Two golden flavors share the flag: a profile report
+        # (BENCH_PR6.json, checked against the fresh run we just made)
+        # and the per-job counter goldens (repro.perf.goldens).
+        # Dispatch on the committed file's schema tag.
+        schema = json.loads(golden_path.read_text()).get("schema")
+        if schema == PROFILE_SCHEMA:
+            problems = check_profile_golden(golden_path, report)
+        else:
+            from repro.perf.goldens import check_golden_file
 
-        problems = check_golden_file(Path(args.golden))
+            problems = check_golden_file(golden_path)
         if problems:
             for problem in problems:
                 print(f"golden mismatch: {problem}", file=sys.stderr)
@@ -516,6 +578,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(inspect with 'repro trace')",
         )
 
+    def add_representation_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--representation",
+            default=None,
+            metavar="MODE",
+            help="NTGA intermediate representation: factorized (default), "
+            "flat, or auto (cost-based choice per plan)",
+        )
+
     run = sub.add_parser("run", help="execute a query on one engine")
     add_query_options(run)
     run.add_argument("--engine", choices=sorted(ENGINE_FACTORIES), default="rapid-analytics")
@@ -545,11 +616,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(optional resubmission budget, default 8)",
     )
     add_trace_option(run)
+    add_representation_option(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run a query on all four engines")
     add_query_options(compare)
     add_trace_option(compare)
+    add_representation_option(compare)
     compare.set_defaults(func=cmd_compare)
 
     explain_cmd = sub.add_parser("explain", help="show decomposition and MR plan")
@@ -604,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
         "repro-chaos-soak/v1 report",
     )
     add_trace_option(bench)
+    add_representation_option(bench)
     bench.set_defaults(func=cmd_bench)
 
     serve = sub.add_parser(
@@ -615,8 +689,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="workload matrix: 'seeds=N,clients=C,mix=NAME[,requests=R]"
         "[,window=W][,rate=r][,engine=e][,batch=on|off][,cache=on|off]"
-        "[,deadline=d][,max_pending=m]' (mixes: bsbm-star, chem-overlap, "
-        "pubmed-mesh)",
+        "[,deadline=d][,max_pending=m][,representation=r]' (mixes: "
+        "bsbm-star, chem-overlap, pubmed-mesh)",
     )
     serve.add_argument(
         "--output", default=None, help="write the repro-serve-workload/v1 report here"
@@ -646,7 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json",
         action="store_true",
-        help="emit the statistics as JSON (repro-graph-stats/v1)",
+        help="emit the statistics as JSON (repro-graph-stats/v1.1)",
     )
     stats.set_defaults(func=cmd_stats)
 

@@ -39,6 +39,9 @@ class EngineConfig:
     ``recovery`` enables workflow-level checkpoint/resume: job aborts
     re-submit the workflow from the HDFS commit ledger instead of
     failing the query (None = aborts stay fatal, as before).
+    ``representation`` overrides the NTGA intermediate-record
+    representation ("factorized"/"flat"/"auto"); None defers to the
+    ambient context or the default (see :mod:`repro.ntga.factorized`).
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -47,6 +50,7 @@ class EngineConfig:
     hdfs_capacity: int | None = None
     fault_plan: FaultPlan | None = None
     recovery: RecoveryPolicy | None = None
+    representation: str | None = None
 
 
 @dataclass

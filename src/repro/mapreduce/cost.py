@@ -324,6 +324,19 @@ class CostModel:
     same relative weight they had at the paper's cluster scale (where a
     single MR cycle over GB-sized tables takes minutes).  Only relative
     comparisons under one CostModel are meaningful.
+
+    Two structural discounts matter to plan choice:
+
+    * **map-only shuffle-skip** — :meth:`job_cost` charges shuffle
+      transfer and reduce-wave overhead only when ``reduce_tasks > 0``;
+      a map-only job pays the cheaper ``map_only_startup`` and writes
+      output at map parallelism, skipping the shuffle term entirely;
+    * **factorized byte terms** — :meth:`representation_advantage`
+      prices the factorized answer representation by the shuffle and
+      HDFS-write seconds its byte reduction saves, less a per-cycle
+      ``factorization_overhead`` charge, and
+      :meth:`choose_representation` turns that into the planner's
+      ``"auto"`` decision.
     """
 
     job_startup: float = 8.0
@@ -353,6 +366,39 @@ class CostModel:
     resubmit_overhead: float = 6.0
     checkpoint_validate_overhead: float = 0.25
     checkpoint_read_rate: float = 64.0 * 1024  # bytes/sec, sequential revalidation
+    #: Per-MR-cycle charge for producing/consuming factorized records
+    #: (column assembly in σ^γopt, key reattachment in the reducer) —
+    #: small, but keeps ``"auto"`` honest when a graph has no fanout to
+    #: exploit and the byte savings round to nothing.
+    factorization_overhead: float = 0.5
+
+    def representation_advantage(
+        self, *, flat_bytes: int, factorized_bytes: int, cycles: int = 1
+    ) -> float:
+        """Simulated seconds saved by shipping factorized records.
+
+        The byte reduction is charged once against the shuffle transfer
+        rate and once against the HDFS materialization rate (both are
+        on every full cycle's critical path), less the per-cycle
+        :attr:`factorization_overhead`.  Negative when factorization
+        cannot pay for itself (fanout ≤ 1 graphs).
+        """
+        saved = flat_bytes - factorized_bytes
+        return (
+            saved / self.shuffle_rate
+            + saved / self.write_rate
+            - cycles * self.factorization_overhead
+        )
+
+    def choose_representation(
+        self, *, flat_bytes: int, factorized_bytes: int, cycles: int = 1
+    ) -> str:
+        """The planner's ``"auto"`` decision: factorize when the priced
+        advantage is positive, otherwise keep flat records."""
+        advantage = self.representation_advantage(
+            flat_bytes=flat_bytes, factorized_bytes=factorized_bytes, cycles=cycles
+        )
+        return "factorized" if advantage > 0 else "flat"
 
     def job_cost(
         self,

@@ -51,6 +51,10 @@ class MapReduceJob:
     emits_pairs: bool = False
     #: Free-form planner annotations (operator names, phase labels).
     labels: tuple[str, ...] = field(default_factory=tuple)
+    #: Which intermediate-record representation the planner chose for
+    #: this cycle ("flat" or "factorized") — an annotation for traces
+    #: and explain output; the mapper/reducer closures already embody it.
+    representation: str = "flat"
 
     def __post_init__(self) -> None:
         if (self.mapper is None) == (self.mapper_factory is None):

@@ -10,15 +10,25 @@ from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport, Row
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.runner import MapReduceRunner, WorkflowStats
+from repro.ntga.factorized import (
+    RowFactor,
+    active_representation,
+    resolve_representation,
+)
 from repro.ntga.physical import AggRow, TripleGroupStore, load_triplegroups
 from repro.ntga.planner import (
     NTGAPlan,
+    _to_term,
     inject_default_rows,
     plan_batch,
     plan_rapid_analytics,
     plan_rapid_plus,
 )
 from repro.rdf.graph import Graph
+from repro.sparql.expressions import (
+    ExpressionError,
+    evaluate as evaluate_expression,
+)
 
 Planner = Callable[[AnalyticalQuery, TripleGroupStore], NTGAPlan]
 
@@ -32,10 +42,17 @@ def _collect_output(
     """Read one query's answers from *path* and apply DISTINCT plus the
     result modifiers.  ``subquery_id`` selects a single id's rows out of
     a shared (batch) agg file; None accepts every aggregated row, the
-    solo-plan shape."""
+    solo-plan shape.
+
+    This is answer delivery: factorized final-join outputs
+    (:class:`~repro.ntga.factorized.RowFactor`) are enumerated here —
+    and only here — then get the outer SELECT's expression extensions
+    and projection that the flat TG_Join mapper would have applied
+    before materializing."""
     records = hdfs.read(path).records
     rows: list[Row] = []
     projection = set(query.projection)
+    extends = query.outer_extends
     for record in records:
         if isinstance(record, AggRow):
             if subquery_id is not None and record.subquery_id != subquery_id:
@@ -43,6 +60,18 @@ def _collect_output(
             rows.append(
                 {v: t for v, t in record.as_dict().items() if v in projection}
             )
+        elif isinstance(record, RowFactor):
+            for merged in record.rows():
+                for alias, expression in extends:
+                    try:
+                        merged[alias] = _to_term(
+                            evaluate_expression(expression, merged)
+                        )
+                    except ExpressionError:
+                        pass
+                rows.append(
+                    {v: t for v, t in merged.items() if v in projection}
+                )
         elif isinstance(record, dict):
             rows.append(record)
     if query.distinct:
@@ -84,10 +113,19 @@ class NTGAEngine:
             with obs.span("load", "stage"), perf.phase("load"):
                 store = load_triplegroups(graph, hdfs)
             with obs.span("plan", "stage") as plan_span, perf.phase("plan"):
-                plan = self._planner(query, store)
+                # The config's explicit representation (serve) wins over
+                # any ambient context (bench A/B harness); planners read
+                # it — and the pricing model for "auto" — from here.
+                with active_representation(
+                    resolve_representation(config.representation),
+                    config.cost_model,
+                ):
+                    plan = self._planner(query, store)
                 if plan_span is not None:
                     plan_span.attrs.update(
-                        jobs=len(plan.jobs), description=plan.description
+                        jobs=len(plan.jobs),
+                        description=plan.description,
+                        representation=plan.representation,
                     )
             runner = MapReduceRunner(
                 hdfs,
@@ -172,10 +210,16 @@ def execute_batch(
         with obs.span("load", "stage"), perf.phase("load"):
             store = load_triplegroups(graph, hdfs)
         with obs.span("plan", "stage") as plan_span, perf.phase("plan"):
-            plan = plan_batch(queries, store, prefix=prefix)
+            with active_representation(
+                resolve_representation(config.representation),
+                config.cost_model,
+            ):
+                plan = plan_batch(queries, store, prefix=prefix)
             if plan_span is not None:
                 plan_span.attrs.update(
-                    jobs=len(plan.jobs), description=plan.description
+                    jobs=len(plan.jobs),
+                    description=plan.description,
+                    representation=plan.representation,
                 )
         runner = MapReduceRunner(
             hdfs,

@@ -26,6 +26,7 @@ from repro.mapreduce import cost
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.job import MapReduceJob
 from repro.ntga.composite import CanonicalSubquery, CompositePlan, CompositeStar, object_filters
+from repro.ntga.factorized import FactorizedRelation, schema_for
 from repro.ntga.operators import (
     AlphaCondition,
     JoinSide,
@@ -64,6 +65,12 @@ class TripleGroupStore:
     #: star's primaries — the star simply has no candidate subjects.
     empty_path: str = ""
     total_bytes: int = 0
+    #: Byte totals of the stored groups under the flat (triple-list) and
+    #: factorized (columnar) encodings — the inputs to the cost model's
+    #: ``"auto"`` representation choice (see
+    #: :meth:`repro.mapreduce.cost.CostModel.choose_representation`).
+    flat_bytes: int = 0
+    factorized_bytes: int = 0
 
     def paths_for(self, p_prim: frozenset[PropKey]) -> tuple[str, ...]:
         required = frozenset(key.property for key in p_prim)
@@ -79,7 +86,7 @@ class TripleGroupStore:
         return matching
 
 
-#: (graph -> (graph.version, ordered [(ec, groups, raw_size)])).  The
+#: (graph -> (graph.version, ordered [(ec, groups, raw_size, fact_size)])).  The
 #: classified-triplegroup layout is a pure function of the graph; the
 #: benchmark harness executes several engines over one graph, and without
 #: this cache each execution re-groups every triple and re-sizes every
@@ -90,9 +97,12 @@ _CLASSIFIED_CACHE: "weakref.WeakKeyDictionary[Graph, tuple[int, list]]" = (
 )
 
 
-def _classified_groups(graph: Graph) -> list[tuple[frozenset, list[TripleGroup], int]]:
+def _classified_groups(
+    graph: Graph,
+) -> list[tuple[frozenset, list[TripleGroup], int, int]]:
     """Subject triplegroups bucketed by equivalence class, in the
-    deterministic storage order, with each bucket's raw byte size."""
+    deterministic storage order, with each bucket's raw byte size under
+    the flat and factorized encodings."""
     if cost.SIZE_CACHE_ENABLED:
         cached = _CLASSIFIED_CACHE.get(graph)
         if cached is not None and cached[0] == graph.version:
@@ -102,7 +112,12 @@ def _classified_groups(graph: Graph) -> list[tuple[frozenset, list[TripleGroup],
         ec = frozenset(t.property for t in group.triples)
         by_class.setdefault(ec, []).append(group)
     classified = [
-        (ec, by_class[ec], cost.estimate_total_size(by_class[ec]))
+        (
+            ec,
+            by_class[ec],
+            cost.estimate_total_size(by_class[ec]),
+            sum(group.factorized_size() for group in by_class[ec]),
+        )
         for ec in sorted(by_class, key=lambda s: sorted(i.value for i in s))
     ]
     if cost.SIZE_CACHE_ENABLED:
@@ -114,11 +129,13 @@ def load_triplegroups(graph: Graph, hdfs: HDFS, prefix: str = "ntga") -> TripleG
     """NTGA pre-processing: group triples by subject, store per class."""
     store = TripleGroupStore(empty_path=f"{prefix}/ec/_empty")
     hdfs.write(store.empty_path, [])
-    for index, (ec, groups, raw) in enumerate(_classified_groups(graph)):
+    for index, (ec, groups, raw, fact_raw) in enumerate(_classified_groups(graph)):
         path = f"{prefix}/ec/{index:05d}"
         file = hdfs.write(path, groups, raw_hint=raw)
         store.paths_by_class[ec] = path
         store.total_bytes += file.size_bytes
+        store.flat_bytes += raw
+        store.factorized_bytes += fact_raw
     return store
 
 
@@ -130,11 +147,18 @@ def load_triplegroups(graph: Graph, hdfs: HDFS, prefix: str = "ntga") -> TripleG
 def make_star_filter(
     composite_star: CompositeStar,
     prefilters: Sequence = (),
-) -> Callable[[TripleGroup], TripleGroup | None]:
+    representation: str = "flat",
+) -> Callable[[TripleGroup], "TripleGroup | FactorizedRelation | None"]:
     """Per-record TG_OptGrpFilter for one composite star.
 
     Applies the primary-property requirement, concrete-object
     constraints, and any pushed-down single-variable object filters.
+    Under ``representation="factorized"`` surviving groups leave σ^γopt
+    as :class:`~repro.ntga.factorized.FactorizedRelation` columns over
+    the star's (interned) property schema — the conversion point where
+    the shuffle/materialization payload sheds the per-record property
+    names.  Column order preserves triple order, so downstream expansion
+    stays bit-identical to the flat path.
     """
     p_prim = composite_star.p_prim
     relevant = composite_star.all_props()
@@ -145,8 +169,11 @@ def make_star_filter(
         pattern = composite_star.pattern.pattern_for(key)
         if isinstance(pattern.object, Variable):
             object_var[key] = pattern.object
+    schema = (
+        schema_for(frozenset(relevant)) if representation == "factorized" else None
+    )
 
-    def filter_one(group: TripleGroup) -> TripleGroup | None:
+    def filter_one(group: TripleGroup) -> "TripleGroup | FactorizedRelation | None":
         projected = group.project(relevant)
         if constraints or pushed:
             kept = []
@@ -163,7 +190,16 @@ def make_star_filter(
                 kept.append(triple)
             projected = TripleGroup(group.subject, tuple(kept))
         if p_prim <= projected.props():
-            return projected
+            if schema is None:
+                return projected
+            fact = FactorizedRelation.from_triplegroup(projected, schema)
+            if obs._ACTIVE is not None:
+                obs.count("factorized_relations")
+                obs.count(
+                    "factorized_bytes_saved",
+                    projected.estimated_size() - fact.estimated_size(),
+                )
+            return fact
         if obs._ACTIVE is not None:
             obs.count("sigma_dropped_triplegroups")
         return None
@@ -277,8 +313,21 @@ def restricted_alphas(
 
 
 def _emit_tagged(
-    side: JoinSide, tag: str, joined: JoinedTripleGroup, variable: Variable
+    side: JoinSide,
+    tag: str,
+    joined: JoinedTripleGroup,
+    variable: Variable,
+    ship_fixed: bool = True,
 ) -> Iterable[tuple[Term, tuple[str, JoinedTripleGroup]]]:
+    """Tag *joined* for the α-join shuffle, one record per join-key value.
+
+    With ``ship_fixed=False`` (the factorized representation) the join
+    binding ``(variable, key)`` is *not* packed into the shuffled value:
+    the shuffle key already carries it, and the reducer reattaches it via
+    :func:`_with_fixed` before merging — same structure, fewer shuffled
+    bytes, and the emitted records share one instance (and its size
+    memo) across every key of an n-split fan-out.
+    """
     keys = list(side.keys_for(joined))
     if obs._ACTIVE is not None and len(keys) > 1:
         # χ (n-split): one triplegroup fans out into one record per
@@ -286,10 +335,27 @@ def _emit_tagged(
         obs.count("nsplit_split_groups")
         obs.count("nsplit_fanout", len(keys))
     for key in keys:
+        if not ship_fixed:
+            yield key, (tag, joined)
+            continue
         fixed = joined.fixed
         if not any(v == variable for v, _ in fixed):
             fixed = fixed + ((variable, key),)
         yield key, (tag, JoinedTripleGroup(joined.components, fixed))
+
+
+def _with_fixed(
+    joined: JoinedTripleGroup, variable: Variable, key: Term
+) -> JoinedTripleGroup:
+    """Reattach the join binding dropped by ``ship_fixed=False``.
+
+    Byte-identical in structure to the flat map-side append: the binding
+    goes at the end of ``fixed`` iff *variable* is not already bound
+    (an existing binding — even to a different value — is left alone,
+    exactly as the mapper would have)."""
+    if any(v == variable for v, _ in joined.fixed):
+        return joined
+    return JoinedTripleGroup(joined.components, joined.fixed + ((variable, key),))
 
 
 def _expand_extras(
@@ -327,16 +393,21 @@ def build_alpha_join_job(
     output: str,
     prefilters: tuple = (),
     first_star: int = 0,
+    representation: str = "flat",
 ) -> MapReduceJob:
     """One TG_AlphaJoin MR cycle.
 
     The map phase applies TG_OptGrpFilter to raw triplegroups (EC file
     records) for whichever stars this cycle introduces, and tags records
-    by join side; the reduce phase performs the α-join.
+    by join side; the reduce phase performs the α-join.  Under
+    ``representation="factorized"`` the star components flow as
+    factorized columns and join bindings ride the shuffle key instead of
+    the value (see :func:`_emit_tagged`).
     """
     new_star = step.new_star
-    new_filter = make_star_filter(plan.stars[new_star], prefilters)
-    first_filter = make_star_filter(plan.stars[first_star], prefilters)
+    factorized = representation == "factorized"
+    new_filter = make_star_filter(plan.stars[new_star], prefilters, representation)
+    first_filter = make_star_filter(plan.stars[first_star], prefilters, representation)
     alphas = restricted_alphas(plan, joined_so_far | {new_star})
     left_side, right_side = step.primary.left_side, step.primary.right_side
     variable = step.primary.variable
@@ -355,9 +426,11 @@ def build_alpha_join_job(
     seen: set[str] = set()
     inputs = [p for p in inputs if not (p in seen or seen.add(p))]
 
+    ship_fixed = not factorized
+
     def mapper(record: Any) -> Iterable[tuple[Term, tuple[str, JoinedTripleGroup]]]:
         if isinstance(record, JoinedTripleGroup):
-            yield from _emit_tagged(left_side, "L", record, variable)
+            yield from _emit_tagged(left_side, "L", record, variable, ship_fixed)
             return
         if not isinstance(record, TripleGroup):
             return
@@ -365,17 +438,31 @@ def build_alpha_join_job(
             filtered = first_filter(record)
             if filtered is not None:
                 yield from _emit_tagged(
-                    left_side, "L", JoinedTripleGroup.single(first_star, filtered), variable
+                    left_side,
+                    "L",
+                    JoinedTripleGroup.single(first_star, filtered),
+                    variable,
+                    ship_fixed,
                 )
         filtered = new_filter(record)
         if filtered is not None:
             yield from _emit_tagged(
-                right_side, "R", JoinedTripleGroup.single(new_star, filtered), variable
+                right_side,
+                "R",
+                JoinedTripleGroup.single(new_star, filtered),
+                variable,
+                ship_fixed,
             )
 
     def reducer(key: Term, values: list) -> Iterable[JoinedTripleGroup]:
         lefts = [joined for tag, joined in values if tag == "L"]
         rights = [joined for tag, joined in values if tag == "R"]
+        if factorized:
+            # Reattach the join binding the mapper left on the shuffle
+            # key (ship_fixed=False) before merging — restores exactly
+            # the flat path's fixed tuples.
+            lefts = [_with_fixed(joined, variable, key) for joined in lefts]
+            rights = [_with_fixed(joined, variable, key) for joined in rights]
         tracing = obs._ACTIVE is not None
         for left in lefts:
             for right in rights:
@@ -395,6 +482,7 @@ def build_alpha_join_job(
         mapper=mapper,
         reducer=reducer,
         labels=("TG_OptGrpFilter", "TG_AlphaJoin"),
+        representation=representation,
     )
 
 
@@ -444,12 +532,16 @@ def build_agg_join_job(
     store: TripleGroupStore,
     output: str,
     prefilters: tuple = (),
+    representation: str = "flat",
 ) -> MapReduceJob:
     """The fused TG_AgJ cycle: every subquery's grouping-aggregation is
     computed in parallel over the composite detail (Figure 6(b)).
 
     When *detail_input* is None the pattern is a single star: the map
-    phase applies TG_OptGrpFilter directly to EC-file records.
+    phase applies TG_OptGrpFilter directly to EC-file records (emitting
+    factorized components under ``representation="factorized"``); the
+    aggregation itself consumes solutions, so it is representation-
+    agnostic beyond the filter.
     """
     subqueries = plan.subqueries
     star_maps = [
@@ -457,7 +549,9 @@ def build_agg_join_job(
         for sq in subqueries
     ]
     single_star_filter = (
-        make_star_filter(plan.stars[0], prefilters) if detail_input is None else None
+        make_star_filter(plan.stars[0], prefilters, representation)
+        if detail_input is None
+        else None
     )
     if detail_input is None:
         inputs: tuple[str, ...] = store.paths_for(plan.stars[0].p_prim)
@@ -552,6 +646,7 @@ def build_agg_join_job(
         combiner=combiner,
         reducer=reducer,
         labels=("TG_AgJ",),
+        representation=representation,
     )
 
 

@@ -27,6 +27,11 @@ from repro.ntga.composite import (
     build_composite_n,
     single_pattern_plan,
 )
+from repro.ntga.factorized import (
+    RowFactor,
+    plan_representation,
+)
+from repro.ntga.factorized import _compatible as _factor_compatible
 from repro.ntga.physical import (
     AggRow,
     TripleGroupStore,
@@ -66,6 +71,7 @@ def build_final_join_job(
     subquery_count: int,
     output: str,
     subquery_ids: tuple[int, ...] | None = None,
+    representation: str = "flat",
 ) -> MapReduceJob:
     """Map-only TG_Join of aggregated triplegroups plus the outer
     SELECT's expression extensions and projection.
@@ -80,24 +86,53 @@ def build_final_join_job(
     member query its slice of the merged id space, making this job the
     paper's n-split (χ) back to one requester: it streams the first id,
     side-joins the rest, and ignores every other requester's rows.
+
+    Under ``representation="factorized"`` the job materializes
+    :class:`~repro.ntga.factorized.RowFactor` records — the base row
+    plus each remaining id's base-compatible candidates — instead of the
+    enumerated cartesian product; the engine's answer-delivery stage
+    (:func:`repro.ntga.engine._collect_output`) enumerates, applies the
+    outer extensions, and projects, reproducing this mapper's flat
+    nested-loop order exactly.
     """
     extends = query.outer_extends
     projection = set(query.projection)
     ids = tuple(subquery_ids) if subquery_ids is not None else tuple(
         range(subquery_count)
     )
+    factorized = representation == "factorized"
 
     def mapper_factory(side_data: dict[str, list[Any]]):
         rows_by_subquery: dict[int, list[dict[Variable, Term]]] = {
             i: [] for i in ids
         }
+        row_tuples: dict[int, list[tuple]] = {i: [] for i in ids}
         for records in side_data.values():
             for record in records:
                 if isinstance(record, AggRow) and record.subquery_id in rows_by_subquery:
                     rows_by_subquery[record.subquery_id].append(record.as_dict())
+                    row_tuples[record.subquery_id].append(record.row)
 
         def mapper(record: Any) -> Iterable[dict[Variable, Term]]:
             if not isinstance(record, AggRow) or record.subquery_id != ids[0]:
+                return
+            if factorized:
+                base = record.as_dict()
+                parts = []
+                for subquery_id in ids[1:]:
+                    # Prefilter against the base bindings only — a stable
+                    # filter (merged bindings extend the base), so the
+                    # progressive checks in RowFactor.rows() see exactly
+                    # the candidates the flat loop would.
+                    part = tuple(
+                        row
+                        for row in row_tuples[subquery_id]
+                        if _factor_compatible(base, row)
+                    )
+                    if not part:
+                        return
+                    parts.append(part)
+                yield RowFactor(record.row, tuple(parts))
                 return
             partials = [record.as_dict()]
             for subquery_id in ids[1:]:
@@ -130,6 +165,7 @@ def build_final_join_job(
         mapper_factory=mapper_factory,
         side_inputs=tuple(agg_inputs),
         labels=("TG_Join",),
+        representation=representation,
     )
 
 
@@ -149,6 +185,9 @@ class NTGAPlan:
     defaults_by_plan: list[tuple[CompositePlan, str]] = field(default_factory=list)
     final_join_index: int | None = None
     description: str = ""
+    #: Intermediate-record representation every job of this plan was
+    #: compiled for ("flat" or "factorized").
+    representation: str = "flat"
 
 
 def plan_rapid_analytics(
@@ -177,6 +216,7 @@ def plan_rapid_analytics(
                 {"planner": "rapid-analytics", "to": "rapid-plus"},
             )
             return plan_rapid_plus(query, store, prefix=prefix)
+    representation = plan_representation(store)
     obs.event(
         "composite",
         {
@@ -205,6 +245,7 @@ def plan_rapid_analytics(
                     joined_so_far=joined,
                     output=output,
                     prefilters=prefilters,
+                    representation=representation,
                 )
             )
             joined = joined | {step.new_star}
@@ -223,6 +264,7 @@ def plan_rapid_analytics(
                 store=store,
                 output=agg_output,
                 prefilters=prefilters,
+                representation=representation,
             )
         )
         defaults.append((composite, agg_output))
@@ -241,6 +283,7 @@ def plan_rapid_analytics(
                     store=store,
                     output=output,
                     prefilters=prefilters,
+                    representation=representation,
                 )
             )
             defaults.append((sub_plan, output))
@@ -258,6 +301,7 @@ def plan_rapid_analytics(
                 agg_inputs=agg_outputs,
                 subquery_count=len(query.subqueries),
                 output=final_output,
+                representation=representation,
             )
         )
     else:
@@ -268,6 +312,7 @@ def plan_rapid_analytics(
         defaults_by_plan=defaults,
         final_join_index=final_join_index,
         description=composite.describe(),
+        representation=representation,
     )
 
 
@@ -292,6 +337,9 @@ class BatchPlan:
     merged_ids: list[tuple[int, ...]]
     defaults_by_plan: list[tuple[CompositePlan, str]] = field(default_factory=list)
     description: str = ""
+    #: Intermediate-record representation every job of this batch was
+    #: compiled for ("flat" or "factorized").
+    representation: str = "flat"
 
 
 def plan_batch(
@@ -343,6 +391,7 @@ def plan_batch(
         },
     )
 
+    representation = plan_representation(store)
     jobs: list[MapReduceJob] = []
     prefilters = shared_prefilters(composite.subqueries)
     detail_path: str | None = None
@@ -362,6 +411,7 @@ def plan_batch(
                     joined_so_far=joined,
                     output=output,
                     prefilters=prefilters,
+                    representation=representation,
                 )
             )
             joined = joined | {step.new_star}
@@ -377,6 +427,7 @@ def plan_batch(
             store=store,
             output=agg_output,
             prefilters=prefilters,
+            representation=representation,
         )
     )
     split_index = len(jobs)
@@ -393,6 +444,7 @@ def plan_batch(
                     subquery_count=len(ids),
                     output=output,
                     subquery_ids=ids,
+                    representation=representation,
                 )
             )
             outputs.append((output, None))
@@ -412,6 +464,7 @@ def plan_batch(
             f"{len(queries)}-query MQO batch over {len(merged)} merged "
             f"subqueries\n" + composite.describe()
         ),
+        representation=representation,
     )
 
 
@@ -420,6 +473,7 @@ def plan_rapid_plus(
 ) -> NTGAPlan:
     """Build the sequential RAPID+ workflow: each subquery evaluated on
     its own, then a map-only join of the aggregated results."""
+    representation = plan_representation(store)
     jobs: list[MapReduceJob] = []
     agg_outputs: list[str] = []
     defaults: list[tuple[CompositePlan, str]] = []
@@ -444,6 +498,7 @@ def plan_rapid_plus(
                         joined_so_far=joined,
                         output=output,
                         prefilters=prefilters,
+                        representation=representation,
                     )
                 )
                 joined = joined | {step.new_star}
@@ -458,6 +513,7 @@ def plan_rapid_plus(
                 store=store,
                 output=agg_output,
                 prefilters=prefilters,
+                representation=representation,
             )
         )
         agg_outputs.append(agg_output)
@@ -475,6 +531,7 @@ def plan_rapid_plus(
                 query=query,
                 agg_outputs=tuple(agg_outputs),
                 output=final_output,
+                representation=representation,
             )
         )
     else:
@@ -485,6 +542,7 @@ def plan_rapid_plus(
         defaults_by_plan=defaults,
         final_join_index=final_join_index,
         description=f"sequential evaluation of {len(query.subqueries)} subqueries",
+        representation=representation,
     )
 
 
@@ -493,6 +551,7 @@ def build_multi_file_result_join(
     query: AnalyticalQuery,
     agg_outputs: tuple[str, ...],
     output: str,
+    representation: str = "flat",
 ) -> MapReduceJob:
     """Map-only join of per-subquery aggregated outputs.
 
@@ -500,23 +559,42 @@ def build_multi_file_result_join(
     subquery id 0; the file itself identifies the subquery.  The Hive
     planners reuse this job for their final combination phase — the
     operation (broadcast join of tiny aggregate tables plus outer
-    expressions) is identical across engines.
+    expressions) is identical across engines, and they keep the default
+    flat output (factorized delivery is an NTGA-plan concern).
     """
     extends = query.outer_extends
     projection = set(query.projection)
     count = len(agg_outputs)
+    factorized = representation == "factorized"
 
     def mapper_factory(side_data: dict[str, list[Any]]):
         rows_by_subquery: dict[int, list[dict[Variable, Term]]] = {}
+        row_tuples: dict[int, list[tuple]] = {}
         for index, path in enumerate(agg_outputs):
-            rows_by_subquery[index] = [
-                record.as_dict()
+            records = [
+                record
                 for record in side_data.get(path, [])
                 if isinstance(record, AggRow)
             ]
+            rows_by_subquery[index] = [record.as_dict() for record in records]
+            row_tuples[index] = [record.row for record in records]
 
         def mapper(record: Any) -> Iterable[dict[Variable, Term]]:
             if not isinstance(record, AggRow):
+                return
+            if factorized:
+                base = record.as_dict()
+                parts = []
+                for index in range(1, count):
+                    part = tuple(
+                        row
+                        for row in row_tuples[index]
+                        if _factor_compatible(base, row)
+                    )
+                    if not part:
+                        return
+                    parts.append(part)
+                yield RowFactor(record.row, tuple(parts))
                 return
             partials = [record.as_dict()]
             for index in range(1, count):
@@ -549,6 +627,7 @@ def build_multi_file_result_join(
         mapper_factory=mapper_factory,
         side_inputs=agg_outputs[1:],
         labels=("TG_Join",),
+        representation=representation,
     )
 
 

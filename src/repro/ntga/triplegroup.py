@@ -160,6 +160,35 @@ class TripleGroup:
             object.__setattr__(self, "_size", size)
         return size
 
+    def factorized_size(self) -> int:
+        """Serialized size of the factorized (columnar) encoding.
+
+        One object column per property: the subject and each property
+        name are plan/schema metadata written once, so the per-record
+        bytes are the subject plus a 1-byte column marker and the object
+        values with 1-byte separators — matching
+        :meth:`repro.ntga.factorized.FactorizedRelation.estimated_size`
+        for a schema covering this group's properties.  Memoized on the
+        frozen instance like :meth:`estimated_size` (same PR 1 slot
+        machinery); feeds the store's flat-vs-factorized byte totals
+        that price the ``"auto"`` representation choice.
+        """
+        if cost.SIZE_CACHE_ENABLED:
+            cached = self.__dict__.get("_fsize")
+            if cached is not None:
+                return cached
+        estimate_size = cost.estimate_size
+        size = estimate_size(self.subject) + 4
+        seen_columns = set()
+        for triple in self.triples:
+            if triple.property not in seen_columns:
+                seen_columns.add(triple.property)
+                size += 1
+            size += estimate_size(triple.object) + 1
+        if cost.SIZE_CACHE_ENABLED:
+            object.__setattr__(self, "_fsize", size)
+        return size
+
     def __len__(self) -> int:
         return len(self.triples)
 

@@ -1,18 +1,30 @@
 """The ``repro bench --profile`` harness.
 
-Runs paper experiments twice in one process — once with the hot-path
-caches enabled, once in :func:`repro.perf.reference_mode` (the seed's
-uncached implementation) — then:
+Runs paper experiments several times in one process — once with the
+hot-path caches enabled, once with the factorized intermediate
+representation forced off (the flat A/B baseline), and once in
+:func:`repro.perf.reference_mode` (the seed's uncached implementation)
+— then:
 
 * asserts the simulated counters, costs, and result-row digests are
-  **bit-identical** between the two executions (the caching invariant);
+  **bit-identical** between the cached and reference executions (the
+  caching invariant);
+* asserts every answer is **bit-identical** between the factorized and
+  flat executions (the factorization invariant — simulated byte
+  counters legitimately differ, that is the point);
+* reports the per-run bytes-shuffled reduction factorization bought
+  (``shuffle_reduction``) alongside the flat-pass byte counters;
 * reports real wall-clock time per engine run, broken into phases
   (``plan``, ``load``, ``jobs``, ``shuffle``, ``materialize``);
-* emits a machine-readable JSON report (``BENCH_PR1.json``) in a stable
+* emits a machine-readable JSON report (``BENCH_PR6.json``) in a stable
   schema so the perf trajectory can be tracked across PRs.
 
 The reference pass can be skipped (``reference=False``) when only the
-phase breakdown is wanted.
+phase breakdown is wanted; the flat A/B pass with ``flat_baseline=False``.
+:func:`check_profile_golden` pins the reduction claim in CI: the
+committed golden must show >= ``min_reduction`` bytes-shuffled reduction
+on at least ``min_queries`` MG-class runs, and a fresh report must agree
+with the golden within ``tolerance``.
 """
 
 from __future__ import annotations
@@ -32,11 +44,12 @@ from repro.bench.harness import (
     table4_pubmed,
 )
 from repro.errors import ReproError
+from repro.ntga.factorized import active_representation
 from repro.obs import Stopwatch
 from repro.perf import PerfRecorder, recording, reference_mode
 
 #: Schema tag for the JSON report; bump on shape changes.
-PROFILE_SCHEMA = "repro-bench-profile/v1"
+PROFILE_SCHEMA = "repro-bench-profile/v2"
 
 #: Experiments the profiler knows how to run.  Each entry maps the
 #: experiment id to ``(dataset builder, experiment runner)`` where the
@@ -86,12 +99,21 @@ def _measurement_signature(result: ExperimentResult) -> dict[tuple[str, str], di
     return signature
 
 
-def _runs_payload(result: ExperimentResult) -> list[dict[str, Any]]:
-    return [
-        {
+def _runs_payload(
+    result: ExperimentResult, flat_result: ExperimentResult | None = None
+) -> list[dict[str, Any]]:
+    flat_by_key = (
+        {(m.qid, m.engine): m for m in flat_result.measurements}
+        if flat_result is not None
+        else {}
+    )
+    runs: list[dict[str, Any]] = []
+    for m in result.measurements:
+        run: dict[str, Any] = {
             "qid": m.qid,
             "engine": m.engine,
             "rows": m.rows,
+            "rows_digest": m.rows_digest,
             "cycles": m.cycles,
             "map_only_cycles": m.map_only_cycles,
             "simulated_cost_seconds": m.cost_seconds,
@@ -101,21 +123,33 @@ def _runs_payload(result: ExperimentResult) -> list[dict[str, Any]]:
             "phases": {k: round(v, 6) for k, v in sorted(m.phases.items())},
             "failed": m.failed,
         }
-        for m in result.measurements
-    ]
+        flat = flat_by_key.get((m.qid, m.engine))
+        if flat is not None:
+            run["shuffle_bytes_flat"] = flat.shuffle_bytes
+            run["materialized_bytes_flat"] = flat.materialized_bytes
+            run["flat_wall_seconds"] = round(flat.wall_seconds, 6)
+            run["shuffle_reduction"] = (
+                round(1.0 - m.shuffle_bytes / flat.shuffle_bytes, 6)
+                if flat.shuffle_bytes
+                else None
+            )
+        runs.append(run)
+    return runs
 
 
 def profile_experiments(
     names: list[str],
     *,
     reference: bool = True,
+    flat_baseline: bool = True,
     verify: bool = False,
-    pr_tag: str = "PR1",
+    pr_tag: str = "PR6",
 ) -> dict[str, Any]:
     """Profile the named experiments; returns the JSON-ready report.
 
     Raises :class:`ReproError` when the cached and reference executions
-    disagree on any simulated counter, cost, or result digest.
+    disagree on any simulated counter, cost, or result digest, or when
+    the factorized and flat executions disagree on any answer.
     """
     unknown = [n for n in names if n not in PROFILE_EXPERIMENTS]
     if unknown:
@@ -137,14 +171,43 @@ def profile_experiments(
                 result = runner(graph, verify)
         wall = watch.seconds
 
+        flat_result = None
+        flat_wall = None
+        if flat_baseline:
+            # The A/B pass: same experiment with the factorized
+            # representation forced off.  Answers must be bit-identical;
+            # the byte counters are *expected* to differ — that delta is
+            # the headline shuffle_reduction column.
+            with Stopwatch() as flat_watch:
+                with active_representation("flat"):
+                    flat_result = runner(graph, verify)
+            flat_wall = flat_watch.seconds
+            cached_by_key = {
+                (m.qid, m.engine): m for m in result.measurements
+            }
+            for m in flat_result.measurements:
+                peer = cached_by_key.get((m.qid, m.engine))
+                if peer is None or (peer.rows, peer.rows_digest) != (
+                    m.rows,
+                    m.rows_digest,
+                ):
+                    mismatches.append(
+                        f"representation:{name}:{m.qid}/{m.engine} "
+                        f"factorized rows/digest "
+                        f"{(peer.rows, peer.rows_digest) if peer else None!r} "
+                        f"!= flat {(m.rows, m.rows_digest)!r}"
+                    )
+
         entry: dict[str, Any] = {
             "exp_id": name,
             "dataset": dataset,
             "preset": preset,
             "wall_seconds": round(wall, 6),
             "engine_wall_seconds": round(recorder.total_wall_seconds(), 6),
-            "runs": _runs_payload(result),
+            "runs": _runs_payload(result, flat_result),
         }
+        if flat_wall is not None:
+            entry["flat_wall_seconds"] = round(flat_wall, 6)
 
         if reference:
             with Stopwatch() as ref_watch:
@@ -179,7 +242,16 @@ def profile_experiments(
         },
         # Vacuously claiming a match when the reference pass was skipped
         # would let a --no-reference run masquerade as verified: use None.
-        "counters_match_reference": (not mismatches) if reference else None,
+        "counters_match_reference": (
+            not [m for m in mismatches if not m.startswith("representation:")]
+        )
+        if reference
+        else None,
+        "answers_match_flat": (
+            not [m for m in mismatches if m.startswith("representation:")]
+        )
+        if flat_baseline
+        else None,
     }
     if reference:
         report["suite"]["reference_wall_seconds"] = round(total_reference_wall, 6)
@@ -211,6 +283,114 @@ def write_report(report: dict[str, Any], path: str | Path) -> Path:
     return path
 
 
+def check_profile_golden(
+    report_or_path: dict[str, Any] | str | Path,
+    fresh: dict[str, Any] | None = None,
+    *,
+    tolerance: float = 0.02,
+    min_reduction: float = 0.25,
+    min_queries: int = 2,
+) -> list[str]:
+    """Pin the factorization claim in a committed ``BENCH_PR6.json``.
+
+    Two layers of checking, both returning human-readable problems
+    (empty list = golden holds):
+
+    * the golden itself must carry >= *min_reduction* bytes-shuffled
+      reduction on at least *min_queries* MG-class runs, with every
+      flat-vs-factorized answer bit-identical (``answers_match_flat``);
+    * when *fresh* (a just-produced report) is given, its simulated byte
+      counters and row digests must match the golden exactly and each
+      ``shuffle_reduction`` must agree within *tolerance* — wall-clock
+      fields are machine-dependent and deliberately ignored.
+    """
+    if isinstance(report_or_path, (str, Path)):
+        golden = json.loads(Path(report_or_path).read_text())
+    else:
+        golden = report_or_path
+    problems: list[str] = []
+
+    if golden.get("schema") != PROFILE_SCHEMA:
+        problems.append(
+            f"schema mismatch: golden={golden.get('schema')!r} "
+            f"expected {PROFILE_SCHEMA!r}"
+        )
+        return problems
+    if golden.get("answers_match_flat") is not True:
+        problems.append(
+            "golden does not certify flat-vs-factorized answer identity "
+            f"(answers_match_flat={golden.get('answers_match_flat')!r})"
+        )
+
+    def runs_by_key(report: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
+        return {
+            (experiment["exp_id"], run["qid"], run["engine"]): run
+            for experiment in report.get("experiments", [])
+            for run in experiment.get("runs", [])
+        }
+
+    golden_runs = runs_by_key(golden)
+    reduced = sorted(
+        {
+            key[1]
+            for key, run in golden_runs.items()
+            if key[1].startswith("MG")
+            and (run.get("shuffle_reduction") or 0.0) >= min_reduction
+        }
+    )
+    if len(reduced) < min_queries:
+        problems.append(
+            f"golden shows >= {min_reduction:.0%} shuffle reduction on only "
+            f"{len(reduced)} MG-class quer{'y' if len(reduced) == 1 else 'ies'} "
+            f"({', '.join(reduced) or 'none'}); need {min_queries}"
+        )
+
+    if fresh is None:
+        return problems
+
+    fresh_runs = runs_by_key(fresh)
+    for key in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(key), fresh_runs.get(key)
+        label = f"{key[0]}:{key[1]}/{key[2]}"
+        if old is None or new is None:
+            problems.append(
+                f"{label}: present only in {'fresh' if old is None else 'golden'}"
+            )
+            continue
+        for field in (
+            "rows",
+            "rows_digest",
+            "cycles",
+            "map_only_cycles",
+            "shuffle_bytes",
+            "materialized_bytes",
+            "shuffle_bytes_flat",
+            "materialized_bytes_flat",
+            "failed",
+        ):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"{label}: {field} differs: golden={old.get(field)!r} "
+                    f"fresh={new.get(field)!r}"
+                )
+        old_reduction = old.get("shuffle_reduction")
+        new_reduction = new.get("shuffle_reduction")
+        if (old_reduction is None) != (new_reduction is None):
+            problems.append(
+                f"{label}: shuffle_reduction differs: golden={old_reduction!r} "
+                f"fresh={new_reduction!r}"
+            )
+        elif (
+            old_reduction is not None
+            and abs(old_reduction - new_reduction) > tolerance
+        ):
+            problems.append(
+                f"{label}: shuffle_reduction drifted beyond {tolerance}: "
+                f"golden={old_reduction} fresh={new_reduction}"
+            )
+    return problems
+
+
 def render_report(report: dict[str, Any]) -> str:
     """A terminal-friendly per-engine, per-phase timing table."""
     lines: list[str] = []
@@ -225,15 +405,18 @@ def render_report(report: dict[str, Any]) -> str:
         lines.append(f"{header}: {timing}")
         lines.append(
             f"  {'query':6s} {'engine':16s} {'wall':>8s} "
-            f"{'plan':>7s} {'load':>7s} {'jobs':>7s} {'shuffle':>8s} {'matrlz':>7s}"
+            f"{'plan':>7s} {'load':>7s} {'jobs':>7s} {'shuffle':>8s} {'matrlz':>7s} "
+            f"{'reduc':>7s}"
         )
         for run in experiment["runs"]:
             phases = run["phases"]
+            reduction = run.get("shuffle_reduction")
             lines.append(
                 f"  {run['qid']:6s} {run['engine']:16s} {run['wall_seconds']:7.3f}s "
                 f"{phases.get('plan', 0.0):6.3f}s {phases.get('load', 0.0):6.3f}s "
                 f"{phases.get('jobs', 0.0):6.3f}s {phases.get('shuffle', 0.0):7.3f}s "
-                f"{phases.get('materialize', 0.0):6.3f}s"
+                f"{phases.get('materialize', 0.0):6.3f}s "
+                + (f"{reduction * 100:6.1f}%" if reduction is not None else f"{'-':>7s}")
             )
     suite = report["suite"]
     summary = f"SUITE: wall={suite['wall_seconds']:.2f}s"
@@ -244,5 +427,7 @@ def render_report(report: dict[str, Any]) -> str:
         )
     if report["counters_match_reference"] is not None:
         summary += f" counters_match_reference={report['counters_match_reference']}"
+    if report.get("answers_match_flat") is not None:
+        summary += f" answers_match_flat={report['answers_match_flat']}"
     lines.append(summary)
     return "\n".join(lines)

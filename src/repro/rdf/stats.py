@@ -24,6 +24,12 @@ class PropertyStats:
     triples: int
     distinct_subjects: int
     distinct_objects: int
+    #: Object-fanout distribution: sorted ``(fanout, subjects)`` pairs —
+    #: how many subjects carry exactly ``fanout`` objects under this
+    #: property.  This is the factorization planner's raw input: a
+    #: property compresses under the factorized representation exactly
+    #: when mass sits at fanout > 1.
+    fanout_histogram: tuple[tuple[int, int], ...] = ()
 
     @property
     def avg_fanout(self) -> float:
@@ -31,6 +37,11 @@ class PropertyStats:
         if self.distinct_subjects == 0:
             return 0.0
         return self.triples / self.distinct_subjects
+
+    @property
+    def max_fanout(self) -> int:
+        """Largest per-subject object count (0 on an empty property)."""
+        return self.fanout_histogram[-1][0] if self.fanout_histogram else 0
 
     @property
     def is_multi_valued(self) -> bool:
@@ -97,6 +108,11 @@ class GraphStats:
                 "distinct_subjects": stats.distinct_subjects,
                 "distinct_objects": stats.distinct_objects,
                 "avg_fanout": round(stats.avg_fanout, 6),
+                "max_fanout": stats.max_fanout,
+                "fanout_histogram": {
+                    str(fanout): subjects
+                    for fanout, subjects in stats.fanout_histogram
+                },
                 "multi_valued": stats.is_multi_valued,
             }
             for stats in sorted(self.properties.values(), key=lambda s: s.property.value)
@@ -119,7 +135,7 @@ class GraphStats:
             )
         ]
         return {
-            "schema": "repro-graph-stats/v1",
+            "schema": "repro-graph-stats/v1.1",
             "total_triples": self.total_triples,
             "properties": properties,
             "classes": classes,
@@ -132,6 +148,7 @@ def profile(graph: Graph) -> GraphStats:
     triples_per_property: Counter = Counter()
     subjects_per_property: dict[IRI, set] = defaultdict(set)
     objects_per_property: dict[IRI, set] = defaultdict(set)
+    objects_per_subject: Counter = Counter()
     class_sizes: Counter = Counter()
     subject_properties: dict[Term, set] = defaultdict(set)
 
@@ -140,9 +157,14 @@ def profile(graph: Graph) -> GraphStats:
         triples_per_property[prop] += 1
         subjects_per_property[prop].add(triple.subject)
         objects_per_property[prop].add(triple.object)
+        objects_per_subject[(prop, triple.subject)] += 1
         subject_properties[triple.subject].add(prop)
         if prop == RDF_TYPE:
             class_sizes[triple.object] += 1
+
+    fanout_histograms: dict[IRI, Counter] = defaultdict(Counter)
+    for (prop, _subject), fanout in objects_per_subject.items():
+        fanout_histograms[prop][fanout] += 1
 
     properties = {
         prop: PropertyStats(
@@ -150,6 +172,7 @@ def profile(graph: Graph) -> GraphStats:
             triples=count,
             distinct_subjects=len(subjects_per_property[prop]),
             distinct_objects=len(objects_per_property[prop]),
+            fanout_histogram=tuple(sorted(fanout_histograms[prop].items())),
         )
         for prop, count in triples_per_property.items()
     }

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -36,7 +36,8 @@ from repro.bench.catalog import get_query
 from repro.bench.harness import bsbm_config, chem_config, pubmed_config
 from repro.core.engines import make_engine, to_analytical
 from repro.core.results import EngineConfig
-from repro.errors import ServeError
+from repro.errors import ReproError, ServeError
+from repro.ntga.factorized import validate_representation
 from repro.rdf.graph import Graph
 from repro.serve.service import (
     DEADLINE,
@@ -82,12 +83,13 @@ class WorkloadSpec:
     caching: bool = True
     deadline: float | None = None
     max_pending: int = 64
+    representation: str | None = None
 
     @classmethod
     def from_spec(cls, text: str) -> "WorkloadSpec":
         """Parse ``seeds=N,clients=C,mix=name[,requests=R][,window=W]
         [,rate=r][,engine=e][,batch=on|off][,cache=on|off]
-        [,deadline=d][,max_pending=m]``."""
+        [,deadline=d][,max_pending=m][,representation=r]``."""
         values: dict[str, str] = {}
         for part in text.split(","):
             part = part.strip()
@@ -102,6 +104,7 @@ class WorkloadSpec:
         known = {
             "seeds", "clients", "mix", "requests", "window", "rate",
             "engine", "batch", "cache", "deadline", "max_pending",
+            "representation",
         }
         unknown = set(values) - known
         if unknown:
@@ -126,6 +129,15 @@ class WorkloadSpec:
                 )
             return _FLAGS[raw.lower()]
 
+        representation = values.get("representation")
+        if representation is not None:
+            try:
+                representation = validate_representation(representation)
+            except ReproError as error:
+                raise ServeError(
+                    f"invalid workload spec {text!r}: {error}"
+                ) from None
+
         try:
             spec = cls(
                 seeds=int(values["seeds"]),
@@ -139,6 +151,7 @@ class WorkloadSpec:
                 caching=flag("cache", True),
                 deadline=float(values["deadline"]) if "deadline" in values else None,
                 max_pending=int(values.get("max_pending", 64)),
+                representation=representation,
             )
         except ValueError as error:
             raise ServeError(f"invalid workload spec {text!r}: {error}") from None
@@ -185,6 +198,7 @@ class WorkloadSpec:
             "caching": self.caching,
             "deadline": self.deadline,
             "max_pending": self.max_pending,
+            "representation": self.representation,
         }
 
 
@@ -246,6 +260,11 @@ def serve_workload_report(
 
         graph = _build_graph(dataset, preset)
     engine_config = config_factory()
+    if spec.representation is not None:
+        # One override for both sides of the oracle: the solo baselines
+        # and the service run under the same intermediate representation,
+        # so a mismatch can only come from the sharing layers.
+        engine_config = replace(engine_config, representation=spec.representation)
 
     baseline: dict[str, dict[str, Any]] = {}
     for qid in qids:

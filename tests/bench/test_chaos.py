@@ -35,7 +35,7 @@ class TestSpecParsing:
         assert spec.seeds == 3
         assert spec.rate == 0.05
         assert spec.attempts == 1
-        assert spec.budget == 24
+        assert spec.budget == 64
 
     def test_all_keys(self):
         spec = ChaosSpec.from_spec(

@@ -119,12 +119,24 @@ def test_stats_json(capsys):
     )
     assert code == 0
     payload = json.loads(out)
-    assert payload["schema"] == "repro-graph-stats/v1"
+    assert payload["schema"] == "repro-graph-stats/v1.1"
     assert payload["total_triples"] > 0
     assert any("mesh_heading" in prop for prop in payload["properties"])
     multi = [p for p in payload["properties"].values() if p["multi_valued"]]
     assert multi
     assert payload["equivalence_classes"]
+    for prop in payload["properties"].values():
+        histogram = prop["fanout_histogram"]
+        assert sum(histogram.values()) == prop["distinct_subjects"]
+        assert sum(int(f) * n for f, n in histogram.items()) == prop["triples"]
+        assert prop["max_fanout"] == max(int(f) for f in histogram)
+    # Multi-valued properties carry mass at fanout > 1 — the profile now
+    # predicts which properties the factorized representation compresses.
+    assert any(
+        any(int(f) > 1 for f in p["fanout_histogram"])
+        for p in payload["properties"].values()
+        if p["multi_valued"]
+    )
 
 
 def test_stats_json_matches_describe_totals(capsys):

@@ -1,0 +1,121 @@
+"""Factorized-vs-flat differential regression.
+
+The factorized representation changes *bytes moved*, never *rows
+produced*: every catalog query on both NTGA engines must deliver
+byte-identical answers (values and order) with factorization on and
+off, the factorized run must never shuffle more, and the serving
+layer's sharing machinery (fingerprint cache keys, batching decisions,
+solo oracles) must be representation-blind.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import perf
+from repro.bench.catalog import CATALOG
+from repro.bench.harness import bsbm_config, chem_config, pubmed_config
+from repro.core.engines import make_engine, to_analytical
+from repro.ntga.factorized import active_representation
+from repro.serve.fingerprint import fingerprint_query
+from repro.serve.workload import WorkloadSpec, serve_workload_report
+
+_GRAPH_FIXTURE = {"bsbm": "bsbm_small", "chem": "chem_tiny", "pubmed": "pubmed_tiny"}
+_CONFIG_FACTORY = {"bsbm": bsbm_config, "chem": chem_config, "pubmed": pubmed_config}
+
+NTGA_ENGINES = ("rapid-plus", "rapid-analytics")
+
+
+@pytest.fixture(scope="module")
+def analytical_cache():
+    return {qid: to_analytical(query.sparql) for qid, query in CATALOG.items()}
+
+
+@pytest.fixture(scope="module")
+def bench_configs():
+    return {dataset: factory() for dataset, factory in _CONFIG_FACTORY.items()}
+
+
+def _run(request, engine, qid, analytical_cache, bench_configs, representation):
+    query = CATALOG[qid]
+    graph = request.getfixturevalue(_GRAPH_FIXTURE[query.dataset])
+    config = replace(
+        bench_configs[query.dataset], representation=representation
+    )
+    return make_engine(engine).execute(analytical_cache[qid], graph, config)
+
+
+@pytest.mark.parametrize("engine", NTGA_ENGINES)
+@pytest.mark.parametrize("qid", sorted(CATALOG))
+def test_answers_bit_identical_and_shuffle_never_larger(
+    request, engine, qid, analytical_cache, bench_configs
+):
+    factorized = _run(
+        request, engine, qid, analytical_cache, bench_configs, "factorized"
+    )
+    flat = _run(request, engine, qid, analytical_cache, bench_configs, "flat")
+    # Order-sensitive equality — the whole point of the fixed
+    # enumeration order — plus the digest the goldens pin.
+    assert factorized.rows == flat.rows
+    assert perf.rows_digest(factorized.rows) == perf.rows_digest(flat.rows)
+    assert (
+        factorized.stats.total_shuffle_bytes <= flat.stats.total_shuffle_bytes
+    ), f"{engine}/{qid}: factorized run shuffled MORE than flat"
+    assert factorized.cycles == flat.cycles
+
+
+def test_multivalued_queries_reduce_shuffle(
+    request, analytical_cache, bench_configs
+):
+    """On the MG-class BSBM stars factorization must actually save bytes,
+    not just break even."""
+    reduced = []
+    for qid in ("MG1", "MG2", "MG3", "MG4"):
+        factorized = _run(
+            request,
+            "rapid-analytics",
+            qid,
+            analytical_cache,
+            bench_configs,
+            "factorized",
+        )
+        flat = _run(
+            request, "rapid-analytics", qid, analytical_cache, bench_configs, "flat"
+        )
+        if factorized.stats.total_shuffle_bytes < flat.stats.total_shuffle_bytes:
+            reduced.append(qid)
+    assert len(reduced) >= 2, f"shuffle shrank only on {reduced}"
+
+
+def test_fingerprint_cache_keys_are_representation_blind():
+    text = CATALOG["MG6"].sparql
+    with active_representation("factorized"):
+        factorized_digest = fingerprint_query(text).digest
+    with active_representation("flat"):
+        flat_digest = fingerprint_query(text).digest
+    assert factorized_digest == flat_digest
+
+
+@pytest.mark.parametrize("mix", ["chem-overlap"])
+def test_serve_workload_representation_ab(mix, chem_tiny):
+    """The serve regression: same workload with factorization on and off
+    — answers stay bit-identical to the solo oracles on both sides, the
+    solo oracles agree across representations, and the sharing layers
+    (admission, dedup, caches, batching) make identical decisions."""
+    reports = {}
+    for representation in ("factorized", "flat"):
+        spec = WorkloadSpec.from_spec(
+            f"seeds=1,clients=2,mix={mix},requests=10,"
+            f"representation={representation}"
+        )
+        reports[representation] = serve_workload_report(spec, graph=chem_tiny)
+    factorized, flat = reports["factorized"], reports["flat"]
+    assert factorized["verdicts"]["all_rows_match"]
+    assert flat["verdicts"]["all_rows_match"]
+    for qid, baseline in factorized["baseline"].items():
+        assert baseline["digest"] == flat["baseline"][qid]["digest"]
+        assert baseline["rows"] == flat["baseline"][qid]["rows"]
+    for fact_run, flat_run in zip(factorized["runs"], flat["runs"]):
+        assert fact_run["statuses"] == flat_run["statuses"]
+        assert fact_run["sources"] == flat_run["sources"]
+        assert fact_run["counters"] == flat_run["counters"]

@@ -44,6 +44,31 @@ def test_property_fanout_and_multivalue(small_graph):
     assert not name.is_multi_valued
 
 
+def test_fanout_histogram(small_graph):
+    stats = profile(small_graph)
+    tag = stats.property_stats(IRI("urn:tag"))
+    # urn:a carries all three tag objects.
+    assert tag.fanout_histogram == ((3, 1),)
+    assert tag.max_fanout == 3
+    rdf_type = stats.property_stats(RDF_TYPE)
+    assert rdf_type.fanout_histogram == ((1, 3),)
+    assert rdf_type.max_fanout == 1
+
+
+def test_fanout_histogram_in_as_dict(small_graph):
+    payload = profile(small_graph).as_dict()
+    assert payload["schema"] == "repro-graph-stats/v1.1"
+    tag = payload["properties"]["urn:tag"]
+    assert tag["fanout_histogram"] == {"3": 1}
+    assert tag["max_fanout"] == 3
+    for prop in payload["properties"].values():
+        assert sum(prop["fanout_histogram"].values()) == prop["distinct_subjects"]
+        assert (
+            sum(int(f) * n for f, n in prop["fanout_histogram"].items())
+            == prop["triples"]
+        )
+
+
 def test_class_selectivity(small_graph):
     stats = profile(small_graph)
     assert stats.class_sizes == {IRI("urn:C1"): 2, IRI("urn:C2"): 1}
@@ -77,6 +102,15 @@ def test_empty_graph():
     assert stats.total_triples == 0
     assert stats.class_selectivity(IRI("urn:C")) == 0.0
     assert stats.most_multi_valued() == []
+
+
+def test_max_fanout_on_empty_histogram():
+    from repro.rdf.stats import PropertyStats
+
+    empty = PropertyStats(
+        property=IRI("urn:p"), triples=0, distinct_subjects=0, distinct_objects=0
+    )
+    assert empty.max_fanout == 0
 
 
 def test_pubmed_mesh_is_most_multi_valued():
