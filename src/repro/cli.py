@@ -130,6 +130,17 @@ def _validated_representation(args: argparse.Namespace) -> str | None:
     return validate_representation(raw)
 
 
+def _validated_planner(args: argparse.Namespace) -> str | None:
+    """Validate a ``--planner`` override early (same contract as
+    :func:`_validated_representation`)."""
+    raw = getattr(args, "planner", None)
+    if raw is None:
+        return None
+    from repro.plan import validate_planner
+
+    return validate_planner(raw)
+
+
 @contextmanager
 def _ambient_representation(mode: str | None) -> Iterator[None]:
     """Run the wrapped work under an ambient NTGA representation
@@ -143,15 +154,30 @@ def _ambient_representation(mode: str | None) -> Iterator[None]:
         yield
 
 
+@contextmanager
+def _ambient_planner(mode: str | None) -> Iterator[None]:
+    """Run the wrapped work under an ambient planner-mode override
+    (no-op when *mode* is None)."""
+    if mode is None:
+        yield
+        return
+    from repro.plan import active_planner
+
+    with active_planner(mode):
+        yield
+
+
 def _run_config(args: argparse.Namespace):
     """Build the EngineConfig for ``repro run`` from
-    --faults/--recover/--representation (None when none is given, so
-    the default-config path is untouched)."""
+    --faults/--recover/--representation/--planner (None when none is
+    given, so the default-config path is untouched)."""
     representation = _validated_representation(args)
+    planner = _validated_planner(args)
     if (
         not getattr(args, "faults", None)
         and getattr(args, "recover", None) is None
         and representation is None
+        and planner is None
     ):
         return None
     from repro.core.results import EngineConfig
@@ -164,6 +190,7 @@ def _run_config(args: argparse.Namespace):
         if args.recover is not None
         else None,
         representation=representation,
+        planner=planner,
     )
 
 
@@ -193,6 +220,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"\nengine={report.engine} cycles={report.cycles} "
         f"(map-only {report.map_only_cycles}) simulated-cost={report.cost_seconds:.1f}s"
     )
+    if report.plan_choice is not None:
+        choice = report.plan_choice
+        print(
+            f"planner={choice.mode} chose {choice.chosen!r} "
+            f"(priced {choice.chosen_cost:.1f}s, {choice.source})"
+        )
     if args.verbose and report.stats is not None:
         print()
         print(report.stats.describe())
@@ -204,6 +237,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     try:
         representation = _validated_representation(args)
+        planner = _validated_planner(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -212,7 +246,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     analytical = to_analytical(sparql)
     print(f"{'engine':18s} {'rows':>6s} {'cycles':>7s} {'map-only':>9s} {'cost':>9s}")
-    with _tracing_to(args.trace), _ambient_representation(representation):
+    with _tracing_to(args.trace), _ambient_representation(representation), _ambient_planner(planner):
         with obs.span(qid, "query", {"qid": qid}):
             for engine in PAPER_ENGINES:
                 report = make_engine(engine).execute(analytical, graph)
@@ -224,20 +258,73 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    try:
+        planner = _validated_planner(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     _infer_dataset(args)
     _, sparql = _resolve_query_text(args)
+    # Hive plans always need data (runtime map-join decisions); the
+    # RAPIDAnalytics planner section needs it too — the candidates are
+    # priced against the graph's statistics.  --plan-only skips the
+    # graph and shows just the structural plan.
     graph = None
-    if args.engine in ("hive-naive", "hive-mqo"):
+    needs_graph = (
+        args.run
+        or args.engine in ("hive-naive", "hive-mqo")
+        or (args.engine == "rapid-analytics" and not args.plan_only)
+    )
+    if needs_graph:
         graph = _load_graph(args)
-    print(explain(sparql, engine=args.engine, graph=graph))
+    config = None
+    if planner is not None:
+        from repro.core.results import EngineConfig
+
+        config = EngineConfig(planner=planner)
+    run = None
+    if args.run:
+        run = make_engine(args.engine).execute(
+            to_analytical(sparql), graph, config
+        )
+    if args.json:
+        import json
+
+        from repro.core.explain import explain_report
+
+        report = explain_report(
+            sparql, engine=args.engine, graph=graph, config=config, run=run
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(explain(sparql, engine=args.engine, graph=graph, config=config))
+    if run is not None:
+        from repro.core.explain import explain_report, render_estimated_vs_actual
+
+        report = explain_report(
+            sparql, engine=args.engine, graph=graph, config=config, run=run
+        )
+        comparison = report["estimated_vs_actual"]
+        if comparison:
+            print()
+            print(render_estimated_vs_actual(comparison))
+        print(
+            f"\nexecuted: {len(run.rows)} rows, {run.cycles} MR cycles, "
+            f"simulated cost {run.cost_seconds:.1f}s"
+        )
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    modes = [flag for flag in ("faults", "profile", "chaos") if getattr(args, flag)]
+    modes = [
+        flag
+        for flag in ("faults", "profile", "chaos", "planner_ab")
+        if getattr(args, flag)
+    ]
+    flags = [mode.replace("_", "-") for mode in modes]
     if len(modes) > 1:
         print(
-            "--" + " and --".join(modes) + " are mutually exclusive", file=sys.stderr
+            "--" + " and --".join(flags) + " are mutually exclusive", file=sys.stderr
         )
         return 2
     if getattr(args, "representation", None) is not None and modes:
@@ -245,7 +332,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # pin their goldens under the default representation.  An
         # override would silently change what those modes certify.
         print(
-            f"--representation cannot be combined with --{modes[0]}",
+            f"--representation cannot be combined with --{flags[0]}",
             file=sys.stderr,
         )
         return 2
@@ -254,6 +341,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.planner_ab:
+        return _bench_planner_ab(args)
     if args.chaos:
         return _bench_chaos(args)
     if args.faults:
@@ -330,6 +419,57 @@ def _bench_faults(args: argparse.Namespace) -> int:
     ]
     if bad:
         print(f"INVARIANT VIOLATION: results drifted under faults: {bad}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_planner_ab(args: argparse.Namespace) -> int:
+    """``repro bench <queries> --planner-ab``: run rule-vs-cost planner
+    A/B on rapid-analytics, report priced and actual costs, and verify
+    the cost plan never loses with identical answers.  *queries* is a
+    comma-separated catalog qid list or ``mg`` for MG1-MG4."""
+    from repro.plan.ab import (
+        DEFAULT_QUERIES,
+        check_ab_golden,
+        planner_ab_report,
+        render_ab_report,
+        write_ab_report,
+    )
+
+    if args.experiment in ("mg", "all", "planner-ab"):
+        qids = list(DEFAULT_QUERIES)
+    else:
+        qids = [qid.strip() for qid in args.experiment.split(",") if qid.strip()]
+        unknown = [qid for qid in qids if qid not in CATALOG]
+        if unknown:
+            print(f"unknown catalog queries {unknown}", file=sys.stderr)
+            return 2
+    with _tracing_to(args.trace):
+        report = planner_ab_report(qids)
+    print(render_ab_report(report))
+    if args.output:
+        path = write_ab_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        from pathlib import Path
+
+        problems = check_ab_golden(Path(args.golden))
+        if problems:
+            for problem in problems:
+                print(f"planner A/B golden mismatch: {problem}", file=sys.stderr)
+            return 1
+        print(f"planner A/B golden ok: {args.golden}")
+    verdicts = report["verdicts"]
+    if not verdicts["answers_all_match"] or not verdicts["cost_never_worse"]:
+        bad = [
+            run["qid"]
+            for run in report["runs"]
+            if not run["answers_match"] or not run["cost_not_worse"]
+        ]
+        print(
+            f"INVARIANT VIOLATION: cost planner lost or drifted: {bad}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -587,6 +727,16 @@ def build_parser() -> argparse.ArgumentParser:
             "flat, or auto (cost-based choice per plan)",
         )
 
+    def add_planner_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--planner",
+            default=None,
+            metavar="MODE",
+            help="plan selection: rule (default; the paper's heuristics), "
+            "cost (cheapest priced candidate), or auto (cost only beyond "
+            "a margin)",
+        )
+
     run = sub.add_parser("run", help="execute a query on one engine")
     add_query_options(run)
     run.add_argument("--engine", choices=sorted(ENGINE_FACTORIES), default="rapid-analytics")
@@ -617,18 +767,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_trace_option(run)
     add_representation_option(run)
+    add_planner_option(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run a query on all four engines")
     add_query_options(compare)
     add_trace_option(compare)
     add_representation_option(compare)
+    add_planner_option(compare)
     compare.set_defaults(func=cmd_compare)
 
-    explain_cmd = sub.add_parser("explain", help="show decomposition and MR plan")
+    explain_cmd = sub.add_parser(
+        "explain", help="show decomposition, MR plan, and priced candidates"
+    )
     add_query_options(explain_cmd)
     explain_cmd.add_argument(
         "--engine", choices=sorted(ENGINE_FACTORIES), default="rapid-analytics"
+    )
+    add_planner_option(explain_cmd)
+    explain_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-explain/v1 report as JSON",
+    )
+    explain_cmd.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="skip the graph build and planner pricing; show just the "
+        "structural plan",
+    )
+    explain_cmd.add_argument(
+        "--run",
+        action="store_true",
+        help="also execute the query and append estimated-vs-actual "
+        "cardinalities per MR cycle",
     )
     explain_cmd.set_defaults(func=cmd_explain)
 
@@ -665,6 +837,13 @@ def build_parser() -> argparse.ArgumentParser:
         "('seed,rate[,straggler_rate[,write_rate[,attempts]]]'), report cost "
         "degradation per engine; --output/--golden write/verify the "
         "stable JSON report",
+    )
+    bench.add_argument(
+        "--planner-ab",
+        action="store_true",
+        help="rule-vs-cost planner A/B on rapid-analytics (experiment is "
+        "'mg' for MG1-MG4 or a comma-separated qid list); --output/"
+        "--golden write/verify the repro-planner-ab/v1 report",
     )
     bench.add_argument(
         "--chaos",
@@ -720,7 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json",
         action="store_true",
-        help="emit the statistics as JSON (repro-graph-stats/v1.1)",
+        help="emit the statistics as JSON (repro-graph-stats/v1.2)",
     )
     stats.set_defaults(func=cmd_stats)
 

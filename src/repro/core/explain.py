@@ -6,19 +6,37 @@ decisions, so their explanation *executes* against the provided graph
 and reports what actually ran) and renders a human-readable plan:
 the analytical decomposition, the composite pattern and α conditions
 (for RAPIDAnalytics), and the MR job sequence.
+
+EXPLAIN is side-effect free: the Hive probe execution runs under
+:func:`repro.obs.detached` and :func:`repro.perf.detached`, so
+``explain(); run()`` leaves exactly the counters and phase times a cold
+``run()`` would.
+
+When a graph is provided for an NTGA engine, the plan enumerator
+(:mod:`repro.plan`) prices every candidate against the graph's
+statistics and the report gains a planner section: the chosen plan,
+every rejected alternative with its priced cost, and the per-star
+cardinality estimates.  :func:`explain_report` returns the same
+information as a ``"repro-explain/v1"`` dict — pass it an executed
+:class:`~repro.core.results.ExecutionReport` to also get
+estimated-vs-actual cardinalities per MR cycle.
 """
 
 from __future__ import annotations
 
+from repro import obs, perf
 from repro.core.engines import make_engine, to_analytical
 from repro.core.query_model import AnalyticalQuery
-from repro.core.results import EngineConfig
+from repro.core.results import EngineConfig, ExecutionReport
 from repro.errors import PlanningError
 from repro.mapreduce.hdfs import HDFS
 from repro.ntga.physical import load_triplegroups
 from repro.ntga.planner import plan_rapid_analytics, plan_rapid_plus
 from repro.rdf.graph import Graph
 from repro.sparql.ast import SelectQuery
+
+#: Schema tag of :func:`explain_report`'s output.
+EXPLAIN_SCHEMA = "repro-explain/v1"
 
 
 def describe_analytical(query: AnalyticalQuery) -> str:
@@ -48,11 +66,18 @@ def describe_analytical(query: AnalyticalQuery) -> str:
 def _explain_ntga(query: AnalyticalQuery, planner_name: str) -> str:
     # Planning only needs the store manifest shape, not real data: an
     # empty store still yields the structural plan (every star resolves
-    # to the empty placeholder file).
-    hdfs = HDFS()
-    store = load_triplegroups(Graph(), hdfs)
-    planner = plan_rapid_analytics if planner_name == "rapid-analytics" else plan_rapid_plus
-    plan = planner(query, store)
+    # to the empty placeholder file).  Detached, like the Hive probe:
+    # the planner's own events (composite, rewrite-fallback) belong to
+    # executions, not explanations.
+    with obs.detached():
+        hdfs = HDFS()
+        store = load_triplegroups(Graph(), hdfs)
+        planner = (
+            plan_rapid_analytics
+            if planner_name == "rapid-analytics"
+            else plan_rapid_plus
+        )
+        plan = planner(query, store)
     lines = [f"{planner_name} plan ({len(plan.jobs)} MR cycles):"]
     for index, job in enumerate(plan.jobs):
         kind = "map-only" if job.is_map_only else "map-reduce"
@@ -68,7 +93,7 @@ def _explain_ntga(query: AnalyticalQuery, planner_name: str) -> str:
 def _explain_hive(
     query: AnalyticalQuery, engine_name: str, graph: Graph, config: EngineConfig
 ) -> str:
-    report = make_engine(engine_name).execute(query, graph, config)
+    report = _probe_hive(query, engine_name, graph, config)
     assert report.stats is not None
     lines = [
         f"{engine_name} plan ({report.cycles} MR cycles, "
@@ -82,17 +107,93 @@ def _explain_hive(
     return "\n".join(lines)
 
 
+def _probe_hive(
+    query: AnalyticalQuery, engine_name: str, graph: Graph, config: EngineConfig
+) -> ExecutionReport:
+    """Execute the Hive engine without observable side effects.
+
+    The probe runs against its own HDFS instance already; detaching the
+    obs and perf recorders keeps its counters, events, and phase times
+    out of the caller's trace too."""
+    with obs.detached(), perf.detached():
+        return make_engine(engine_name).execute(query, graph, config)
+
+
+def _plan_choice(
+    query: AnalyticalQuery, graph: Graph, config: EngineConfig
+):
+    """Price the candidates for a RAPIDAnalytics query over *graph*.
+
+    Returns a :class:`repro.plan.enumerator.PlanChoice` reflecting the
+    resolved planner mode (under ``"rule"`` the choice is the rule-order
+    candidate, priced for comparison)."""
+    from repro.plan import (
+        PlanChoice,
+        choose,
+        enumerate_candidates,
+        resolve_planner,
+    )
+    from repro.rdf.stats import cached_profile
+
+    mode = resolve_planner(config.planner)
+    with obs.detached(), perf.detached():
+        hdfs = HDFS()
+        store = load_triplegroups(graph, hdfs)
+        candidates, star_estimates = enumerate_candidates(
+            query, store, cached_profile(graph), config
+        )
+    chosen = choose(candidates, mode)
+    return PlanChoice(
+        mode=mode,
+        chosen=chosen.name,
+        candidates=tuple(candidates),
+        star_estimates=star_estimates,
+    )
+
+
+def _render_choice(choice) -> str:
+    """The planner section: chosen plan, alternatives, estimates."""
+    lines = [f"planner ({choice.mode} mode): chose {choice.chosen!r}"]
+    for candidate in choice.candidates:
+        marker = "*" if candidate.name == choice.chosen else " "
+        status = "" if candidate.executable else ", informational"
+        lines.append(
+            f"  {marker} {candidate.name}: cost={candidate.total_cost:.3f}s "
+            f"({len(candidate.jobs)} cycles{status}) — {candidate.description}"
+        )
+    if choice.star_estimates:
+        lines.append("estimated cardinalities:")
+        for star in choice.star_estimates:
+            keys = ", ".join(
+                f"{key}[{selectivity:.3g}]" for key, selectivity in star.ordered_keys
+            )
+            lines.append(
+                f"  star {star.star_index}: subjects={star.subjects} "
+                f"groups={star.groups:.1f} expansion={star.expansion:.2f}"
+            )
+            if keys:
+                lines.append(f"    evaluation order: {keys}")
+    return "\n".join(lines)
+
+
 def explain(
     query: str | SelectQuery | AnalyticalQuery,
     engine: str = "rapid-analytics",
     graph: Graph | None = None,
     config: EngineConfig | None = None,
 ) -> str:
-    """Render the decomposition plus the engine's MR plan."""
+    """Render the decomposition plus the engine's MR plan.
+
+    With a *graph*, a RAPIDAnalytics explanation gains the planner
+    section: priced candidates, the mode's pick, and the per-star
+    cardinality estimates that drove the pricing."""
     analytical = to_analytical(query)
     sections = [describe_analytical(analytical)]
     if engine in ("rapid-analytics", "rapid-plus"):
         sections.append(_explain_ntga(analytical, engine))
+        if graph is not None and engine == "rapid-analytics":
+            choice = _plan_choice(analytical, graph, config or EngineConfig())
+            sections.append(_render_choice(choice))
     elif engine in ("hive-naive", "hive-mqo"):
         if graph is None:
             raise PlanningError(
@@ -105,3 +206,103 @@ def explain(
     else:
         raise PlanningError(f"unknown engine {engine!r}")
     return "\n\n".join(sections)
+
+
+def _decomposition_dict(query: AnalyticalQuery) -> dict:
+    return {
+        "subqueries": [
+            {
+                "stars": [len(star) for star in subquery.pattern.stars],
+                "group_by": [v.name for v in subquery.group_by],
+                "aggregates": [str(a) for a in subquery.aggregates],
+                "filters": len(subquery.pattern.filters),
+            }
+            for subquery in query.subqueries
+        ],
+        "projection": [v.n3() for v in query.projection],
+        "outer_expressions": [alias.n3() for alias, _ in query.outer_extends],
+    }
+
+
+def _estimated_vs_actual(choice, run: ExecutionReport) -> list[dict]:
+    """Per-cycle estimate/actual comparison, aligned by job name."""
+    chosen = choice.candidate(choice.chosen)
+    if chosen is None or run.stats is None:
+        return []
+    actual_by_name = {job.name: job for job in run.stats.jobs}
+    comparison = []
+    for estimate in chosen.jobs:
+        actual = actual_by_name.get(estimate.name)
+        comparison.append(
+            {
+                "job": estimate.name,
+                "estimated_rows": round(estimate.output_rows, 3),
+                "actual_rows": actual.output_records if actual else None,
+                "estimated_cost": round(estimate.cost, 6),
+                "actual_cost": (
+                    round(actual.cost_seconds, 6) if actual else None
+                ),
+            }
+        )
+    return comparison
+
+
+def render_estimated_vs_actual(comparison: list[dict]) -> str:
+    """Terminal table for the per-cycle estimate/actual comparison."""
+    lines = [
+        "estimated vs actual (per MR cycle):",
+        f"  {'job':28s} {'est rows':>10s} {'act rows':>10s} "
+        f"{'est cost':>10s} {'act cost':>10s}",
+    ]
+    for entry in comparison:
+        actual_rows = (
+            f"{entry['actual_rows']:10d}" if entry["actual_rows"] is not None else f"{'—':>10s}"
+        )
+        actual_cost = (
+            f"{entry['actual_cost']:9.3f}s"
+            if entry["actual_cost"] is not None
+            else f"{'—':>10s}"
+        )
+        lines.append(
+            f"  {entry['job']:28s} {entry['estimated_rows']:10.1f} {actual_rows} "
+            f"{entry['estimated_cost']:9.3f}s {actual_cost}"
+        )
+    return "\n".join(lines)
+
+
+def explain_report(
+    query: str | SelectQuery | AnalyticalQuery,
+    engine: str = "rapid-analytics",
+    graph: Graph | None = None,
+    config: EngineConfig | None = None,
+    run: ExecutionReport | None = None,
+) -> dict:
+    """The EXPLAIN report as a ``"repro-explain/v1"`` dict.
+
+    Covers the decomposition and — for RAPIDAnalytics with a graph —
+    the chosen plan, the rejected alternatives with their priced costs,
+    and the cardinality estimates.  Pass *run* (an executed
+    :class:`ExecutionReport`) to add ``estimated_vs_actual``: the
+    chosen candidate's per-cycle row/cost estimates next to what the
+    execution measured.  *run* may carry its own
+    :class:`~repro.plan.enumerator.PlanChoice` (adaptive executions
+    attach one), which then takes precedence over re-enumerating.
+    """
+    analytical = to_analytical(query)
+    config = config or EngineConfig()
+    report: dict = {
+        "schema": EXPLAIN_SCHEMA,
+        "engine": engine,
+        "decomposition": _decomposition_dict(analytical),
+        "plan_text": explain(analytical, engine, graph, config),
+        "choice": None,
+        "estimated_vs_actual": None,
+    }
+    choice = run.plan_choice if run is not None else None
+    if choice is None and graph is not None and engine == "rapid-analytics":
+        choice = _plan_choice(analytical, graph, config)
+    if choice is not None:
+        report["choice"] = choice.as_dict()
+        if run is not None:
+            report["estimated_vs_actual"] = _estimated_vs_actual(choice, run)
+    return report

@@ -42,6 +42,11 @@ class EngineConfig:
     ``representation`` overrides the NTGA intermediate-record
     representation ("factorized"/"flat"/"auto"); None defers to the
     ambient context or the default (see :mod:`repro.ntga.factorized`).
+    ``planner`` overrides the plan-selection mode ("rule"/"cost"/"auto");
+    None defers to the ambient context or the default (see
+    :mod:`repro.plan`).  ``plan_decision`` names a candidate plan the
+    serve layer's plan cache replays for this query's fingerprint,
+    skipping re-selection (ignored under the rule planner).
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -51,6 +56,8 @@ class EngineConfig:
     fault_plan: FaultPlan | None = None
     recovery: RecoveryPolicy | None = None
     representation: str | None = None
+    planner: str | None = None
+    plan_decision: str | None = None
 
 
 @dataclass
@@ -63,6 +70,10 @@ class ExecutionReport:
     plan: list[str] = field(default_factory=list)
     load_bytes: int = 0
     plan_description: str = ""
+    #: The cost-based planner's decision record
+    #: (:class:`repro.plan.enumerator.PlanChoice`) — None when the plan
+    #: came from the rule-based path.
+    plan_choice: object | None = None
 
     @property
     def cycles(self) -> int:

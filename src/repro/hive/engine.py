@@ -57,13 +57,16 @@ class HiveEngine:
                     continue
                 break
             runner.finalize(executor.stats)
+        description = f"hive {self.mode} over {len(store.prop_paths)} VP tables"
+        if executor.planner != "rule":
+            description += f"; {executor.planner}-priced map-joins"
         return ExecutionReport(
             engine=self.name,
             rows=rows,
             stats=executor.stats,
             plan=[job.name for job in executor.stats.jobs],
             load_bytes=store.total_bytes,
-            plan_description=f"hive {self.mode} over {len(store.prop_paths)} VP tables",
+            plan_description=description,
         )
 
 

@@ -242,6 +242,13 @@ class HiveExecutor:
         self.prefix = prefix
         self.stats = WorkflowStats()
         self._counter = _JobCounter()
+        # Resolved once at construction: under "rule" the runtime
+        # map-join decisions keep the fixed byte threshold (the goldens'
+        # behavior); under "cost"/"auto" they are priced by the cost
+        # model instead (see CostModel.prefer_map_join).
+        from repro.plan import resolve_planner
+
+        self.planner = resolve_planner(config.planner)
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -254,6 +261,27 @@ class HiveExecutor:
 
     def _mapjoin_fits(self, side_paths: Sequence[str]) -> bool:
         return all(self._size(p) <= self.config.mapjoin_threshold for p in side_paths)
+
+    def _raw(self, path: str) -> int:
+        return self.hdfs.read(path).raw_bytes
+
+    def _mapjoin_pays(self, streamed: str, side_paths: Sequence[str]) -> bool:
+        """The map-join decision for one join.
+
+        Rule planner: Hive 0.12's fixed small-table threshold.
+        Cost/auto planner: price the broadcast (side tables replicated
+        to every map task) against the shuffled join and take the
+        cheaper — the threshold's blind spot in both directions (tiny
+        streams where a broadcast always pays, huge map counts where
+        replication swamps it) is exactly what the planner fixes.
+        """
+        if self.planner == "rule":
+            return self._mapjoin_fits(side_paths)
+        return self.config.cost_model.prefer_map_join(
+            self.config.cluster,
+            streamed_bytes=self._raw(streamed),
+            side_bytes=sum(self._raw(p) for p in side_paths),
+        )
 
     # -- star formation ------------------------------------------------------------
 
@@ -339,7 +367,7 @@ class HiveExecutor:
             )
             return self._run(job)
 
-        if self._mapjoin_fits(side_paths):
+        if self._mapjoin_pays(streamed, side_paths):
             def mapper_factory(side_data: dict[str, list[Any]]):
                 index_by_tp: dict[int, dict[Term, list[Row]]] = {}
                 for path, records in side_data.items():
@@ -432,15 +460,20 @@ class HiveExecutor:
                 return record if variable in record else None
             return right_build(record)
 
-        right_small = self._size(right_path) <= self.config.mapjoin_threshold
-        left_small = self._size(left_path) <= self.config.mapjoin_threshold
-
-        if right_small or left_small:
-            # Map-join: stream the larger side, broadcast the smaller.
-            stream_left = self._size(left_path) >= self._size(right_path)
-            streamed, side = (
-                (left_path, right_path) if stream_left else (right_path, left_path)
+        # Map-join streams the larger side and broadcasts the smaller.
+        stream_left = self._size(left_path) >= self._size(right_path)
+        streamed, side = (
+            (left_path, right_path) if stream_left else (right_path, left_path)
+        )
+        if self.planner == "rule":
+            mapjoin = (
+                self._size(right_path) <= self.config.mapjoin_threshold
+                or self._size(left_path) <= self.config.mapjoin_threshold
             )
+        else:
+            mapjoin = self._mapjoin_pays(streamed, (side,))
+
+        if mapjoin:
 
             def mapper_factory(side_data: dict[str, list[Any]]):
                 table: dict[Term, list[Row]] = {}

@@ -400,6 +400,44 @@ class CostModel:
         )
         return "factorized" if advantage > 0 else "flat"
 
+    def prefer_map_join(
+        self,
+        cluster: ClusterConfig,
+        *,
+        streamed_bytes: int,
+        side_bytes: int,
+    ) -> bool:
+        """Price broadcast (map-join) vs. shuffled (reduce-join) for one
+        binary join and return True when the broadcast wins.
+
+        The broadcast ships the side table to every map task (the
+        replication that makes oversized map-joins lose); the shuffled
+        alternative pays the full-job startup plus moving both inputs
+        through the shuffle.  Used by the Hive executor under the
+        cost-based planner instead of the fixed ``mapjoin_threshold``.
+        """
+        map_tasks = max(1, cluster.splits_for(streamed_bytes))
+        broadcast = self.job_cost(
+            cluster,
+            input_bytes=streamed_bytes + side_bytes * map_tasks,
+            shuffle_bytes=0,
+            output_bytes=0,
+            map_tasks=map_tasks,
+            reduce_tasks=0,
+        )
+        shuffled = self.job_cost(
+            cluster,
+            input_bytes=streamed_bytes + side_bytes,
+            shuffle_bytes=streamed_bytes + side_bytes,
+            output_bytes=0,
+            map_tasks=max(
+                1,
+                cluster.splits_for(streamed_bytes) + cluster.splits_for(side_bytes),
+            ),
+            reduce_tasks=cluster.reduce_slots,
+        )
+        return broadcast <= shuffled
+
     def job_cost(
         self,
         cluster: ClusterConfig,

@@ -98,11 +98,44 @@ def deduplicate_rows(rows: list[Row]) -> list[Row]:
 
 
 class NTGAEngine:
-    """Common driver for both NTGA planners."""
+    """Common driver for both NTGA planners.
 
-    def __init__(self, name: str, planner: Planner):
+    ``adaptive=True`` (RAPIDAnalytics only) routes planning through the
+    cost-based enumerator when the resolved planner mode is not
+    ``"rule"``: candidates are priced against the graph's statistics and
+    the cheapest wins (see :mod:`repro.plan`).  RAPID+ stays rule-based
+    — it *is* the sequential baseline the enumerator prices against.
+    """
+
+    def __init__(self, name: str, planner: Planner, adaptive: bool = False):
         self.name = name
         self._planner = planner
+        self._adaptive = adaptive
+
+    def _plan(
+        self,
+        query: AnalyticalQuery,
+        store: TripleGroupStore,
+        graph: Graph,
+        config: EngineConfig,
+    ) -> NTGAPlan:
+        if self._adaptive:
+            from repro.plan import resolve_planner
+
+            mode = resolve_planner(config.planner)
+            if mode != "rule":
+                from repro.plan import plan_adaptive
+                from repro.rdf.stats import cached_profile
+
+                return plan_adaptive(
+                    query,
+                    store,
+                    cached_profile(graph),
+                    config,
+                    mode,
+                    decision=config.plan_decision,
+                )
+        return self._planner(query, store)
 
     def execute(
         self, query: AnalyticalQuery, graph: Graph, config: EngineConfig | None = None
@@ -120,7 +153,7 @@ class NTGAEngine:
                     resolve_representation(config.representation),
                     config.cost_model,
                 ):
-                    plan = self._planner(query, store)
+                    plan = self._plan(query, store, graph, config)
                 if plan_span is not None:
                     plan_span.attrs.update(
                         jobs=len(plan.jobs),
@@ -158,6 +191,7 @@ class NTGAEngine:
                 plan=[job.name for job in plan.jobs],
                 load_bytes=store.total_bytes,
                 plan_description=plan.description,
+                plan_choice=plan.choice,
             )
 
 
@@ -253,4 +287,6 @@ def rapid_plus_engine() -> NTGAEngine:
 
 
 def rapid_analytics_engine() -> NTGAEngine:
-    return NTGAEngine("rapid-analytics", lambda q, s: plan_rapid_analytics(q, s))
+    return NTGAEngine(
+        "rapid-analytics", lambda q, s: plan_rapid_analytics(q, s), adaptive=True
+    )

@@ -61,6 +61,10 @@ class TripleGroupStore:
     """
 
     paths_by_class: dict[frozenset, str] = field(default_factory=dict)
+    #: Per-class ``(stored_bytes, raw_bytes)`` of each equivalence-class
+    #: file — the cost-based planner's exact per-star input volumes
+    #: (stored feeds split counts, raw feeds scan cost).
+    bytes_by_class: dict[frozenset, tuple[int, int]] = field(default_factory=dict)
     #: Placeholder file returned when no equivalence class matches a
     #: star's primaries — the star simply has no candidate subjects.
     empty_path: str = ""
@@ -133,6 +137,7 @@ def load_triplegroups(graph: Graph, hdfs: HDFS, prefix: str = "ntga") -> TripleG
         path = f"{prefix}/ec/{index:05d}"
         file = hdfs.write(path, groups, raw_hint=raw)
         store.paths_by_class[ec] = path
+        store.bytes_by_class[ec] = (file.size_bytes, raw)
         store.total_bytes += file.size_bytes
         store.flat_bytes += raw
         store.factorized_bytes += fact_raw

@@ -188,6 +188,9 @@ class NTGAPlan:
     #: Intermediate-record representation every job of this plan was
     #: compiled for ("flat" or "factorized").
     representation: str = "flat"
+    #: The cost-based planner's decision record (None when the plan came
+    #: from the rule-based path — see :mod:`repro.plan.enumerator`).
+    choice: Any = None
 
 
 def plan_rapid_analytics(
@@ -358,22 +361,28 @@ def plan_batch(
     a single fused TG_AgJ, then n-splits (χ) per requester with map-only
     joins over each query's slice of the merged id space.
     """
+    # Canonical-fingerprint index map: each structurally-identical
+    # subquery (GroupingSubquery is hashable post-canonicalization) maps
+    # to the ordered list of merged slots holding a copy of it.  A query
+    # that repeats a subquery claims one distinct slot per repetition
+    # (the per-query ``used`` counter), so per-query multiplicity is
+    # preserved — same semantics as the old quadratic scan, O(total).
     merged: list[Any] = []
+    positions: dict[Any, list[int]] = {}
     merged_ids: list[tuple[int, ...]] = []
     for query in queries:
+        used: dict[Any, int] = {}
         ids: list[int] = []
         for subquery in query.subqueries:
-            index = next(
-                (
-                    i
-                    for i, existing in enumerate(merged)
-                    if existing == subquery and i not in ids
-                ),
-                None,
-            )
-            if index is None:
+            slots = positions.setdefault(subquery, [])
+            taken = used.get(subquery, 0)
+            if taken < len(slots):
+                index = slots[taken]
+            else:
                 index = len(merged)
                 merged.append(subquery)
+                slots.append(index)
+            used[subquery] = taken + 1
             ids.append(index)
         merged_ids.append(tuple(ids))
 

@@ -43,6 +43,7 @@ __all__ = [
     "TraceRecorder",
     "active_tracer",
     "tracing",
+    "detached",
     "span",
     "event",
     "count",
@@ -73,6 +74,25 @@ def tracing(recorder: TraceRecorder | None = None) -> Iterator[TraceRecorder]:
     finally:
         _ACTIVE = previous
         recorder.close()
+
+
+@contextmanager
+def detached() -> Iterator[None]:
+    """Suspend the installed recorder for the duration.
+
+    Work inside the block records nothing — spans, events, and counters
+    all see tracing as disabled.  EXPLAIN uses this to compile-and-probe
+    a plan without leaking the probe's counters into the caller's trace
+    (a side-effect-free EXPLAIN must leave ``explain(); run()`` counters
+    equal to a cold ``run()``'s).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
 
 
 @contextmanager

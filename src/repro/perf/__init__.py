@@ -33,6 +33,7 @@ __all__ = [
     "PerfRecorder",
     "RunTiming",
     "active_recorder",
+    "detached",
     "phase",
     "recording",
     "reference_mode",
@@ -110,6 +111,23 @@ def recording(recorder: PerfRecorder | None = None) -> Iterator[PerfRecorder]:
     _ACTIVE = recorder
     try:
         yield recorder
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def detached() -> Iterator[None]:
+    """Suspend the installed recorder for the duration.
+
+    Phase time spent inside the block is attributed to nobody — the
+    side-effect-free EXPLAIN path runs its probe execution under this so
+    the caller's per-run phase accounting stays untouched.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
     finally:
         _ACTIVE = previous
 

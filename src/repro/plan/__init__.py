@@ -1,0 +1,116 @@
+"""Cost-based adaptive planning (the ``--planner`` knob).
+
+The paper's §6 composite rewrite is applied *rule-based* by
+:func:`repro.ntga.planner.plan_rapid_analytics`: it fires whenever the
+grouping subqueries overlap, whether or not the rewrite actually wins.
+This package adds the statistics-fed alternative: a cardinality
+estimator over :class:`repro.rdf.stats.GraphStats`
+(:mod:`repro.plan.cardinality`), a plan enumerator that prices the
+rule-based candidates — composite rewrite, sequential evaluation,
+final-join order variants, and the Hive baselines — end-to-end with
+:meth:`repro.mapreduce.cost.CostModel.job_cost`
+(:mod:`repro.plan.enumerator`), and a three-mode knob mirroring the
+factorized-representation knob of PR 6:
+
+* ``"rule"`` (default) — the original heuristic: composite whenever the
+  patterns overlap.  Byte-identical to the pre-planner behavior, which
+  is what the goldens pin.
+* ``"cost"`` — always take the cheapest priced executable plan.
+* ``"auto"`` — deviate from the rule plan only when the priced win
+  clears a safety margin (see
+  :data:`repro.plan.enumerator.AUTO_MARGIN`).
+
+Like the representation knob, the mode threads through three layers
+with the same precedence: an explicit
+:attr:`repro.core.results.EngineConfig.planner` (the serve layer) wins
+over the ambient context installed by :func:`active_planner` (the CLI),
+which wins over :data:`DEFAULT_PLANNER`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ReproError
+
+from repro.plan.cardinality import (
+    FILTER_SELECTIVITY,
+    CardinalityEstimator,
+    StarEstimate,
+)
+from repro.plan.enumerator import (
+    AUTO_MARGIN,
+    CandidatePlan,
+    JobEstimate,
+    PlanChoice,
+    choose,
+    enumerate_candidates,
+    plan_adaptive,
+)
+
+__all__ = [
+    "PLANNERS",
+    "DEFAULT_PLANNER",
+    "validate_planner",
+    "active_planner",
+    "resolve_planner",
+    "FILTER_SELECTIVITY",
+    "CardinalityEstimator",
+    "StarEstimate",
+    "AUTO_MARGIN",
+    "CandidatePlan",
+    "JobEstimate",
+    "PlanChoice",
+    "choose",
+    "enumerate_candidates",
+    "plan_adaptive",
+]
+
+#: The planner modes an engine accepts.
+PLANNERS = ("rule", "cost", "auto")
+
+#: The default mode: the original rule-based behavior (goldens pin it).
+DEFAULT_PLANNER = "rule"
+
+
+def validate_planner(text: str) -> str:
+    """Return *text* if it names a planner mode, else raise ReproError."""
+    if text not in PLANNERS:
+        raise ReproError(
+            f"invalid planner {text!r}: expected one of " + "/".join(PLANNERS)
+        )
+    return text
+
+
+class _Ambient(threading.local):
+    mode: str | None = None
+
+
+_AMBIENT = _Ambient()
+
+
+@contextmanager
+def active_planner(mode: str) -> Iterator[None]:
+    """Install *mode* as the ambient planner for the duration.
+
+    Thread-local, like the ambient representation: concurrent serve
+    workers see only their own context.
+    """
+    validate_planner(mode)
+    previous = _AMBIENT.mode
+    _AMBIENT.mode = mode
+    try:
+        yield
+    finally:
+        _AMBIENT.mode = previous
+
+
+def resolve_planner(explicit: str | None = None) -> str:
+    """The mode in effect: explicit config > ambient context > default."""
+    if explicit is not None:
+        return validate_planner(explicit)
+    if _AMBIENT.mode is not None:
+        return _AMBIENT.mode
+    return DEFAULT_PLANNER

@@ -1,0 +1,207 @@
+"""Planner A/B harness: rule vs cost mode on the multi-grouping workload.
+
+For each query the harness runs RAPIDAnalytics twice — once under the
+rule-based planner (the composite rewrite always fires when it can) and
+once under the cost-based planner — and records both the *priced* costs
+the enumerator compared and the *actual* simulated workflow costs the
+runs produced, plus an order-insensitive digest of each answer set.
+
+The report (``repro-planner-ab/v1``) is what
+``benchmarks/golden/BENCH_PR7.json`` pins: the cost planner must never
+pick a plan whose actual run cost exceeds the rule-based plan's, and
+the answers must be identical (as multisets — join-order variants may
+emit rows in a different order).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.bench.catalog import get_query
+from repro.core.engines import make_engine, to_analytical
+from repro.core.results import EngineConfig, ExecutionReport
+from repro.datasets import bsbm, chem2bio2rdf, pubmed
+from repro.rdf.graph import Graph
+
+AB_SCHEMA = "repro-planner-ab/v1"
+
+#: The paper's BSBM multi-grouping slice — the queries whose composite
+#: rewrite the cost planner second-guesses.
+DEFAULT_QUERIES = ("MG1", "MG2", "MG3", "MG4")
+
+#: Small presets: the A/B verdicts are about plan choice, not scale.
+_PRESET_BY_DATASET = {"bsbm": "tiny", "chem": "tiny", "pubmed": "tiny"}
+
+_GENERATORS = {
+    "bsbm": lambda name: bsbm.generate(bsbm.preset(name)),
+    "chem": lambda name: chem2bio2rdf.generate(chem2bio2rdf.preset(name)),
+    "pubmed": lambda name: pubmed.generate(pubmed.preset(name)),
+}
+
+#: Actual-cost slack: both runs price the same deterministic simulation,
+#: so anything beyond float noise is a genuine regression.
+_COST_TOLERANCE = 1e-6
+
+
+def rows_digest(rows: Iterable[dict]) -> str:
+    """Order-insensitive fingerprint of an answer multiset."""
+    canonical = sorted(
+        ",".join(
+            f"{variable.name}={term.n3()}"
+            for variable, term in sorted(row.items(), key=lambda kv: kv[0].name)
+        )
+        for row in rows
+    )
+    return hashlib.sha256("\n".join(canonical).encode("utf-8")).hexdigest()[:16]
+
+
+def _priced_costs(report: ExecutionReport) -> tuple[float, float, str, str]:
+    """(priced rule cost, priced chosen cost, chosen name, source) from a
+    cost-mode run's attached :class:`~repro.plan.enumerator.PlanChoice`.
+
+    ``candidates[0]`` is the rule-order candidate by the enumerator's
+    contract, so the comparison needs no second enumeration."""
+    choice = report.plan_choice
+    if choice is None:
+        return 0.0, 0.0, "", ""
+    executable = [c for c in choice.candidates if c.executable]
+    rule_priced = executable[0].total_cost if executable else 0.0
+    return rule_priced, choice.chosen_cost, choice.chosen, choice.source
+
+
+def planner_ab_report(qids: Iterable[str] = DEFAULT_QUERIES) -> dict[str, Any]:
+    """Run the rule-vs-cost A/B over *qids* and report per-query verdicts."""
+    graphs: dict[str, Graph] = {}
+    runs: list[dict[str, Any]] = []
+    for qid in qids:
+        query = get_query(qid)
+        preset = _PRESET_BY_DATASET[query.dataset]
+        if query.dataset not in graphs:
+            graphs[query.dataset] = _GENERATORS[query.dataset](preset)
+        graph = graphs[query.dataset]
+        analytical = to_analytical(query.sparql)
+        engine = make_engine("rapid-analytics")
+        rule_run = engine.execute(analytical, graph, EngineConfig(planner="rule"))
+        cost_run = engine.execute(analytical, graph, EngineConfig(planner="cost"))
+        rule_priced, cost_priced, chosen, source = _priced_costs(cost_run)
+        rule_digest = rows_digest(rule_run.rows)
+        cost_digest = rows_digest(cost_run.rows)
+        runs.append(
+            {
+                "qid": qid,
+                "dataset": query.dataset,
+                "preset": preset,
+                "chosen": chosen,
+                "source": source,
+                "priced_cost": {
+                    "rule": round(rule_priced, 6),
+                    "cost": round(cost_priced, 6),
+                },
+                "actual_cost": {
+                    "rule": round(rule_run.cost_seconds, 6),
+                    "cost": round(cost_run.cost_seconds, 6),
+                },
+                "cycles": {"rule": rule_run.cycles, "cost": cost_run.cycles},
+                "rows": len(rule_run.rows),
+                "rows_digest": rule_digest,
+                "answers_match": rule_digest == cost_digest,
+                "cost_not_worse": cost_run.cost_seconds
+                <= rule_run.cost_seconds + _COST_TOLERANCE,
+            }
+        )
+    summary = {
+        "total_priced_rule": round(sum(r["priced_cost"]["rule"] for r in runs), 6),
+        "total_priced_cost": round(sum(r["priced_cost"]["cost"] for r in runs), 6),
+        "total_actual_rule": round(sum(r["actual_cost"]["rule"] for r in runs), 6),
+        "total_actual_cost": round(sum(r["actual_cost"]["cost"] for r in runs), 6),
+    }
+    verdicts = {
+        "answers_all_match": all(r["answers_match"] for r in runs),
+        "cost_never_worse": all(r["cost_not_worse"] for r in runs),
+        "priced_cost_leq_rule": summary["total_priced_cost"]
+        <= summary["total_priced_rule"] + _COST_TOLERANCE,
+    }
+    return {
+        "schema": AB_SCHEMA,
+        "queries": list(qids),
+        "runs": runs,
+        "summary": summary,
+        "verdicts": verdicts,
+    }
+
+
+def render_ab_report(report: dict[str, Any]) -> str:
+    """Terminal view: one line per query, priced and actual."""
+    lines = [
+        "planner A/B (rule vs cost), rapid-analytics:",
+        f"{'qid':5s} {'chosen':22s} {'priced rule':>12s} {'priced cost':>12s} "
+        f"{'actual rule':>12s} {'actual cost':>12s} {'match':>6s}",
+    ]
+    for run in report["runs"]:
+        lines.append(
+            f"{run['qid']:5s} {run['chosen']:22s} "
+            f"{run['priced_cost']['rule']:11.3f}s {run['priced_cost']['cost']:11.3f}s "
+            f"{run['actual_cost']['rule']:11.3f}s {run['actual_cost']['cost']:11.3f}s "
+            f"{'yes' if run['answers_match'] else 'NO':>6s}"
+        )
+    summary = report["summary"]
+    verdicts = report["verdicts"]
+    lines.append(
+        f"total: priced {summary['total_priced_rule']:.3f}s → "
+        f"{summary['total_priced_cost']:.3f}s, actual "
+        f"{summary['total_actual_rule']:.3f}s → {summary['total_actual_cost']:.3f}s"
+    )
+    lines.append(
+        f"answers identical: {verdicts['answers_all_match']}; "
+        f"cost plan never worse: {verdicts['cost_never_worse']}"
+    )
+    return "\n".join(lines)
+
+
+def write_ab_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_ab_golden(path: str | Path) -> list[str]:
+    """Re-run a committed A/B report's queries and diff against it.
+
+    Returns human-readable differences (empty = identical), so CI
+    catches any estimator or enumerator change that moves a plan choice,
+    a priced cost, or an answer digest.
+    """
+    golden = json.loads(Path(path).read_text())
+    fresh = planner_ab_report(golden.get("queries", DEFAULT_QUERIES))
+    problems: list[str] = []
+    for field in ("schema", "queries"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    golden_runs = {run["qid"]: run for run in golden.get("runs", [])}
+    fresh_runs = {run["qid"]: run for run in fresh.get("runs", [])}
+    for qid in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(qid), fresh_runs.get(qid)
+        if old is None or new is None:
+            problems.append(
+                f"{qid}: present only in {'fresh' if old is None else 'golden'}"
+            )
+            continue
+        for field in sorted((set(old) | set(new)) - {"qid"}):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"{qid}: {field} differs: "
+                    f"golden={old.get(field)!r} fresh={new.get(field)!r}"
+                )
+    for field in ("summary", "verdicts"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    return problems

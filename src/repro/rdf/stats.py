@@ -10,12 +10,20 @@ storage layout).
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI, Term
 from repro.rdf.triples import RDF_TYPE
+
+#: Selectivity assigned to a class that is absent from the statistics
+#: while the graph *does* have typed subjects.  Distinguishes "unknown
+#: class" (rare, but possible) from "no typed subjects at all" (0.0):
+#: a cardinality estimator must never read an unseen class as literally
+#: impossible, or it prices every downstream join at zero rows.
+UNKNOWN_CLASS_SELECTIVITY = 1e-6
 
 
 @dataclass(frozen=True)
@@ -24,6 +32,10 @@ class PropertyStats:
     triples: int
     distinct_subjects: int
     distinct_objects: int
+    #: Total serialized bytes of this property's (subject, object) pairs
+    #: — the VP-table payload, and the per-property byte input to the
+    #: cost-based planner's volume estimates.
+    payload_bytes: int = 0
     #: Object-fanout distribution: sorted ``(fanout, subjects)`` pairs —
     #: how many subjects carry exactly ``fanout`` objects under this
     #: property.  This is the factorization planner's raw input: a
@@ -59,11 +71,21 @@ class GraphStats:
         return self.properties.get(prop)
 
     def class_selectivity(self, cls: Term) -> float:
-        """Fraction of typed subjects that belong to *cls*."""
+        """Fraction of typed subjects that belong to *cls*.
+
+        Returns 0.0 only when the graph has no typed subjects at all.
+        A class missing from ``class_sizes`` gets a small nonzero floor
+        (half a subject, never below :data:`UNKNOWN_CLASS_SELECTIVITY`)
+        so cardinality estimates over an unseen class stay nonzero
+        instead of zeroing out every downstream join.
+        """
         total = sum(self.class_sizes.values())
         if total == 0:
             return 0.0
-        return self.class_sizes.get(cls, 0) / total
+        size = self.class_sizes.get(cls)
+        if size is None:
+            return max(UNKNOWN_CLASS_SELECTIVITY, 0.5 / total)
+        return size / total
 
     def most_multi_valued(self, limit: int = 5) -> list[PropertyStats]:
         ranked = sorted(
@@ -107,6 +129,7 @@ class GraphStats:
                 "triples": stats.triples,
                 "distinct_subjects": stats.distinct_subjects,
                 "distinct_objects": stats.distinct_objects,
+                "payload_bytes": stats.payload_bytes,
                 "avg_fanout": round(stats.avg_fanout, 6),
                 "max_fanout": stats.max_fanout,
                 "fanout_histogram": {
@@ -135,7 +158,7 @@ class GraphStats:
             )
         ]
         return {
-            "schema": "repro-graph-stats/v1.1",
+            "schema": "repro-graph-stats/v1.2",
             "total_triples": self.total_triples,
             "properties": properties,
             "classes": classes,
@@ -145,9 +168,12 @@ class GraphStats:
 
 def profile(graph: Graph) -> GraphStats:
     """Compute full statistics in one pass over the graph."""
+    from repro.mapreduce.cost import estimate_size
+
     triples_per_property: Counter = Counter()
     subjects_per_property: dict[IRI, set] = defaultdict(set)
     objects_per_property: dict[IRI, set] = defaultdict(set)
+    payload_per_property: Counter = Counter()
     objects_per_subject: Counter = Counter()
     class_sizes: Counter = Counter()
     subject_properties: dict[Term, set] = defaultdict(set)
@@ -157,6 +183,9 @@ def profile(graph: Graph) -> GraphStats:
         triples_per_property[prop] += 1
         subjects_per_property[prop].add(triple.subject)
         objects_per_property[prop].add(triple.object)
+        payload_per_property[prop] += estimate_size(triple.subject) + estimate_size(
+            triple.object
+        )
         objects_per_subject[(prop, triple.subject)] += 1
         subject_properties[triple.subject].add(prop)
         if prop == RDF_TYPE:
@@ -172,6 +201,7 @@ def profile(graph: Graph) -> GraphStats:
             triples=count,
             distinct_subjects=len(subjects_per_property[prop]),
             distinct_objects=len(objects_per_property[prop]),
+            payload_bytes=payload_per_property[prop],
             fanout_histogram=tuple(sorted(fanout_histograms[prop].items())),
         )
         for prop, count in triples_per_property.items()
@@ -185,3 +215,23 @@ def profile(graph: Graph) -> GraphStats:
         class_sizes=dict(class_sizes),
         equivalence_class_histogram=histogram,
     )
+
+
+#: graph -> (graph.version, GraphStats).  The cost-based planner asks
+#: for statistics on every execution; like the classified-triplegroup
+#: cache in :mod:`repro.ntga.physical`, profiling is a pure function of
+#: the graph, so one profile serves every engine run over it.
+_PROFILE_CACHE: "weakref.WeakKeyDictionary[Graph, tuple[int, GraphStats]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_profile(graph: Graph) -> GraphStats:
+    """:func:`profile` with a weak per-graph cache keyed on the graph's
+    mutation version."""
+    cached = _PROFILE_CACHE.get(graph)
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
+    stats = profile(graph)
+    _PROFILE_CACHE[graph] = (graph.version, stats)
+    return stats

@@ -12,6 +12,14 @@ graph and exploits cross-request sharing three ways, in order:
    (:func:`repro.ntga.planner.plan_batch`), executed once, and n-split
    (χ) back to each requester.
 
+Under a non-rule planner mode (``EngineConfig.planner`` of ``"cost"``
+or ``"auto"``) the fingerprint-keyed plan cache also remembers the
+cost-based planner's chosen candidate per (fingerprint, graph version,
+engine), and solo re-executions replay it via
+``EngineConfig.plan_decision`` instead of re-selecting.  Rule mode
+never touches that cache, so the default goldens' counters are
+unchanged.
+
 Two clocks, one contract.  Requests carry *simulated* arrival times;
 admission, batching windows, worker queueing, latencies, and deadlines
 all live on the simulated clock, so every response field is a pure
@@ -405,13 +413,48 @@ class QueryService:
                 )
         return units
 
+    def _plan_decision_key(self, digest: str) -> tuple[str, str, int, str]:
+        return ("plan-choice", digest, self.graph.version, self.config.engine)
+
+    def _cached_plan_decision(self, digest: str) -> tuple[bool, str | None]:
+        """Whether the adaptive planner applies to solo runs here, and
+        the fingerprint's cached candidate name if one is stored.
+
+        Rule mode never touches the plan cache — its counters are pinned
+        by the serve-workload goldens."""
+        if self.config.engine != "rapid-analytics":
+            return False, None
+        from repro.plan import resolve_planner
+
+        if resolve_planner(self.config.engine_config.planner) == "rule":
+            return False, None
+        decision = self.plan_cache.get(self._plan_decision_key(digest))
+        if decision is not None:
+            obs.event(
+                "cache-hit", {"cache": "plan-choice", "digest": digest}
+            )
+        return True, decision
+
     def _run_unit(self, unit: _Unit) -> None:
         config = self.config
         try:
             if len(unit.groups) == 1:
+                digest = unit.groups[0].fp.digest
+                engine_config = config.engine_config
+                adaptive, decision = self._cached_plan_decision(digest)
+                if decision is not None:
+                    engine_config = replace(engine_config, plan_decision=decision)
                 report = make_engine(config.engine).execute(
-                    unit.groups[0].fp.query, self.graph, config.engine_config
+                    unit.groups[0].fp.query, self.graph, engine_config
                 )
+                if (
+                    adaptive
+                    and report.plan_choice is not None
+                    and report.plan_choice.source == "priced"
+                ):
+                    self.plan_cache.put(
+                        self._plan_decision_key(digest), report.plan_choice.chosen
+                    )
                 unit.rows_by_group = [report.rows]
                 unit.cost = report.cost_seconds
             else:

@@ -119,7 +119,7 @@ def test_stats_json(capsys):
     )
     assert code == 0
     payload = json.loads(out)
-    assert payload["schema"] == "repro-graph-stats/v1.1"
+    assert payload["schema"] == "repro-graph-stats/v1.2"
     assert payload["total_triples"] > 0
     assert any("mesh_heading" in prop for prop in payload["properties"])
     multi = [p for p in payload["properties"].values() if p["multi_valued"]]

@@ -141,3 +141,69 @@ class TestStorePaths:
 
         nothing = frozenset({PropKey(IRI("http://ex.org/zzz"))})
         assert store.paths_for(nothing) == (store.empty_path,)
+
+
+class TestPlanBatch:
+    """Cross-request MQO batching: canonical-fingerprint dedup and
+    deterministic compilation."""
+
+    AVG_VARIANT = """
+    PREFIX ex: <http://ex.org/>
+    SELECT ?f ?avgF ?sumT ?cntT {
+      { SELECT ?f (AVG(?pr2) AS ?avgF) {
+          ?p2 a ex:PT1 ; ex:label ?l2 ; ex:feature ?f .
+          ?o2 ex:product ?p2 ; ex:price ?pr2 .
+        } GROUP BY ?f
+      }
+      { SELECT (SUM(?pr) AS ?sumT) (COUNT(?pr) AS ?cntT) {
+          ?p1 a ex:PT1 ; ex:label ?l1 .
+          ?o1 ex:product ?p1 ; ex:price ?pr .
+        }
+      }
+    }
+    """
+
+    def batch(self, store, texts):
+        from repro.ntga.planner import plan_batch
+
+        return plan_batch([parse_analytical(text) for text in texts], store)
+
+    def test_identical_queries_share_every_slot(self, store, mg1_style_query):
+        plan = self.batch(store, [mg1_style_query, mg1_style_query])
+        # Both queries map onto the same two merged subquery slots.
+        assert plan.merged_ids == [(0, 1), (0, 1)]
+
+    def test_shared_subqueries_collapse_across_variants(
+        self, store, mg1_style_query
+    ):
+        plan = self.batch(store, [mg1_style_query, self.AVG_VARIANT])
+        first, second = plan.merged_ids
+        assert first == (0, 1)
+        # The AVG aggregation is new; the total roll-up is shared.
+        assert second == (2, 1)
+
+    def test_repeated_subquery_keeps_multiplicity(self, store, mg1_style_query):
+        from dataclasses import replace
+
+        query = parse_analytical(mg1_style_query)
+        from repro.ntga.planner import plan_batch
+
+        doubled = replace(
+            query, subqueries=(query.subqueries[0], query.subqueries[0])
+        )
+        plan = plan_batch([query, doubled], store)
+        # The doubled query claims two *distinct* slots for its repeated
+        # subquery — per-query multiplicity survives the dedup.
+        assert plan.merged_ids[0] == (0, 1)
+        assert plan.merged_ids[1][0] == 0
+        assert plan.merged_ids[1][1] not in (0, 1)
+
+    def test_compilation_is_deterministic(self, store, mg1_style_query):
+        texts = [mg1_style_query, self.AVG_VARIANT, mg1_style_query]
+        one = self.batch(store, texts)
+        two = self.batch(store, texts)
+        assert [job.name for job in one.jobs] == [job.name for job in two.jobs]
+        assert one.merged_ids == two.merged_ids
+        assert one.outputs == two.outputs
+        assert one.split_index == two.split_index
+        assert one.description == two.description

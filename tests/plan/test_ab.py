@@ -1,0 +1,144 @@
+"""Planner A/B harness: rule vs cost over the MG slice, plus the
+committed ``benchmarks/golden/BENCH_PR7.json`` regression.
+
+The harness is the catalog-level acceptance check for the cost planner:
+bit-identical answers (as multisets) and an actual run cost that never
+exceeds the rule-based plan's, query by query.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.plan.ab import (
+    AB_SCHEMA,
+    DEFAULT_QUERIES,
+    check_ab_golden,
+    planner_ab_report,
+    render_ab_report,
+    rows_digest,
+    write_ab_report,
+)
+from repro.rdf.terms import Literal, Variable
+
+BENCH_GOLDEN = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "golden" / "BENCH_PR7.json"
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return planner_ab_report(DEFAULT_QUERIES)
+
+
+class TestRowsDigest:
+    def rows(self):
+        return [
+            {Variable("a"): Literal.from_python(1), Variable("b"): Literal.from_python(2)},
+            {Variable("a"): Literal.from_python(3), Variable("b"): Literal.from_python(4)},
+        ]
+
+    def test_order_insensitive(self):
+        rows = self.rows()
+        assert rows_digest(rows) == rows_digest(list(reversed(rows)))
+
+    def test_value_sensitive(self):
+        rows = self.rows()
+        changed = rows[:1] + [{Variable("a"): Literal.from_python(99)}]
+        assert rows_digest(rows) != rows_digest(changed)
+
+    def test_multiset_not_set(self):
+        rows = self.rows()
+        assert rows_digest(rows) != rows_digest(rows + rows[:1])
+
+
+class TestReport:
+    def test_schema_and_coverage(self, report):
+        assert report["schema"] == AB_SCHEMA
+        assert report["queries"] == list(DEFAULT_QUERIES)
+        assert [run["qid"] for run in report["runs"]] == list(DEFAULT_QUERIES)
+
+    def test_catalog_verdicts(self, report):
+        """The acceptance invariant: the cost planner never picks a plan
+        whose actual run cost exceeds the rule-based plan's, and the
+        answers are identical."""
+        assert report["verdicts"] == {
+            "answers_all_match": True,
+            "cost_never_worse": True,
+            "priced_cost_leq_rule": True,
+        }
+        for run in report["runs"]:
+            assert run["answers_match"], run["qid"]
+            assert run["cost_not_worse"], run["qid"]
+
+    def test_composite_wins_everywhere_on_catalog(self, report):
+        """On the paper's own workload the rewrite always wins — the
+        cost planner's pick is ``composite`` with source ``priced``."""
+        for run in report["runs"]:
+            assert run["chosen"] == "composite", run["qid"]
+            assert run["source"] == "priced", run["qid"]
+            assert run["priced_cost"]["cost"] <= run["priced_cost"]["rule"]
+
+    def test_render_is_one_line_per_query(self, report):
+        text = render_ab_report(report)
+        for qid in DEFAULT_QUERIES:
+            assert qid in text
+        assert "cost plan never worse: True" in text
+
+
+class TestBenchCLI:
+    def test_single_query_ab_with_output(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "ab.json"
+        code = main(["bench", "MG1", "--planner-ab", "--output", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost plan never worse: True" in out
+        written = json.loads(out_path.read_text())
+        assert written["schema"] == AB_SCHEMA
+        assert written["queries"] == ["MG1"]
+
+    def test_unknown_query_exits_2(self, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "MG99", "--planner-ab"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_golden_mismatch_exits_1(self, capsys, tmp_path):
+        from repro.cli import main
+
+        drifted_path = tmp_path / "drifted.json"
+        code = main(["bench", "MG1", "--planner-ab", "--output", str(drifted_path)])
+        assert code == 0
+        capsys.readouterr()
+        drifted = json.loads(drifted_path.read_text())
+        drifted["runs"][0]["chosen"] = "sequential"
+        drifted_path.write_text(json.dumps(drifted))
+        code = main(["bench", "MG1", "--planner-ab", "--golden", str(drifted_path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "chosen" in err
+
+
+class TestGolden:
+    def test_bench_golden_is_committed_and_current(self, report):
+        """``BENCH_PR7.json`` is exactly what the harness produces today
+        — any estimator drift must come with a golden refresh."""
+        golden = json.loads(BENCH_GOLDEN.read_text())
+        assert golden == report
+
+    def test_round_trip(self, report, tmp_path):
+        path = write_ab_report(report, tmp_path / "ab.json")
+        assert json.loads(path.read_text()) == report
+
+    def test_check_detects_drift(self, report, tmp_path):
+        drifted = json.loads(json.dumps(report))
+        drifted["runs"][0]["priced_cost"]["cost"] += 1.0
+        drifted["runs"][0]["chosen"] = "sequential"
+        path = write_ab_report(drifted, tmp_path / "ab.json")
+        problems = check_ab_golden(path)
+        assert problems
+        assert any("MG1" in problem and "chosen" in problem for problem in problems)

@@ -1,0 +1,199 @@
+"""EXPLAIN report: golden snapshots, schema, and side-effect freedom.
+
+The golden files under ``tests/golden/explain/`` pin the full EXPLAIN
+text — decomposition, MR plan, and the planner section with every
+priced candidate — for MG1–MG4 over the BSBM tiny preset in cost mode.
+Re-rendering them must be bit-identical, so any estimator or enumerator
+change that moves a priced cost or a plan choice shows up as a diff.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import obs, perf
+from repro.bench.catalog import get_query
+from repro.cli import main
+from repro.core.engines import make_engine, to_analytical
+from repro.core.explain import EXPLAIN_SCHEMA, explain, explain_report
+from repro.core.results import EngineConfig
+from repro.datasets import bsbm
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden" / "explain"
+
+GOLDEN_QIDS = ("MG1", "MG2", "MG3", "MG4")
+
+
+@pytest.fixture(scope="module")
+def bsbm_tiny():
+    return bsbm.generate(bsbm.preset("tiny"))
+
+
+def render(qid, graph):
+    return explain(
+        get_query(qid).sparql,
+        engine="rapid-analytics",
+        graph=graph,
+        config=EngineConfig(planner="cost"),
+    )
+
+
+class TestGoldenSnapshots:
+    def test_goldens_are_committed(self):
+        present = {path.stem for path in GOLDEN_DIR.glob("*.txt")}
+        assert set(GOLDEN_QIDS) <= present
+
+    @pytest.mark.parametrize("qid", GOLDEN_QIDS)
+    def test_snapshot_is_bit_identical(self, qid, bsbm_tiny):
+        golden = (GOLDEN_DIR / f"{qid}.txt").read_text()
+        assert render(qid, bsbm_tiny) == golden
+
+    @pytest.mark.parametrize("qid", GOLDEN_QIDS)
+    def test_cost_mode_keeps_composite_on_catalog(self, qid, bsbm_tiny):
+        """The paper's heuristic is vindicated on its own workload: the
+        cost planner agrees with the rule on every MG query."""
+        text = render(qid, bsbm_tiny)
+        assert "planner (cost mode): chose 'composite'" in text
+
+
+class TestExplainText:
+    def test_planner_section_needs_a_graph(self):
+        text = explain(get_query("MG1").sparql, engine="rapid-analytics")
+        assert "rapid-analytics plan" in text
+        assert "planner (" not in text
+
+    def test_rule_mode_section_shows_alternatives(self, bsbm_tiny):
+        text = explain(
+            get_query("MG1").sparql,
+            engine="rapid-analytics",
+            graph=bsbm_tiny,
+            config=EngineConfig(planner="rule"),
+        )
+        assert "planner (rule mode): chose 'composite'" in text
+        assert "sequential" in text
+        assert "informational" in text  # the Hive baselines are priced too
+        assert "estimated cardinalities:" in text
+        assert "evaluation order:" in text
+
+
+class TestExplainReport:
+    def test_schema_and_choice(self, bsbm_tiny):
+        report = explain_report(
+            get_query("MG1").sparql,
+            engine="rapid-analytics",
+            graph=bsbm_tiny,
+            config=EngineConfig(planner="cost"),
+        )
+        assert report["schema"] == EXPLAIN_SCHEMA
+        assert report["engine"] == "rapid-analytics"
+        assert report["decomposition"]["subqueries"]
+        choice = report["choice"]
+        assert choice["mode"] == "cost"
+        assert choice["chosen"] == "composite"
+        names = [c["name"] for c in choice["candidates"]]
+        assert names[0] == "composite"
+        assert report["estimated_vs_actual"] is None  # no run supplied
+
+    def test_estimated_vs_actual_aligns_by_job(self, bsbm_tiny):
+        config = EngineConfig(planner="cost")
+        query = to_analytical(get_query("MG1").sparql)
+        run = make_engine("rapid-analytics").execute(query, bsbm_tiny, config)
+        report = explain_report(
+            query, engine="rapid-analytics", graph=bsbm_tiny, config=config, run=run
+        )
+        comparison = report["estimated_vs_actual"]
+        assert comparison, "chosen candidate should price every cycle"
+        # The adaptive run attached its own PlanChoice; every estimated
+        # cycle must find its executed counterpart by job name.
+        for entry in comparison:
+            assert entry["actual_rows"] is not None
+            assert entry["actual_cost"] is not None
+            assert entry["estimated_cost"] > 0.0
+
+    def test_cli_run_appends_estimated_vs_actual(self, capsys):
+        code = main(
+            ["explain", "MG1", "--preset", "tiny", "--planner", "cost", "--run"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimated vs actual (per MR cycle):" in out
+        assert "ra:agg-join" in out
+        assert "executed: " in out
+
+    def test_cli_json_emits_schema(self, capsys):
+        code = main(
+            [
+                "explain",
+                "MG1",
+                "--preset",
+                "tiny",
+                "--planner",
+                "cost",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f'"schema": "{EXPLAIN_SCHEMA}"' in out
+        assert '"chosen": "composite"' in out
+
+
+# -- side-effect freedom ------------------------------------------------------
+
+
+def trace_shape(recorder):
+    """The deterministic slice of a trace: span tree with simulated
+    clocks and metrics, events with simulated times (wall times vary)."""
+    spans = [
+        (span.name, span.kind, span.sim_start, span.sim_end,
+         tuple(sorted(span.metrics.items())))
+        for span in recorder.spans
+    ]
+    events = [(event.name, event.sim_time) for event in recorder.events]
+    return spans, events, recorder.sim_now
+
+
+@pytest.mark.parametrize("engine_name", ["hive-naive", "hive-mqo"])
+def test_hive_explain_leaves_no_trace(engine_name, bsbm_tiny):
+    """``explain(); run()`` must equal a cold ``run()`` on every counter
+    and simulated clock — the probe execution is fully detached."""
+    query = to_analytical(get_query("MG1").sparql)
+    engine = make_engine(engine_name)
+
+    with obs.tracing() as cold:
+        engine.execute(query, bsbm_tiny, EngineConfig())
+
+    with obs.tracing() as warm:
+        explain(query, engine=engine_name, graph=bsbm_tiny)
+        engine.execute(query, bsbm_tiny, EngineConfig())
+
+    assert trace_shape(warm) == trace_shape(cold)
+
+
+def test_hive_explain_leaves_no_phase_time(bsbm_tiny):
+    query = to_analytical(get_query("MG1").sparql)
+    engine = make_engine("hive-naive")
+
+    def phases(do_explain):
+        with perf.recording() as recorder:
+            if do_explain:
+                explain(query, engine="hive-naive", graph=bsbm_tiny)
+            engine.execute(query, bsbm_tiny, EngineConfig())
+            flushed = recorder.end_run(0.0)
+        return sorted(flushed.phases)
+
+    assert phases(do_explain=True) == phases(do_explain=False)
+
+
+def test_planner_section_leaves_no_trace(bsbm_tiny):
+    """The candidate pricing (statistics profile, store load) runs
+    detached too: explaining an adaptive plan emits nothing."""
+    query = to_analytical(get_query("MG1").sparql)
+    with obs.tracing() as recorder:
+        explain(
+            query,
+            engine="rapid-analytics",
+            graph=bsbm_tiny,
+            config=EngineConfig(planner="cost"),
+        )
+    assert trace_shape(recorder) == ([("trace", "root", 0.0, 0.0, ())], [], 0.0)

@@ -1,0 +1,118 @@
+"""The --planner knob: validation, precedence, and CLI rejection."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.plan import (
+    DEFAULT_PLANNER,
+    PLANNERS,
+    active_planner,
+    resolve_planner,
+    validate_planner,
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestValidation:
+    def test_accepts_every_mode(self):
+        assert PLANNERS == ("rule", "cost", "auto")
+        for mode in PLANNERS:
+            assert validate_planner(mode) == mode
+
+    @pytest.mark.parametrize("bogus", ["", "Rule", "cheapest", "cost ", "none"])
+    def test_rejects_everything_else(self, bogus):
+        with pytest.raises(ReproError, match="invalid planner"):
+            validate_planner(bogus)
+
+    def test_error_names_the_valid_modes(self):
+        with pytest.raises(ReproError, match="rule/cost/auto"):
+            validate_planner("bogus")
+
+
+class TestPrecedence:
+    def test_default_is_rule(self):
+        assert DEFAULT_PLANNER == "rule"
+        assert resolve_planner() == "rule"
+        assert resolve_planner(None) == "rule"
+
+    def test_ambient_beats_default(self):
+        with active_planner("cost"):
+            assert resolve_planner() == "cost"
+        assert resolve_planner() == "rule"
+
+    def test_explicit_beats_ambient(self):
+        with active_planner("cost"):
+            assert resolve_planner("auto") == "auto"
+
+    def test_ambient_nests_and_restores(self):
+        with active_planner("cost"):
+            with active_planner("auto"):
+                assert resolve_planner() == "auto"
+            assert resolve_planner() == "cost"
+
+    def test_ambient_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with active_planner("cost"):
+                raise RuntimeError("boom")
+        assert resolve_planner() == "rule"
+
+    def test_ambient_rejects_bogus_mode(self):
+        with pytest.raises(ReproError, match="invalid planner"):
+            with active_planner("cheapest"):
+                pass  # pragma: no cover - never entered
+
+    def test_explicit_rejects_bogus_mode(self):
+        with pytest.raises(ReproError, match="invalid planner"):
+            resolve_planner("cheapest")
+
+
+class TestCLI:
+    def test_run_rejects_bogus_planner(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "run",
+            "MG1",
+            "--dataset",
+            "bsbm",
+            "--preset",
+            "tiny",
+            "--planner",
+            "bogus",
+        )
+        assert code == 2
+        assert "invalid planner" in err
+
+    def test_explain_rejects_bogus_planner(self, capsys):
+        code, _, err = run_cli(capsys, "explain", "MG1", "--planner", "bogus")
+        assert code == 2
+        assert "invalid planner" in err
+
+    def test_run_cost_reports_choice(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "run",
+            "MG1",
+            "--dataset",
+            "bsbm",
+            "--preset",
+            "tiny",
+            "--planner",
+            "cost",
+        )
+        assert code == 0
+        assert "planner=cost chose" in out
+        assert "priced" in out
+
+    def test_run_rule_stays_quiet(self, capsys):
+        """Rule mode is the pre-planner behavior: no planner chatter."""
+        code, out, _ = run_cli(
+            capsys, "run", "MG1", "--dataset", "bsbm", "--preset", "tiny"
+        )
+        assert code == 0
+        assert "planner=" not in out

@@ -57,7 +57,7 @@ def test_fanout_histogram(small_graph):
 
 def test_fanout_histogram_in_as_dict(small_graph):
     payload = profile(small_graph).as_dict()
-    assert payload["schema"] == "repro-graph-stats/v1.1"
+    assert payload["schema"] == "repro-graph-stats/v1.2"
     tag = payload["properties"]["urn:tag"]
     assert tag["fanout_histogram"] == {"3": 1}
     assert tag["max_fanout"] == 3
@@ -73,7 +73,10 @@ def test_class_selectivity(small_graph):
     stats = profile(small_graph)
     assert stats.class_sizes == {IRI("urn:C1"): 2, IRI("urn:C2"): 1}
     assert stats.class_selectivity(IRI("urn:C2")) == pytest.approx(1 / 3)
-    assert stats.class_selectivity(IRI("urn:C9")) == 0.0
+    # Unknown classes get a small nonzero floor (half a subject's
+    # share, clamped), so a cost-based plan never prices a typed star
+    # at exactly zero just because the class is absent from the sample.
+    assert stats.class_selectivity(IRI("urn:C9")) == pytest.approx(0.5 / 3)
 
 
 def test_equivalence_class_histogram(small_graph):
