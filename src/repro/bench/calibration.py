@@ -1,0 +1,166 @@
+"""Planner calibration baseline: q-error stats for the MG workload.
+
+The PR 7 cost planner prices candidate plans with the enumerator's
+cardinality and cost estimates; :mod:`repro.obs.calibration` watches how
+far those estimates drift from the executed
+:class:`~repro.mapreduce.runner.JobStats` in live serving.  This module
+pins the *baseline*: each catalog query is run once on RAPIDAnalytics
+under the cost planner and the per-cycle estimate-vs-actual q-errors are
+summarised per query — count, mean, max, and the drift verdict the
+monitor would emit.
+
+The report (``repro-calibration/v1``) is what
+``benchmarks/golden/BENCH_PR8.json`` pins.  Any estimator, enumerator,
+or cost-model change that moves a q-error moves the golden, so the
+calibration telemetry cannot silently rot: a "better" estimator must
+regenerate the golden and show its numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.bench.catalog import get_query
+from repro.core.engines import make_engine, to_analytical
+from repro.core.results import EngineConfig
+from repro.datasets import bsbm, chem2bio2rdf, pubmed
+from repro.obs.calibration import CalibrationMonitor
+from repro.rdf.graph import Graph
+
+CALIBRATION_SCHEMA = "repro-calibration/v1"
+
+#: Same slice the planner A/B pins: the BSBM multi-grouping queries
+#: whose composite rewrite the cost planner second-guesses.
+DEFAULT_QUERIES = ("MG1", "MG2", "MG3", "MG4")
+
+_PRESET_BY_DATASET = {"bsbm": "tiny", "chem": "tiny", "pubmed": "tiny"}
+
+_GENERATORS = {
+    "bsbm": lambda name: bsbm.generate(bsbm.preset(name)),
+    "chem": lambda name: chem2bio2rdf.generate(chem2bio2rdf.preset(name)),
+    "pubmed": lambda name: pubmed.generate(pubmed.preset(name)),
+}
+
+_ENGINE = "rapid-analytics"
+
+
+def calibration_report(qids: Iterable[str] = DEFAULT_QUERIES) -> dict[str, Any]:
+    """Run *qids* under the cost planner and summarise per-query q-errors."""
+    graphs: dict[str, Graph] = {}
+    monitor = CalibrationMonitor()
+    runs: list[dict[str, Any]] = []
+    for qid in qids:
+        query = get_query(qid)
+        preset = _PRESET_BY_DATASET[query.dataset]
+        if query.dataset not in graphs:
+            graphs[query.dataset] = _GENERATORS[query.dataset](preset)
+        analytical = to_analytical(query.sparql)
+        engine = make_engine(_ENGINE)
+        report = engine.execute(
+            analytical, graphs[query.dataset], EngineConfig(planner="cost")
+        )
+        compared = monitor.record_report(qid, report)
+        choice = report.plan_choice
+        runs.append(
+            {
+                "qid": qid,
+                "dataset": query.dataset,
+                "preset": preset,
+                "chosen": choice.chosen if choice else "",
+                "source": choice.source if choice else "",
+                "cycles": report.cycles,
+                "cycles_compared": compared,
+                "rows": len(report.rows),
+            }
+        )
+    calibration = monitor.report()
+    by_query = {entry["query"]: entry for entry in calibration["queries"]}
+    for run in runs:
+        entry = by_query.get(run["qid"])
+        run["cardinality_q_error"] = (
+            entry["cardinality_q_error"] if entry else {"count": 0, "mean": 0.0, "max": 1.0}
+        )
+        run["cost_q_error"] = (
+            entry["cost_q_error"] if entry else {"count": 0, "mean": 0.0, "max": 1.0}
+        )
+        run["verdict"] = entry["verdict"] if entry else "ok"
+    return {
+        "schema": CALIBRATION_SCHEMA,
+        "engine": _ENGINE,
+        "queries": list(qids),
+        "runs": runs,
+        "thresholds": calibration["thresholds"],
+        "summary": {
+            "observations": calibration["observations"],
+            "drifting": calibration["drifting"],
+            "verdict": calibration["verdict"],
+        },
+    }
+
+
+def render_calibration_report(report: dict[str, Any]) -> str:
+    """Terminal view: one line per query, both q-error dimensions."""
+    lines = [
+        f"planner calibration ({report['engine']}, cost planner):",
+        f"{'qid':5s} {'chosen':22s} {'cyc':>4s} "
+        f"{'card mean':>10s} {'card max':>9s} "
+        f"{'cost mean':>10s} {'cost max':>9s}  verdict",
+    ]
+    for run in report["runs"]:
+        card, cost = run["cardinality_q_error"], run["cost_q_error"]
+        lines.append(
+            f"{run['qid']:5s} {run['chosen']:22s} {run['cycles_compared']:4d} "
+            f"{card['mean']:10.3f} {card['max']:9.3f} "
+            f"{cost['mean']:10.3f} {cost['max']:9.3f}  {run['verdict']}"
+        )
+    summary = report["summary"]
+    thresholds = report["thresholds"]
+    lines.append(
+        f"observations: {summary['observations']}; drifting: "
+        f"{summary['drifting']} (card > {thresholds['cardinality_q_error_max']}x "
+        f"or cost > {thresholds['cost_q_error_max']}x); "
+        f"verdict: {summary['verdict']}"
+    )
+    return "\n".join(lines)
+
+
+def write_calibration_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_calibration_golden(path: str | Path) -> list[str]:
+    """Re-run a committed calibration report's queries and diff it.
+
+    Returns human-readable differences (empty = identical): any
+    estimator or cost-model change that moves a q-error stat, a plan
+    choice, or the drift verdict is caught here.
+    """
+    golden = json.loads(Path(path).read_text())
+    fresh = calibration_report(golden.get("queries", DEFAULT_QUERIES))
+    problems: list[str] = []
+    for field in ("schema", "engine", "queries", "thresholds", "summary"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    golden_runs = {run["qid"]: run for run in golden.get("runs", [])}
+    fresh_runs = {run["qid"]: run for run in fresh.get("runs", [])}
+    for qid in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(qid), fresh_runs.get(qid)
+        if old is None or new is None:
+            problems.append(
+                f"{qid}: present only in {'fresh' if old is None else 'golden'}"
+            )
+            continue
+        for field in sorted((set(old) | set(new)) - {"qid"}):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"{qid}: {field} differs: "
+                    f"golden={old.get(field)!r} fresh={new.get(field)!r}"
+                )
+    return problems

@@ -318,7 +318,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     modes = [
         flag
-        for flag in ("faults", "profile", "chaos", "planner_ab")
+        for flag in ("faults", "profile", "chaos", "planner_ab", "calibration")
         if getattr(args, flag)
     ]
     flags = [mode.replace("_", "-") for mode in modes]
@@ -343,6 +343,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if args.planner_ab:
         return _bench_planner_ab(args)
+    if args.calibration:
+        return _bench_calibration(args)
     if args.chaos:
         return _bench_chaos(args)
     if args.faults:
@@ -474,6 +476,45 @@ def _bench_planner_ab(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_calibration(args: argparse.Namespace) -> int:
+    """``repro bench <queries> --calibration``: run the cost planner and
+    report per-query estimate-vs-actual q-error stats with drift
+    verdicts.  *queries* is a comma-separated catalog qid list or ``mg``
+    for MG1-MG4."""
+    from repro.bench.calibration import (
+        DEFAULT_QUERIES,
+        calibration_report,
+        check_calibration_golden,
+        render_calibration_report,
+        write_calibration_report,
+    )
+
+    if args.experiment in ("mg", "all", "calibration"):
+        qids = list(DEFAULT_QUERIES)
+    else:
+        qids = [qid.strip() for qid in args.experiment.split(",") if qid.strip()]
+        unknown = [qid for qid in qids if qid not in CATALOG]
+        if unknown:
+            print(f"unknown catalog queries {unknown}", file=sys.stderr)
+            return 2
+    with _tracing_to(args.trace):
+        report = calibration_report(qids)
+    print(render_calibration_report(report))
+    if args.output:
+        path = write_calibration_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        from pathlib import Path
+
+        problems = check_calibration_golden(Path(args.golden))
+        if problems:
+            for problem in problems:
+                print(f"calibration golden mismatch: {problem}", file=sys.stderr)
+            return 1
+        print(f"calibration golden ok: {args.golden}")
+    return 0
+
+
 def _bench_chaos(args: argparse.Namespace) -> int:
     """``repro bench <experiment> --chaos seeds=N,rate=p``: soak the
     experiment across a seed matrix with checkpointed recovery enabled;
@@ -584,26 +625,63 @@ def _bench_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_out_format(path: str) -> str:
+    """Infer the ``--metrics`` output format from the path's extension;
+    a one-line :class:`ServeError` (exit 2) on anything else."""
+    from pathlib import Path
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".json":
+        return "json"
+    if suffix in (".prom", ".txt"):
+        return "prometheus"
+    raise ServeError(
+        f"invalid --metrics path {path!r}: expected a .json "
+        "(repro-metrics/v1 snapshot), .prom, or .txt (Prometheus "
+        "exposition) extension"
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve --workload seeds=N,clients=C,mix=...``: drive the
     concurrent query service with a seeded arrival process and report
-    latency percentiles, cache hit rates, and the batched-vs-unbatched
-    cost savings (repro-serve-workload/v1)."""
+    latency percentiles, cache hit rates, the SLO verdict, and the
+    batched-vs-unbatched cost savings (repro-serve-workload/v2).
+    ``--metrics`` additionally collects a repro-metrics/v1 snapshot."""
+    import json
+
+    from repro.obs.metrics import render_prometheus
     from repro.serve import (
         WorkloadSpec,
         check_serve_golden,
         render_serve_report,
         serve_workload_report,
+        serve_workload_with_metrics,
         write_serve_report,
     )
+    from repro.serve.slo import SLOSpec
 
     spec = WorkloadSpec.from_spec(args.workload)
+    slo = SLOSpec.from_spec(args.slo) if args.slo else None
+    metrics_format = _metrics_out_format(args.metrics) if args.metrics else None
     with _tracing_to(args.trace):
-        report = serve_workload_report(spec)
+        if args.metrics:
+            report, snapshot = serve_workload_with_metrics(spec, slo=slo)
+        else:
+            report = serve_workload_report(spec, slo=slo)
+            snapshot = None
     print(render_serve_report(report))
     if args.output:
         path = write_serve_report(report, args.output)
         print(f"wrote {path}")
+    if snapshot is not None:
+        if metrics_format == "prometheus":
+            rendered = render_prometheus(snapshot)
+        else:
+            rendered = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.metrics}")
     if args.golden:
         from pathlib import Path
 
@@ -684,6 +762,48 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(rendered)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics summary|export``: inspect or re-export a
+    repro-metrics/v1 snapshot written by ``repro serve --metrics``."""
+    import json
+
+    from repro.obs.metrics import (
+        METRICS_SCHEMA,
+        MetricsError,
+        render_metrics_summary,
+        render_prometheus,
+        validate_prometheus,
+    )
+
+    snapshot = json.loads(open(args.snapshot, encoding="utf-8").read())
+    if snapshot.get("schema") != METRICS_SCHEMA:
+        raise MetricsError(
+            f"{args.snapshot}: not a {METRICS_SCHEMA} snapshot "
+            f"(schema={snapshot.get('schema')!r})"
+        )
+    if args.metrics_command == "summary":
+        print(render_metrics_summary(snapshot))
+        return 0
+    # export
+    if args.format == "prometheus":
+        rendered = render_prometheus(snapshot)
+        if args.check:
+            problems = validate_prometheus(rendered)
+            if problems:
+                for problem in problems:
+                    print(f"invalid exposition: {problem}", file=sys.stderr)
+                return 1
+    else:
+        rendered = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output}")
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -846,6 +966,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--golden write/verify the repro-planner-ab/v1 report",
     )
     bench.add_argument(
+        "--calibration",
+        action="store_true",
+        help="cost-planner calibration baseline: per-query estimate-vs-"
+        "actual q-error stats with drift verdicts (experiment is 'mg' "
+        "for MG1-MG4 or a comma-separated qid list); --output/--golden "
+        "write/verify the repro-calibration/v1 report",
+    )
+    bench.add_argument(
         "--chaos",
         default=None,
         metavar="SPEC",
@@ -868,19 +996,65 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="workload matrix: 'seeds=N,clients=C,mix=NAME[,requests=R]"
         "[,window=W][,rate=r][,engine=e][,batch=on|off][,cache=on|off]"
-        "[,deadline=d][,max_pending=m][,representation=r]' (mixes: "
-        "bsbm-star, chem-overlap, pubmed-mesh)",
+        "[,deadline=d][,max_pending=m][,representation=r][,planner=p]' "
+        "(mixes: bsbm-star, chem-overlap, pubmed-mesh)",
     )
     serve.add_argument(
-        "--output", default=None, help="write the repro-serve-workload/v1 report here"
+        "--output", default=None, help="write the repro-serve-workload/v2 report here"
     )
     serve.add_argument(
         "--golden",
         default=None,
-        help="also re-check a committed serve-workload golden report",
+        help="also re-check a committed serve-workload golden report (v1 or v2)",
+    )
+    serve.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="collect a repro-metrics/v1 snapshot over the run and write "
+        "it here (.json = snapshot, .prom/.txt = Prometheus exposition)",
+    )
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="latency objectives on the simulated clock: "
+        "'p50=S[,p95=S][,p99=S][,budget=F]' (default: the mix's "
+        "built-in targets)",
     )
     add_trace_option(serve)
     serve.set_defaults(func=cmd_serve)
+
+    metrics = sub.add_parser(
+        "metrics", help="inspect or re-export a repro-metrics/v1 snapshot"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+
+    metrics_summary = metrics_sub.add_parser(
+        "summary", help="per-series headline numbers, SLO and drift verdicts"
+    )
+    metrics_summary.add_argument("snapshot", help="repro-metrics/v1 JSON file")
+    metrics_summary.set_defaults(func=cmd_metrics)
+
+    metrics_export = metrics_sub.add_parser(
+        "export", help="render a snapshot in another format"
+    )
+    metrics_export.add_argument("snapshot", help="repro-metrics/v1 JSON file")
+    metrics_export.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="output format (Prometheus text exposition by default)",
+    )
+    metrics_export.add_argument(
+        "--output", "-o", default=None, help="write here instead of stdout"
+    )
+    metrics_export.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the exposition's grammar and histogram shape first",
+    )
+    metrics_export.set_defaults(func=cmd_metrics)
 
     catalog = sub.add_parser("catalog", help="list the workload queries")
     catalog.add_argument("--verbose", "-v", action="store_true")

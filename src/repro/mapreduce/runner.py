@@ -18,11 +18,13 @@ exact simulated byte/record volumes.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro import obs, perf
+from repro.obs import metrics as obs_metrics
 from repro.errors import (
     CheckpointError,
     MapReduceError,
@@ -240,6 +242,8 @@ class MapReduceRunner:
         counters: Counters,
         span: obs.Span | None,
     ) -> JobStats:
+        registry = obs_metrics.active_registry()
+        wall_start = time.perf_counter() if registry is not None else 0.0
         input_records: list[Any] = []
         input_bytes = 0  # on-disk bytes (drives split count and counters)
         input_work_bytes = 0  # decompressed bytes (drives scan cost)
@@ -410,6 +414,7 @@ class MapReduceRunner:
                 offset += seconds
             tracer.advance_sim(cost)
         retried = speculative = wasted = 0
+        recovery = 0.0
         if self.fault_plan is not None:
             try:
                 recovery, retried, speculative, wasted = self._recover_faults(
@@ -446,6 +451,22 @@ class MapReduceRunner:
                     )
                     tracer.advance_sim(recovery)
                 span.attrs["cost_seconds"] = cost
+        if registry is not None:
+            self._record_job_metrics(
+                registry,
+                job,
+                cost=cost,
+                wall=time.perf_counter() - wall_start,
+                input_bytes=input_work_bytes + side_work_bytes,
+                shuffle_bytes=shuffle_bytes,
+                output_bytes=output_file.raw_bytes,
+                map_tasks=map_tasks,
+                reduce_tasks=reduce_tasks,
+                recovery=recovery,
+                retried=retried,
+                speculative=speculative,
+                wasted=wasted,
+            )
         return JobStats(
             name=job.name,
             map_only=job.is_map_only,
@@ -463,6 +484,68 @@ class MapReduceRunner:
             speculative_tasks=speculative,
             wasted_bytes=wasted,
         )
+
+    def _record_job_metrics(
+        self,
+        registry: obs_metrics.MetricsRegistry,
+        job: MapReduceJob,
+        *,
+        cost: float,
+        wall: float,
+        input_bytes: int,
+        shuffle_bytes: int,
+        output_bytes: int,
+        map_tasks: int,
+        reduce_tasks: int,
+        recovery: float,
+        retried: int,
+        speculative: int,
+        wasted: int,
+    ) -> None:
+        """Fold one executed job into the active metrics registry: the
+        cost model's phase decomposition as per-phase histograms, the
+        dual-clock end-to-end cost, and fault/recovery events."""
+        kind = "map_only" if job.is_map_only else "full"
+        registry.counter(
+            "mr_jobs_total", "MapReduce jobs executed", ("kind",)
+        ).labels(kind=kind).inc()
+        phase_hist = registry.histogram(
+            "mr_phase_sim_seconds",
+            "per-job cost-phase decomposition (simulated clock)",
+            ("phase",),
+        )
+        for phase_name, seconds in self.cost_model.job_cost_phases(
+            self.cluster,
+            input_bytes=input_bytes,
+            shuffle_bytes=shuffle_bytes,
+            output_bytes=output_bytes,
+            map_tasks=map_tasks,
+            reduce_tasks=reduce_tasks,
+        ):
+            phase_hist.labels(phase=phase_name).observe(seconds)
+        job_sim, job_wall = registry.dual_histogram(
+            "mr_job_cost", "end-to-end job cost"
+        )
+        job_sim.labels().observe(cost)
+        job_wall.labels().observe(wall)
+        if self.fault_plan is None:
+            return
+        faults = registry.counter(
+            "mr_fault_events_total", "recovered fault events", ("kind",)
+        )
+        if retried:
+            faults.labels(kind="task_retry").inc(retried)
+        if speculative:
+            faults.labels(kind="speculative").inc(speculative)
+        if wasted:
+            registry.counter(
+                "mr_fault_wasted_bytes_total",
+                "bytes discarded by retried/speculative attempts",
+            ).labels().inc(wasted)
+        if recovery:
+            registry.histogram(
+                "mr_recovery_sim_seconds", "recovery time added per faulted job"
+            ).labels().observe(recovery)
 
     # -- fault recovery ----------------------------------------------------------
 

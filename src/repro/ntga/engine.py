@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import obs, perf
+from repro.obs import metrics as obs_metrics
 from repro.core.query_model import AnalyticalQuery
 from repro.core.results import EngineConfig, ExecutionReport, Row
 from repro.mapreduce.hdfs import HDFS
@@ -160,6 +161,16 @@ class NTGAEngine:
                         description=plan.description,
                         representation=plan.representation,
                     )
+                if plan.choice is not None and obs_metrics._ACTIVE is not None:
+                    obs_metrics._ACTIVE.counter(
+                        "planner_choices_total",
+                        "adaptive planner decisions by mode/candidate/source",
+                        ("mode", "chosen", "source"),
+                    ).labels(
+                        mode=plan.choice.mode,
+                        chosen=plan.choice.chosen,
+                        source=plan.choice.source,
+                    ).inc()
             runner = MapReduceRunner(
                 hdfs,
                 config.cluster,

@@ -20,18 +20,24 @@ from repro.serve.service import (
     ServeResponse,
     ServiceConfig,
 )
+from repro.serve.slo import DEFAULT_SLOS, SLOSpec, evaluate_slo
 from repro.serve.workload import (
     SERVE_SCHEMA,
+    SERVE_SCHEMA_V1,
     WORKLOAD_MIXES,
     WorkloadSpec,
     check_serve_golden,
+    default_slo,
+    project_v1,
     render_serve_report,
     serve_workload_report,
+    serve_workload_with_metrics,
     write_serve_report,
 )
 
 __all__ = [
     "DEADLINE",
+    "DEFAULT_SLOS",
     "FAILED",
     "Fingerprint",
     "LRUCache",
@@ -39,14 +45,20 @@ __all__ = [
     "QueryService",
     "REJECTED",
     "SERVE_SCHEMA",
+    "SERVE_SCHEMA_V1",
+    "SLOSpec",
     "ServeRequest",
     "ServeResponse",
     "ServiceConfig",
     "WORKLOAD_MIXES",
     "WorkloadSpec",
     "check_serve_golden",
+    "default_slo",
+    "evaluate_slo",
     "fingerprint_query",
+    "project_v1",
     "render_serve_report",
     "serve_workload_report",
+    "serve_workload_with_metrics",
     "write_serve_report",
 ]

@@ -60,11 +60,19 @@ class LRUCache:
     def clear(self) -> None:
         self._entries.clear()
 
-    def stats(self) -> dict[str, int]:
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before any lookup), rounded to 6
+        decimals so derived reports and metrics export stably."""
+        lookups = self.hits + self.misses
+        return round(self.hits / lookups, 6) if lookups else 0.0
+
+    def stats(self) -> dict[str, int | float]:
         return {
             "size": len(self._entries),
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
         }

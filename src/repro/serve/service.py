@@ -27,10 +27,11 @@ function of (graph, config, request sequence) — byte-reproducible
 across runs, thread counts, and ``PYTHONHASHSEED``.  Real wall-clock
 parallelism is an orthogonal execution detail: executable units are
 dispatched to a thread pool purely to overlap Python work, and the pool
-never influences simulated results.  When a :mod:`repro.obs` tracer or
-:mod:`repro.perf` recorder is active, units run serially on the
-coordinator thread instead (both recorders keep single implicit
-stacks), which changes nothing observable but the wall time.
+never influences simulated results.  When a :mod:`repro.obs` tracer,
+:mod:`repro.perf` recorder, :mod:`repro.obs.metrics` registry, or
+calibration monitor is active, units run serially on the coordinator
+thread instead (all keep single unsynchronized accumulators), which
+changes nothing observable but the wall time.
 
 The service works with every engine (``EngineConfig`` fault plans and
 checkpointed recovery compose — a batch resubmits exactly like a solo
@@ -40,6 +41,7 @@ workflow); pattern-merge batching itself engages on the
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -48,6 +50,8 @@ from repro.core.engines import make_engine
 from repro.core.results import EngineConfig, Row
 from repro.errors import OverlapError, ReproError, ServeError, SparqlError
 from repro.ntga.engine import execute_batch
+from repro.obs import metrics as obs_metrics
+from repro.obs.calibration import CalibrationMonitor
 from repro.rdf.graph import Graph
 from repro.serve.cache import LRUCache
 from repro.serve.fingerprint import Fingerprint, fingerprint_query
@@ -144,12 +148,13 @@ class _Group:
 class _Unit:
     """One executable workflow: a solo query or a merged batch."""
 
-    __slots__ = ("groups", "rows_by_group", "cost", "error")
+    __slots__ = ("groups", "rows_by_group", "cost", "wall", "error")
 
     def __init__(self, groups: list[_Group]):
         self.groups = groups
         self.rows_by_group: list[list[Row]] | None = None
         self.cost = 0.0
+        self.wall = 0.0  # real seconds spent executing (diagnostic only)
         self.error: str | None = None
 
 
@@ -171,9 +176,17 @@ _COUNTER_KEYS = (
 class QueryService:
     """Deterministic concurrent scheduler over one shared graph."""
 
-    def __init__(self, graph: Graph, config: ServiceConfig | None = None):
+    def __init__(
+        self,
+        graph: Graph,
+        config: ServiceConfig | None = None,
+        calibration: CalibrationMonitor | None = None,
+    ):
         self.graph = graph
         self.config = config or ServiceConfig()
+        #: Optional planner-calibration sink: solo adaptive executions
+        #: feed their estimate-vs-actual comparison into it.
+        self.calibration = calibration
         self.plan_cache = LRUCache(self.config.plan_cache_size)
         self.result_cache = LRUCache(self.config.result_cache_size)
         self.counters: dict[str, int] = {key: 0 for key in _COUNTER_KEYS}
@@ -209,19 +222,63 @@ class QueryService:
             for response in self._run_window(by_window[index], close):
                 responses[response.request_id] = response
             self._floor = max(self._floor, close)
-        return [responses[rid] for rid, _ in numbered]
+        ordered = [responses[rid] for rid, _ in numbered]
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            self._publish_metrics(registry, ordered)
+        return ordered
 
     def query(self, text: str, label: str = "") -> ServeResponse:
         """Serve a single query arriving now (at the service's clock)."""
         return self.serve([ServeRequest(text=text, arrival=self._floor, label=label)])[0]
 
-    def counter_snapshot(self) -> dict[str, int]:
-        """Scheduler + cache counters, deterministically ordered."""
-        snapshot = dict(self.counters)
+    def counter_snapshot(self) -> dict[str, int | float]:
+        """Scheduler + cache counters, deterministically key-ordered
+        (sorted, not insertion order — consumers may diff snapshots)."""
+        snapshot: dict[str, int | float] = dict(self.counters)
         for name, cache in (("plan_cache", self.plan_cache), ("result_cache", self.result_cache)):
             for key, value in cache.stats().items():
                 snapshot[f"{name}_{key}"] = value
-        return snapshot
+        return dict(sorted(snapshot.items()))
+
+    # -- metrics -----------------------------------------------------------------
+
+    def _publish_metrics(
+        self, registry: obs_metrics.MetricsRegistry, responses: list[ServeResponse]
+    ) -> None:
+        """Fold one ``serve()`` call's outcomes into the active registry."""
+        statuses = registry.counter(
+            "serve_requests_total", "requests by final status", ("status",)
+        )
+        answers = registry.counter(
+            "serve_answers_total", "answers by sharing source", ("source",)
+        )
+        latency = registry.histogram(
+            "serve_request_sim_latency_seconds",
+            "request latency on the simulated clock",
+            ("engine",),
+        )
+        wait = registry.histogram(
+            "serve_queue_wait_sim_seconds",
+            "arrival-to-start wait on the simulated clock",
+        )
+        for response in responses:
+            statuses.labels(status=response.status).inc()
+            if response.source is not None:
+                answers.labels(source=response.source).inc()
+            if response.latency is not None and response.status in (OK, DEADLINE):
+                latency.labels(engine=self.config.engine).observe(response.latency)
+            if response.started is not None:
+                wait.labels().observe(max(0.0, response.started - response.arrival))
+        self.publish_cache_metrics(registry)
+
+    def publish_cache_metrics(self, registry: obs_metrics.MetricsRegistry) -> None:
+        """Sync the LRU caches' counters into per-cache gauges."""
+        for name, cache in (("plan", self.plan_cache), ("result", self.result_cache)):
+            for key, value in cache.stats().items():
+                registry.gauge(
+                    f"serve_cache_{key}", f"LRU cache {key}", ("cache",)
+                ).labels(cache=name).set(value)
 
     # -- one batching window -----------------------------------------------------
 
@@ -261,6 +318,11 @@ class QueryService:
 
         if admitted:
             self.counters["batch_windows"] += 1
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.histogram(
+                "serve_window_admitted", "requests admitted per batching window"
+            ).labels().observe(len(admitted))
         groups, failed = self._resolve_plans(admitted, close)
         responses.extend(failed)
         groups, cached = self._consult_result_cache(groups, close)
@@ -437,6 +499,7 @@ class QueryService:
 
     def _run_unit(self, unit: _Unit) -> None:
         config = self.config
+        wall_start = time.perf_counter()
         try:
             if len(unit.groups) == 1:
                 digest = unit.groups[0].fp.digest
@@ -455,6 +518,9 @@ class QueryService:
                     self.plan_cache.put(
                         self._plan_decision_key(digest), report.plan_choice.chosen
                     )
+                if self.calibration is not None and report.plan_choice is not None:
+                    label = unit.groups[0].requests[0][1].label or digest[:12]
+                    self.calibration.record_report(label, report)
                 unit.rows_by_group = [report.rows]
                 unit.cost = report.cost_seconds
             else:
@@ -467,16 +533,21 @@ class QueryService:
                 unit.cost = batch.cost_seconds
         except ReproError as error:
             unit.error = f"{type(error).__name__}: {error}"
+        finally:
+            unit.wall = time.perf_counter() - wall_start
 
     def _execute_units(self, units: list[_Unit]) -> None:
-        """Run every unit, really.  Serial whenever a tracer/perf
-        recorder is active (both keep single implicit stacks); otherwise
+        """Run every unit, really.  Serial whenever a tracer, perf
+        recorder, metrics registry, or calibration monitor is active
+        (all keep single unsynchronized accumulators); otherwise
         the first unit runs inline to warm the graph's derived-layout
         caches, the rest overlap on the pool.  Results are identical
         either way — units only share read-only state."""
         serial = (
             obs.active_tracer() is not None
             or perf.active_recorder() is not None
+            or obs_metrics.active_registry() is not None
+            or self.calibration is not None
             or self.config.workers == 1
             or len(units) <= 1
         )
@@ -496,6 +567,18 @@ class QueryService:
         """Assign simulated workers to units in deterministic order and
         turn execution results into responses."""
         responses: list[ServeResponse] = []
+        registry = obs_metrics.active_registry()
+        if registry is not None and units:
+            unit_queries = registry.histogram(
+                "serve_unit_queries", "distinct queries per executed unit"
+            )
+            unit_sim, unit_wall = registry.dual_histogram(
+                "serve_unit_cost", "executed unit cost"
+            )
+            for unit in units:
+                unit_queries.labels().observe(len(unit.groups))
+                unit_sim.labels().observe(unit.cost)
+                unit_wall.labels().observe(unit.wall)
         for unit in units:
             worker = min(range(len(self._worker_free)), key=self._worker_free.__getitem__)
             started = max(close, self._worker_free[worker])

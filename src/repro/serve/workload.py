@@ -2,13 +2,17 @@
 
 Drives :class:`~repro.serve.service.QueryService` with a deterministic
 arrival process over the bench catalog and emits a
-``repro-serve-workload/v1`` report: latency percentiles, cache hit
-rates, batch-merge counters, and the headline batched-vs-unbatched
+``repro-serve-workload/v2`` report: latency percentiles, cache hit
+rates, batch-merge counters, an SLO verdict
+(:mod:`repro.serve.slo`), and the headline batched-vs-unbatched
 cost comparison — the total simulated cost the service actually spent
 versus what serving every completed request cold and solo would have
 cost.  Every answer is checked bit-identical (rows *and* order) against
 a cold solo execution of the same query, so the report doubles as a
 correctness oracle for the sharing layers.
+:func:`serve_workload_with_metrics` additionally collects a
+``repro-metrics/v1`` snapshot (see :mod:`repro.obs.metrics`) over the
+same run.
 
 Interarrival gaps are uniform in ``[0.5, 1.5) / rate`` — drawn from
 ``random.Random(seed)`` without transcendental functions, so committed
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import json
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
@@ -38,6 +43,8 @@ from repro.core.engines import make_engine, to_analytical
 from repro.core.results import EngineConfig
 from repro.errors import ReproError, ServeError
 from repro.ntga.factorized import validate_representation
+from repro.obs import metrics as obs_metrics
+from repro.obs.calibration import CalibrationMonitor
 from repro.rdf.graph import Graph
 from repro.serve.service import (
     DEADLINE,
@@ -46,9 +53,16 @@ from repro.serve.service import (
     ServeRequest,
     ServiceConfig,
 )
+from repro.serve.slo import DEFAULT_SLOS, SLOSpec, evaluate_slo
 
-#: Schema tag for the serve workload report (bump on shape changes).
-SERVE_SCHEMA = "repro-serve-workload/v1"
+#: Schema tag for the serve workload report.  v2 added the SLO section
+#: (``slo`` + ``verdicts.slo_pass``), per-seed p95 latencies, cache hit
+#: ratios in the counters, and the ``planner`` workload knob; v1
+#: goldens stay checkable via :func:`project_v1`.
+SERVE_SCHEMA = "repro-serve-workload/v2"
+
+#: The previous schema, still accepted by :func:`check_serve_golden`.
+SERVE_SCHEMA_V1 = "repro-serve-workload/v1"
 
 #: mix name -> (dataset, preset, qids, engine-config factory)
 WORKLOAD_MIXES: dict[
@@ -84,12 +98,15 @@ class WorkloadSpec:
     deadline: float | None = None
     max_pending: int = 64
     representation: str | None = None
+    #: Planner mode override (rule/cost/auto); None keeps the mix's
+    #: engine-config default.
+    planner: str | None = None
 
     @classmethod
     def from_spec(cls, text: str) -> "WorkloadSpec":
         """Parse ``seeds=N,clients=C,mix=name[,requests=R][,window=W]
         [,rate=r][,engine=e][,batch=on|off][,cache=on|off]
-        [,deadline=d][,max_pending=m][,representation=r]``."""
+        [,deadline=d][,max_pending=m][,representation=r][,planner=p]``."""
         values: dict[str, str] = {}
         for part in text.split(","):
             part = part.strip()
@@ -104,7 +121,7 @@ class WorkloadSpec:
         known = {
             "seeds", "clients", "mix", "requests", "window", "rate",
             "engine", "batch", "cache", "deadline", "max_pending",
-            "representation",
+            "representation", "planner",
         }
         unknown = set(values) - known
         if unknown:
@@ -138,6 +155,17 @@ class WorkloadSpec:
                     f"invalid workload spec {text!r}: {error}"
                 ) from None
 
+        planner = values.get("planner")
+        if planner is not None:
+            from repro.plan import validate_planner
+
+            try:
+                planner = validate_planner(planner)
+            except ReproError as error:
+                raise ServeError(
+                    f"invalid workload spec {text!r}: {error}"
+                ) from None
+
         try:
             spec = cls(
                 seeds=int(values["seeds"]),
@@ -152,6 +180,7 @@ class WorkloadSpec:
                 deadline=float(values["deadline"]) if "deadline" in values else None,
                 max_pending=int(values.get("max_pending", 64)),
                 representation=representation,
+                planner=planner,
             )
         except ValueError as error:
             raise ServeError(f"invalid workload spec {text!r}: {error}") from None
@@ -199,6 +228,7 @@ class WorkloadSpec:
             "deadline": self.deadline,
             "max_pending": self.max_pending,
             "representation": self.representation,
+            "planner": self.planner,
         }
 
 
@@ -238,13 +268,23 @@ def _latency_summary(latencies: list[float]) -> dict[str, float]:
         "mean": round(total / len(ordered), 6) if ordered else 0.0,
         "p50": round(_percentile(ordered, 50), 6),
         "p90": round(_percentile(ordered, 90), 6),
+        "p95": round(_percentile(ordered, 95), 6),
         "p99": round(_percentile(ordered, 99), 6),
         "max": round(ordered[-1], 6) if ordered else 0.0,
     }
 
 
+def default_slo(mix: str) -> SLOSpec:
+    """The mix's default latency objectives."""
+    return DEFAULT_SLOS.get(mix, DEFAULT_SLOS["default"])
+
+
 def serve_workload_report(
-    spec: WorkloadSpec, graph: Graph | None = None
+    spec: WorkloadSpec,
+    graph: Graph | None = None,
+    slo: SLOSpec | None = None,
+    registry: obs_metrics.MetricsRegistry | None = None,
+    calibration: CalibrationMonitor | None = None,
 ) -> dict[str, Any]:
     """Run the workload matrix and assemble the versioned report.
 
@@ -253,6 +293,17 @@ def serve_workload_report(
     engine and config.  Those solo runs double as the bit-identity
     oracle — each served answer's row digest (order-sensitive) must
     equal its query's solo digest.
+
+    The SLO verdict (*slo*, defaulting to the mix's
+    :data:`~repro.serve.slo.DEFAULT_SLOS` entry) is computed per seed
+    and over the pooled latencies; ``verdicts.slo_pass`` reflects the
+    pooled verdict.  With a *registry*, the services run under
+    :func:`repro.obs.metrics.collecting` so every serve/runner/planner
+    instrument accumulates across seeds — the baseline oracle runs stay
+    outside it, keeping fleet metrics about served traffic only.  A
+    *calibration* monitor is handed to each service to collect
+    estimate-vs-actual q-errors (it only observes under a non-rule
+    ``planner``).
     """
     dataset, preset, qids, config_factory = WORKLOAD_MIXES[spec.mix]
     if graph is None:
@@ -265,6 +316,11 @@ def serve_workload_report(
         # and the service run under the same intermediate representation,
         # so a mismatch can only come from the sharing layers.
         engine_config = replace(engine_config, representation=spec.representation)
+    if spec.planner is not None:
+        # Same symmetry for the planner mode: the oracle must prove the
+        # *sharing layers* preserve answers, not re-litigate plan choice.
+        engine_config = replace(engine_config, planner=spec.planner)
+    slo = slo or default_slo(spec.mix)
 
     baseline: dict[str, dict[str, Any]] = {}
     for qid in qids:
@@ -281,53 +337,65 @@ def serve_workload_report(
     total_baseline = total_served = 0.0
     all_rows_match = True
     per_seed_reduced: list[bool] = []
-    for seed in range(1, spec.seeds + 1):
-        service = QueryService(graph, spec.service_config(engine_config))
-        responses = service.serve(workload_requests(spec, seed))
+    per_seed_slo: list[dict[str, Any]] = []
+    pooled_latencies: list[float] = []
+    collecting = (
+        obs_metrics.collecting(registry) if registry is not None else nullcontext()
+    )
+    with collecting:
+        for seed in range(1, spec.seeds + 1):
+            service = QueryService(
+                graph, spec.service_config(engine_config), calibration=calibration
+            )
+            responses = service.serve(workload_requests(spec, seed))
 
-        statuses: dict[str, int] = {}
-        sources: dict[str, int] = {}
-        mismatches: list[int] = []
-        baseline_cost = 0.0
-        latencies: list[float] = []
-        for response in responses:
-            statuses[response.status] = statuses.get(response.status, 0) + 1
-            if response.source is not None:
-                sources[response.source] = sources.get(response.source, 0) + 1
-            if response.status in (OK, DEADLINE):
-                baseline_cost += baseline[response.label]["cost_seconds"]
-                latencies.append(response.latency)
-            if response.status == OK and (
-                perf.rows_digest(response.rows) != baseline[response.label]["digest"]
-            ):
-                mismatches.append(response.request_id)
+            statuses: dict[str, int] = {}
+            sources: dict[str, int] = {}
+            mismatches: list[int] = []
+            baseline_cost = 0.0
+            latencies: list[float] = []
+            for response in responses:
+                statuses[response.status] = statuses.get(response.status, 0) + 1
+                if response.source is not None:
+                    sources[response.source] = sources.get(response.source, 0) + 1
+                if response.status in (OK, DEADLINE):
+                    baseline_cost += baseline[response.label]["cost_seconds"]
+                    latencies.append(response.latency)
+                if response.status == OK and (
+                    perf.rows_digest(response.rows)
+                    != baseline[response.label]["digest"]
+                ):
+                    mismatches.append(response.request_id)
 
-        served_cost = service.executed_cost_seconds
-        counters = service.counter_snapshot()
-        rows_match = not mismatches
-        all_rows_match = all_rows_match and rows_match
-        total_baseline += baseline_cost
-        total_served += served_cost
-        per_seed_reduced.append(served_cost < baseline_cost)
-        runs.append(
-            {
-                "seed": seed,
-                "requests": len(responses),
-                "statuses": dict(sorted(statuses.items())),
-                "sources": dict(sorted(sources.items())),
-                "latency": _latency_summary(latencies),
-                "baseline_cost_seconds": round(baseline_cost, 6),
-                "served_cost_seconds": round(served_cost, 6),
-                "saved_seconds": round(baseline_cost - served_cost, 6),
-                "saved_ratio": round(1.0 - served_cost / baseline_cost, 6)
-                if baseline_cost
-                else None,
-                "rows_match_solo": rows_match,
-                "mismatched_requests": mismatches,
-                "counters": dict(sorted(counters.items())),
-            }
-        )
+            served_cost = service.executed_cost_seconds
+            counters = service.counter_snapshot()
+            rows_match = not mismatches
+            all_rows_match = all_rows_match and rows_match
+            total_baseline += baseline_cost
+            total_served += served_cost
+            per_seed_reduced.append(served_cost < baseline_cost)
+            pooled_latencies.extend(latencies)
+            per_seed_slo.append({"seed": seed, **evaluate_slo(slo, latencies)})
+            runs.append(
+                {
+                    "seed": seed,
+                    "requests": len(responses),
+                    "statuses": dict(sorted(statuses.items())),
+                    "sources": dict(sorted(sources.items())),
+                    "latency": _latency_summary(latencies),
+                    "baseline_cost_seconds": round(baseline_cost, 6),
+                    "served_cost_seconds": round(served_cost, 6),
+                    "saved_seconds": round(baseline_cost - served_cost, 6),
+                    "saved_ratio": round(1.0 - served_cost / baseline_cost, 6)
+                    if baseline_cost
+                    else None,
+                    "rows_match_solo": rows_match,
+                    "mismatched_requests": mismatches,
+                    "counters": dict(sorted(counters.items())),
+                }
+            )
 
+    overall_slo = evaluate_slo(slo, pooled_latencies)
     verdicts = {
         "all_rows_match": all_rows_match,
         # The tentpole claim: sharing strictly reduces total simulated
@@ -335,6 +403,7 @@ def serve_workload_report(
         "cost_strictly_reduced": all(per_seed_reduced)
         if (spec.batching or spec.caching)
         else None,
+        "slo_pass": overall_slo["pass"],
     }
     return {
         "schema": SERVE_SCHEMA,
@@ -345,6 +414,10 @@ def serve_workload_report(
         "workload": spec.as_dict(),
         "baseline": baseline,
         "runs": runs,
+        "slo": {
+            "overall": overall_slo,
+            "per_seed": per_seed_slo,
+        },
         "summary": {
             "total_baseline_cost_seconds": round(total_baseline, 6),
             "total_served_cost_seconds": round(total_served, 6),
@@ -357,8 +430,52 @@ def serve_workload_report(
     }
 
 
+def serve_workload_with_metrics(
+    spec: WorkloadSpec,
+    graph: Graph | None = None,
+    slo: SLOSpec | None = None,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run the workload collecting metrics; returns (report, snapshot).
+
+    The snapshot is ``repro-metrics/v1``: every deterministic instrument
+    the serve/runner/planner layers recorded, the report's SLO verdict,
+    and the calibration monitor's q-error/drift report.  Byte-identical
+    across runs for a fixed spec — it is what
+    ``repro serve --workload ... --metrics`` writes and what the CI
+    golden pins.
+    """
+    registry = obs_metrics.MetricsRegistry()
+    calibration = CalibrationMonitor()
+    report = serve_workload_report(
+        spec, graph, slo=slo, registry=registry, calibration=calibration
+    )
+    snapshot = obs_metrics.snapshot_dict(
+        registry, slo=report["slo"]["overall"], calibration=calibration.report()
+    )
+    return report, snapshot
+
+
 def spec_from_report(report: dict[str, Any]) -> WorkloadSpec:
     return WorkloadSpec(**report["workload"])
+
+
+def project_v1(report: dict[str, Any]) -> dict[str, Any]:
+    """A v2 report reduced to the v1 shape (for diffing v1 goldens):
+    drop the SLO section and verdict, the ``planner`` workload knob,
+    p95 latencies, and the cache hit-ratio counters v1 never carried."""
+    projected = json.loads(json.dumps(report))
+    projected["schema"] = SERVE_SCHEMA_V1
+    projected.pop("slo", None)
+    projected["workload"].pop("planner", None)
+    projected["verdicts"].pop("slo_pass", None)
+    for run in projected.get("runs", []):
+        run["latency"].pop("p95", None)
+        run["counters"] = {
+            key: value
+            for key, value in run["counters"].items()
+            if not key.endswith("_hit_ratio")
+        }
+    return projected
 
 
 def check_serve_golden(path: str | Path) -> list[str]:
@@ -366,10 +483,13 @@ def check_serve_golden(path: str | Path) -> list[str]:
 
     Returns human-readable differences (empty = bit-identical), so CI
     catches any scheduler, cache, or batching change that moves a
-    latency, a counter, or a verdict.
+    latency, a counter, or a verdict.  v1 goldens are still accepted:
+    the fresh v2 report is projected to the v1 shape before diffing.
     """
     golden = json.loads(Path(path).read_text())
     fresh = serve_workload_report(spec_from_report(golden))
+    if golden.get("schema") == SERVE_SCHEMA_V1:
+        fresh = project_v1(fresh)
     problems: list[str] = []
     for field in ("schema", "mix", "dataset", "preset", "queries", "workload", "baseline"):
         if golden.get(field) != fresh.get(field):
@@ -392,7 +512,7 @@ def check_serve_golden(path: str | Path) -> list[str]:
                     f"seed {seed}: {field} differs: "
                     f"golden={old.get(field)!r} fresh={new.get(field)!r}"
                 )
-    for field in ("summary", "verdicts"):
+    for field in ("slo", "summary", "verdicts"):
         if golden.get(field) != fresh.get(field):
             problems.append(
                 f"{field} differs: golden={golden.get(field)!r} "
@@ -441,4 +561,19 @@ def render_serve_report(report: dict[str, Any]) -> str:
         f"answers bit-identical to cold solo runs: {verdicts['all_rows_match']}; "
         f"cost strictly reduced on every seed: {verdicts['cost_strictly_reduced']}"
     )
+    slo = report.get("slo")
+    if slo is not None:
+        overall = slo["overall"]
+        targets = overall["targets"]
+        rendered_targets = ", ".join(
+            f"{name}<={targets[name]:g}s"
+            for name in ("p50", "p95", "p99")
+            if targets.get(name) is not None
+        )
+        lines.append(
+            f"SLO [{rendered_targets}, budget={targets['budget']:g}]: "
+            f"{'PASS' if overall['pass'] else 'FAIL'} "
+            f"(burn {overall['budget_burn'] * 100:.1f}% of "
+            f"{overall['count']} completed)"
+        )
     return "\n".join(lines)

@@ -330,9 +330,10 @@ def test_serve_smoke(capsys, tmp_path):
     assert "chem-overlap serve workload" in out
     assert "answers bit-identical to cold solo runs: True" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro-serve-workload/v1"
+    assert report["schema"] == "repro-serve-workload/v2"
     assert report["verdicts"]["all_rows_match"] is True
     assert report["verdicts"]["cost_strictly_reduced"] is True
+    assert report["verdicts"]["slo_pass"] is True
 
 
 def test_serve_golden_roundtrip(capsys, tmp_path):

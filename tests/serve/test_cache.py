@@ -54,7 +54,20 @@ def test_counters_track_hits_and_misses():
         "hits": 2,
         "misses": 1,
         "evictions": 0,
+        "hit_ratio": 0.666667,
     }
+
+
+def test_stats_report_evictions_and_hit_ratio():
+    cache = LRUCache(1)
+    assert cache.hit_ratio == 0.0  # no lookups yet, not a div-by-zero
+    cache.put("a", 1)
+    cache.put("b", 2)  # evicts "a"
+    cache.get("b")
+    cache.get("a")
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["hit_ratio"] == 0.5
 
 
 def test_peek_touches_neither_counters_nor_recency():

@@ -1,0 +1,83 @@
+"""SLO specs: parsing diagnostics, percentile evaluation, error budget."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.slo import DEFAULT_SLOS, SLOSpec, evaluate_slo
+
+
+def test_from_spec_full_and_partial():
+    spec = SLOSpec.from_spec("p50=1,p95=90,p99=120,budget=0.1")
+    assert (spec.p50, spec.p95, spec.p99, spec.budget) == (1.0, 90.0, 120.0, 0.1)
+    partial = SLOSpec.from_spec("p99=60")
+    assert partial.p50 is None and partial.p95 is None
+    assert partial.p99 == 60.0 and partial.budget == 0.05  # default
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",  # no objectives
+        "budget=0.1",  # budget alone is not an objective
+        "p50=abc",  # not a number
+        "p50=0",  # target must be positive
+        "p95=-3",
+        "budget=1.5",  # budget must be < 1
+        "budget=-0.1",
+        "p42=1",  # unknown key
+        "p50",  # not key=value
+    ],
+)
+def test_from_spec_rejects_malformed(text):
+    with pytest.raises(ServeError, match="invalid slo spec"):
+        SLOSpec.from_spec(text)
+
+
+def test_strictest_bound_prefers_p99():
+    assert SLOSpec.from_spec("p50=1,p95=5,p99=9").strictest_bound == 9.0
+    assert SLOSpec.from_spec("p50=1,p95=5").strictest_bound == 5.0
+    assert SLOSpec.from_spec("p50=1").strictest_bound == 1.0
+
+
+def test_evaluate_passes_within_targets():
+    spec = SLOSpec.from_spec("p50=2,p99=10,budget=0.25")
+    result = evaluate_slo(spec, [1.0] * 8 + [5.0, 9.0])
+    assert result["pass"] is True
+    assert result["count"] == 10
+    assert result["achieved"]["p50"] == 1.0
+    assert result["violations"] == 0  # nothing above the p99 bound
+    assert result["budget_burn"] == 0.0
+    assert result["objectives"] == {"budget": True, "p50": True, "p99": True}
+
+
+def test_evaluate_fails_on_blown_percentile():
+    spec = SLOSpec.from_spec("p50=1")
+    result = evaluate_slo(spec, [5.0, 5.0, 5.0, 0.5])
+    assert result["pass"] is False
+    assert result["achieved"]["p50"] == 5.0
+
+
+def test_error_budget_tolerates_bounded_violations():
+    spec = SLOSpec.from_spec("p99=10,budget=0.5")
+    # p99 (nearest-rank over 4 samples) blows the target, but half the
+    # requests are allowed over the strictest bound: 1/4 <= 0.5 burns
+    # within budget; the percentile objective itself still fails.
+    latencies = [1.0, 1.0, 1.0, 99.0]
+    result = evaluate_slo(spec, latencies)
+    assert result["violations"] == 1
+    assert result["budget_burn"] == 0.25
+    assert result["pass"] is False  # percentile target still governs
+
+    tight = evaluate_slo(SLOSpec.from_spec("p99=100,budget=0.1"), latencies)
+    assert tight["violations"] == 0 and tight["pass"] is True
+
+
+def test_empty_sample_passes_vacuously():
+    result = evaluate_slo(SLOSpec.from_spec("p50=1"), [])
+    assert result["pass"] is True and result["count"] == 0
+
+
+def test_default_slos_cover_every_mix():
+    assert set(DEFAULT_SLOS) == {"bsbm-star", "chem-overlap", "pubmed-mesh", "default"}
+    chem = DEFAULT_SLOS["chem-overlap"]
+    assert chem.p50 == 1.0 and chem.p95 == 90.0 and chem.p99 == 120.0

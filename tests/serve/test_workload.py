@@ -1,5 +1,5 @@
 """Workload spec parsing, deterministic arrival generation, and the
-``repro-serve-workload/v1`` report (shape, verdicts, golden diffing)."""
+``repro-serve-workload/v2`` report (shape, verdicts, golden diffing)."""
 
 import pytest
 
@@ -75,9 +75,12 @@ def test_report_shape_and_verdicts(chem_tiny):
     assert len(report["runs"]) == 1
     run = report["runs"][0]
     assert run["requests"] == 6
-    assert set(run["latency"]) == {"count", "mean", "p50", "p90", "p99", "max"}
+    assert set(run["latency"]) == {"count", "mean", "p50", "p90", "p95", "p99", "max"}
     assert report["verdicts"]["all_rows_match"] is True
     assert report["verdicts"]["cost_strictly_reduced"] is True
+    assert report["verdicts"]["slo_pass"] is True
+    assert report["slo"]["overall"]["pass"] is True
+    assert len(report["slo"]["per_seed"]) == 1
     assert run["served_cost_seconds"] < run["baseline_cost_seconds"]
     rendered = render_serve_report(report)
     assert "chem-overlap serve workload" in rendered
