@@ -642,18 +642,79 @@ def _metrics_out_format(path: str) -> str:
     )
 
 
+def _check_serve_golden_file(path: str) -> int:
+    """Re-check a committed serve golden, dispatching on its schema tag
+    (serve-workload v1/v2 or serve-resilience v1)."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.serve import (
+        RESILIENCE_SCHEMA,
+        check_resilience_golden,
+        check_serve_golden,
+    )
+
+    schema = _json.loads(Path(path).read_text()).get("schema")
+    if schema == RESILIENCE_SCHEMA:
+        problems = check_resilience_golden(Path(path))
+    else:
+        problems = check_serve_golden(Path(path))
+    if problems:
+        for problem in problems:
+            print(f"serve golden mismatch: {problem}", file=sys.stderr)
+        return 1
+    print(f"serve golden ok: {path}")
+    return 0
+
+
+def _serve_resilience(args: argparse.Namespace, spec, fault_plan, resilience, slo) -> int:
+    """``repro serve --workload ... --faults seed,rate [--resilience spec]``:
+    the fault-injected availability A/B (repro-serve-resilience/v1)."""
+    from repro.serve import (
+        render_resilience_report,
+        serve_resilience_report,
+        write_resilience_report,
+    )
+
+    with _tracing_to(args.trace):
+        report = serve_resilience_report(spec, fault_plan, resilience, slo=slo)
+    print(render_resilience_report(report))
+    if args.output:
+        path = write_resilience_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        status = _check_serve_golden_file(args.golden)
+        if status:
+            return status
+    verdicts = report["verdicts"]
+    if not (
+        verdicts["ok_rows_match_fault_free"]
+        and verdicts["degraded_rows_match_fault_free"]
+    ):
+        print(
+            "INVARIANT VIOLATION: served answers differ from the fault-free "
+            f"baseline: ok={report['mismatched_ok_requests']} "
+            f"degraded={report['mismatched_degraded_requests']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve --workload seeds=N,clients=C,mix=...``: drive the
     concurrent query service with a seeded arrival process and report
     latency percentiles, cache hit rates, the SLO verdict, and the
     batched-vs-unbatched cost savings (repro-serve-workload/v2).
-    ``--metrics`` additionally collects a repro-metrics/v1 snapshot."""
+    ``--metrics`` additionally collects a repro-metrics/v1 snapshot;
+    ``--faults`` switches to the resilience A/B
+    (repro-serve-resilience/v1), optionally tuned by ``--resilience``."""
     import json
 
     from repro.obs.metrics import render_prometheus
     from repro.serve import (
+        ResilienceConfig,
         WorkloadSpec,
-        check_serve_golden,
         render_serve_report,
         serve_workload_report,
         serve_workload_with_metrics,
@@ -663,6 +724,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     spec = WorkloadSpec.from_spec(args.workload)
     slo = SLOSpec.from_spec(args.slo) if args.slo else None
+
+    fault_plan = None
+    if args.faults:
+        from repro.errors import MapReduceError
+        from repro.mapreduce.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_spec(args.faults)
+        except MapReduceError as error:
+            # A malformed spec is a usage error (exit 2, one line), not
+            # a simulator failure.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    resilience = None
+    if args.resilience is not None:
+        if fault_plan is None:
+            print(
+                "error: --resilience requires --faults seed,rate "
+                "(the availability A/B needs injected failures)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            resilience = ResilienceConfig.from_spec(args.resilience)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if fault_plan is not None:
+        if args.metrics:
+            print(
+                "error: --metrics cannot be combined with --faults "
+                "(the A/B runs two services per seed)",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_resilience(
+            args, spec, fault_plan, resilience or ResilienceConfig(), slo
+        )
+
     metrics_format = _metrics_out_format(args.metrics) if args.metrics else None
     with _tracing_to(args.trace):
         if args.metrics:
@@ -683,14 +783,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             handle.write(rendered)
         print(f"wrote {args.metrics}")
     if args.golden:
-        from pathlib import Path
-
-        problems = check_serve_golden(Path(args.golden))
-        if problems:
-            for problem in problems:
-                print(f"serve golden mismatch: {problem}", file=sys.stderr)
-            return 1
-        print(f"serve golden ok: {args.golden}")
+        status = _check_serve_golden_file(args.golden)
+        if status:
+            return status
     if not report["verdicts"]["all_rows_match"]:
         bad = [
             f"seed{run['seed']}:{run['mismatched_requests']}"
@@ -1000,12 +1095,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(mixes: bsbm-star, chem-overlap, pubmed-mesh)",
     )
     serve.add_argument(
-        "--output", default=None, help="write the repro-serve-workload/v2 report here"
+        "--output",
+        default=None,
+        help="write the report here (repro-serve-workload/v2, or "
+        "repro-serve-resilience/v1 under --faults)",
     )
     serve.add_argument(
         "--golden",
         default=None,
-        help="also re-check a committed serve-workload golden report (v1 or v2)",
+        help="also re-check a committed serve golden report "
+        "(serve-workload v1/v2 or serve-resilience v1; dispatched on "
+        "the file's schema tag)",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject seeded faults and run the resilience A/B: "
+        "'seed,rate[,straggler_rate[,write_rate[,attempts]]]' "
+        "(repro-serve-resilience/v1: identical traffic with resilience "
+        "off and on)",
+    )
+    serve.add_argument(
+        "--resilience",
+        default=None,
+        metavar="SPEC",
+        help="retry/breaker/degradation policies for the --faults A/B: "
+        "'retries=N,backoff=S,factor=F,jitter=J,seed=K,threshold=T,"
+        "window=W,cooldown=C,probes=P,stale=on|off,bypass=on|off,"
+        "shed=D' (or 'default'; requires --faults)",
     )
     serve.add_argument(
         "--metrics",

@@ -185,3 +185,18 @@ class ServeError(ReproError):
     :class:`~repro.serve.service.ServeResponse` so one bad request
     cannot take down the batch it arrived with.
     """
+
+
+class ResilienceError(ServeError):
+    """The serve-layer resilience machinery was misconfigured.
+
+    Raised for invalid :class:`~repro.serve.resilience.RetryPolicy` /
+    :class:`~repro.serve.resilience.BreakerPolicy` /
+    :class:`~repro.serve.resilience.DegradationPolicy` values and for
+    malformed ``repro serve --resilience`` specs (which, like
+    ``--faults`` and ``--chaos``, must die with a one-line exit-2
+    diagnostic).  Runtime resilience outcomes — retries, breaker trips,
+    degraded serves, shed arrivals — are never raised: they are recorded
+    on the :class:`~repro.serve.service.ServeResponse` like every other
+    per-request outcome.
+    """

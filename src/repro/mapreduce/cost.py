@@ -371,6 +371,12 @@ class CostModel:
     #: small, but keeps ``"auto"`` honest when a graph has no fanout to
     #: exploit and the byte savings round to nothing.
     factorization_overhead: float = 0.5
+    #: Simulated seconds to assemble a *degraded* answer from the serve
+    #: layer's stale result store (cache read + response assembly; no
+    #: cluster work).  Tiny by design — degraded serves exist because
+    #: they are cheap — but nonzero so availability bought via staleness
+    #: still shows up in the cost accounting instead of looking free.
+    stale_serve_overhead: float = 0.05
 
     def representation_advantage(
         self, *, flat_bytes: int, factorized_bytes: int, cycles: int = 1

@@ -5,16 +5,32 @@ cross-request: a :class:`~repro.serve.service.QueryService` schedules
 many queries against one shared graph with admission control, plan and
 result caches keyed by canonical query fingerprints, and an MQO batcher
 that merges overlapping requests into one composite workflow and
-n-splits the answers back.  See ``docs/serving.md``.
+n-splits the answers back.  :mod:`repro.serve.resilience` adds the
+fault-facing layer: deterministic retries, a per-engine circuit
+breaker, and graceful degradation tiers.  See ``docs/serving.md``.
 """
 
-from repro.serve.cache import LRUCache
+from repro.serve.cache import LRUCache, StaleResultStore
 from repro.serve.fingerprint import Fingerprint, fingerprint_query
+from repro.serve.resilience import (
+    RESILIENCE_SCHEMA,
+    BreakerPolicy,
+    CircuitBreaker,
+    DegradationPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    check_resilience_golden,
+    render_resilience_report,
+    serve_resilience_report,
+    write_resilience_report,
+)
 from repro.serve.service import (
     DEADLINE,
+    DEGRADED,
     FAILED,
     OK,
     REJECTED,
+    SHED,
     QueryService,
     ServeRequest,
     ServeResponse,
@@ -38,27 +54,40 @@ from repro.serve.workload import (
 __all__ = [
     "DEADLINE",
     "DEFAULT_SLOS",
+    "DEGRADED",
     "FAILED",
     "Fingerprint",
     "LRUCache",
     "OK",
     "QueryService",
     "REJECTED",
+    "RESILIENCE_SCHEMA",
     "SERVE_SCHEMA",
     "SERVE_SCHEMA_V1",
+    "SHED",
     "SLOSpec",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "ResilienceConfig",
+    "RetryPolicy",
     "ServeRequest",
     "ServeResponse",
     "ServiceConfig",
+    "StaleResultStore",
     "WORKLOAD_MIXES",
     "WorkloadSpec",
+    "check_resilience_golden",
     "check_serve_golden",
     "default_slo",
     "evaluate_slo",
     "fingerprint_query",
     "project_v1",
+    "render_resilience_report",
     "render_serve_report",
+    "serve_resilience_report",
     "serve_workload_report",
     "serve_workload_with_metrics",
+    "write_resilience_report",
     "write_serve_report",
 ]

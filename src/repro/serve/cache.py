@@ -76,3 +76,38 @@ class LRUCache:
             "evictions": self.evictions,
             "hit_ratio": self.hit_ratio,
         }
+
+
+class StaleResultStore:
+    """Last-known-good answers for the degraded serving tier.
+
+    Unlike the result cache — which is keyed on the graph *version* so a
+    mutation invalidates everything — this store deliberately forgets
+    the version on lookup: it keeps the most recent successful rows per
+    ``(fingerprint digest, engine)`` along with the version they were
+    computed against, so when execution fails and the retry budget is
+    exhausted the service can serve a possibly-older answer marked
+    ``status="degraded"`` / ``source="stale-cache"`` instead of failing
+    outright.  Bounded by the same deterministic :class:`LRUCache`.
+    """
+
+    def __init__(self, capacity: int):
+        self._cache = LRUCache(capacity)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def put(self, digest: str, engine: str, version: int, rows: list) -> None:
+        """Record the latest successful answer for a fingerprint."""
+        self._cache.put((digest, engine), (version, list(rows)))
+
+    def lookup(self, digest: str, engine: str) -> tuple[int, list] | None:
+        """Return ``(graph_version, rows)`` or None; counts hit/miss."""
+        entry = self._cache.get((digest, engine), _MISSING)
+        if entry is _MISSING:
+            return None
+        version, rows = entry
+        return version, list(rows)
+
+    def stats(self) -> dict[str, int | float]:
+        return self._cache.stats()

@@ -37,11 +37,21 @@ The service works with every engine (``EngineConfig`` fault plans and
 checkpointed recovery compose — a batch resubmits exactly like a solo
 workflow); pattern-merge batching itself engages on the
 ``rapid-analytics`` engine, the only planner with a composite operator.
+
+With a :class:`~repro.serve.resilience.ResilienceConfig` wired into
+:attr:`ServiceConfig.resilience`, execution additionally gains
+deterministic retries, a per-engine circuit breaker, and graceful
+degradation (stale answers, batching bypass, load shedding) — see the
+"resilient execution" section below.  Resilient units always run
+serially on the coordinator thread: the breaker's sliding window and
+the retry queue are sequential state machines on simulated time, and
+wall-clock overlap must never influence them.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -53,14 +63,21 @@ from repro.ntga.engine import execute_batch
 from repro.obs import metrics as obs_metrics
 from repro.obs.calibration import CalibrationMonitor
 from repro.rdf.graph import Graph
-from repro.serve.cache import LRUCache
+from repro.serve.cache import LRUCache, StaleResultStore
 from repro.serve.fingerprint import Fingerprint, fingerprint_query
+from repro.serve.resilience import CircuitBreaker, ResilienceConfig
 
 #: Response status values.
 OK = "ok"
 REJECTED = "rejected"
 FAILED = "failed"
 DEADLINE = "deadline-exceeded"
+#: Answered from the stale store after execution could not be (fully)
+#: retried — rows may reflect an older graph version.
+DEGRADED = "degraded"
+#: Dropped by the load-shedding degradation tier before any planning
+#: or cluster cost was spent.
+SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -82,6 +99,9 @@ class ServiceConfig:
     enable_batching: bool = True
     #: Default per-request deadline (None = no deadline).
     deadline: float | None = None
+    #: Retry/breaker/degradation policies (None = the pre-resilience
+    #: fail-fast behaviour; committed serve goldens run with None).
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         from repro.core.engines import ENGINE_FACTORIES
@@ -109,6 +129,15 @@ class ServeRequest:
     arrival: float = 0.0
     label: str = ""
     deadline: float | None = None
+    #: Scheduling priority for the load-shedding tier: higher survives
+    #: longer when the service sheds (ties break by arrival, then id).
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and not self.deadline > 0.0:
+            raise ServeError(
+                f"request deadline must be > 0: {self.deadline!r}"
+            )
 
 
 @dataclass
@@ -133,6 +162,14 @@ class ServeResponse:
     batch_size: int = 0
     #: Simulated cost of that unit (shared across its members).
     unit_cost: float = 0.0
+    #: Executions this answer consumed (1 = no retries).
+    attempts: int = 1
+    #: Total simulated backoff the retry schedule inserted before the
+    #: attempt that produced this answer.
+    retry_backoff: float = 0.0
+    #: Graph version a ``degraded`` answer was computed against (None
+    #: for non-degraded responses).
+    stale_version: int | None = None
 
 
 class _Group:
@@ -148,7 +185,7 @@ class _Group:
 class _Unit:
     """One executable workflow: a solo query or a merged batch."""
 
-    __slots__ = ("groups", "rows_by_group", "cost", "wall", "error")
+    __slots__ = ("groups", "rows_by_group", "cost", "wall", "error", "failed_cost")
 
     def __init__(self, groups: list[_Group]):
         self.groups = groups
@@ -156,6 +193,29 @@ class _Unit:
         self.cost = 0.0
         self.wall = 0.0  # real seconds spent executing (diagnostic only)
         self.error: str | None = None
+        #: Simulated seconds the cluster burned before a failed attempt
+        #: aborted (committed prefix + wasted work); 0.0 on success.
+        self.failed_cost = 0.0
+
+
+class _Attempt:
+    """One scheduled execution of a unit's groups in the resilient
+    work queue.  ``attempt`` is 1-based; ``not_before`` is the earliest
+    simulated start (window close, or failure time + backoff)."""
+
+    __slots__ = ("groups", "attempt", "not_before", "backoff_total")
+
+    def __init__(
+        self,
+        groups: list[_Group],
+        attempt: int,
+        not_before: float,
+        backoff_total: float,
+    ):
+        self.groups = groups
+        self.attempt = attempt
+        self.not_before = not_before
+        self.backoff_total = backoff_total
 
 
 _COUNTER_KEYS = (
@@ -164,12 +224,27 @@ _COUNTER_KEYS = (
     "rejected",
     "failed",
     "deadline_exceeded",
+    "deadline_exceeded_at_dispatch",
     "dedup_requests",
     "batch_windows",
     "batch_merges",
     "batch_merged_requests",
     "units_solo",
     "units_batch",
+)
+
+#: Counters kept only when a :class:`ResilienceConfig` is wired in;
+#: merged into :meth:`QueryService.counter_snapshot` so committed
+#: non-resilient goldens keep their key set.
+_RESILIENCE_COUNTER_KEYS = (
+    "retries",
+    "retry_successes",
+    "retries_abandoned_deadline",
+    "isolated_groups",
+    "breaker_fast_fails",
+    "batching_bypassed_windows",
+    "shed_requests",
+    "degraded_stale",
 )
 
 
@@ -189,8 +264,21 @@ class QueryService:
         self.calibration = calibration
         self.plan_cache = LRUCache(self.config.plan_cache_size)
         self.result_cache = LRUCache(self.config.result_cache_size)
+        #: Last-known-good answers for the degraded tier (fed only when
+        #: resilience is configured with the stale tier on).
+        self.stale_results = StaleResultStore(self.config.result_cache_size)
         self.counters: dict[str, int] = {key: 0 for key in _COUNTER_KEYS}
+        self.resilience_counters: dict[str, int] = {
+            key: 0 for key in _RESILIENCE_COUNTER_KEYS
+        }
         self.executed_cost_seconds = 0.0
+        #: Simulated seconds charged to retries via resubmit_cost.
+        self.retry_cost_seconds = 0.0
+        self._breaker = (
+            CircuitBreaker(self.config.resilience.breaker, engine=self.config.engine)
+            if self.config.resilience is not None
+            else None
+        )
         self._next_id = 0
         self._floor = 0.0  # close time of the last processed window
         self._worker_free = [0.0] * self.config.workers
@@ -234,11 +322,22 @@ class QueryService:
 
     def counter_snapshot(self) -> dict[str, int | float]:
         """Scheduler + cache counters, deterministically key-ordered
-        (sorted, not insertion order — consumers may diff snapshots)."""
+        (sorted, not insertion order — consumers may diff snapshots).
+        Resilience counters (retries, breaker, shed, degraded, stale
+        store) appear only when a :class:`ResilienceConfig` is wired
+        in, so non-resilient goldens keep their key set."""
         snapshot: dict[str, int | float] = dict(self.counters)
         for name, cache in (("plan_cache", self.plan_cache), ("result_cache", self.result_cache)):
             for key, value in cache.stats().items():
                 snapshot[f"{name}_{key}"] = value
+        if self.config.resilience is not None:
+            snapshot.update(self.resilience_counters)
+            snapshot["breaker_trips"] = self._breaker.trips
+            snapshot["breaker_half_opens"] = self._breaker.half_opens
+            snapshot["breaker_closes"] = self._breaker.closes
+            snapshot["retry_cost_seconds"] = round(self.retry_cost_seconds, 6)
+            for key, value in self.stale_results.stats().items():
+                snapshot[f"stale_store_{key}"] = value
         return dict(sorted(snapshot.items()))
 
     # -- metrics -----------------------------------------------------------------
@@ -266,7 +365,11 @@ class QueryService:
             statuses.labels(status=response.status).inc()
             if response.source is not None:
                 answers.labels(source=response.source).inc()
-            if response.latency is not None and response.status in (OK, DEADLINE):
+            if response.latency is not None and response.status in (
+                OK,
+                DEADLINE,
+                DEGRADED,
+            ):
                 latency.labels(engine=self.config.engine).observe(response.latency)
             if response.started is not None:
                 wait.labels().observe(max(0.0, response.started - response.arrival))
@@ -323,14 +426,137 @@ class QueryService:
             registry.histogram(
                 "serve_window_admitted", "requests admitted per batching window"
             ).labels().observe(len(admitted))
+        if config.resilience is not None:
+            admitted, shed = self._shed_lowest_priority(admitted, close)
+            responses.extend(shed)
         groups, failed = self._resolve_plans(admitted, close)
         responses.extend(failed)
         groups, cached = self._consult_result_cache(groups, close)
         responses.extend(cached)
-        units = self._form_units(groups, close)
-        self._execute_units(units)
-        responses.extend(self._settle_units(units, close))
+        groups, expired = self._enforce_dispatch_deadlines(groups, close)
+        responses.extend(expired)
+        if config.resilience is None:
+            units = self._form_units(groups, close)
+            self._execute_units(units)
+            responses.extend(self._settle_units(units, close))
+        else:
+            responses.extend(self._run_resilient(groups, close))
         return responses
+
+    def _shed_lowest_priority(
+        self, admitted: list[tuple[int, ServeRequest]], close: float
+    ) -> tuple[list[tuple[int, ServeRequest]], list[ServeResponse]]:
+        """The load-shedding degradation tier: when admitted plus
+        still-running work at the window close crosses the threshold,
+        drop the overflow — lowest priority first, latest arrival first
+        within a priority — before any planning or cluster cost is
+        spent.  Pure function of the window's contents, so shedding is
+        as deterministic as everything else."""
+        threshold = self.config.resilience.degradation.shed_threshold
+        if threshold is None or not admitted:
+            return admitted, []
+        in_flight = sum(1 for t in self._open if t > close)
+        overflow = in_flight + len(admitted) - threshold
+        if overflow <= 0:
+            return admitted, []
+        ranked = sorted(
+            admitted, key=lambda item: (-item[1].priority, item[1].arrival, item[0])
+        )
+        keep_ids = {rid for rid, _ in ranked[: len(admitted) - overflow]}
+        kept: list[tuple[int, ServeRequest]] = []
+        responses: list[ServeResponse] = []
+        for rid, request in admitted:
+            if rid in keep_ids:
+                kept.append((rid, request))
+                continue
+            self.resilience_counters["shed_requests"] += 1
+            self._resilience_metric("serve_shed_total", "requests shed under load")
+            obs.event(
+                "request-shed",
+                {
+                    "request": rid,
+                    "priority": request.priority,
+                    "depth": in_flight + len(admitted),
+                    "threshold": threshold,
+                },
+            )
+            responses.append(
+                ServeResponse(
+                    request_id=rid,
+                    label=request.label,
+                    status=SHED,
+                    arrival=request.arrival,
+                    error=(
+                        f"load shed: queue depth {in_flight + len(admitted)} > "
+                        f"{threshold} (priority {request.priority})"
+                    ),
+                    completed=close,
+                    latency=close - request.arrival,
+                )
+            )
+        return kept, responses
+
+    def _enforce_dispatch_deadlines(
+        self, groups: list[_Group], close: float
+    ) -> tuple[list[_Group], list[ServeResponse]]:
+        """Fail requests whose queue wait already exceeds their deadline
+        *before* any cluster cost is charged.  The check uses the window
+        close (the earliest possible start), so it is conservative:
+        requests that only blow their deadline while queued behind
+        earlier units are still caught post-execution by ``_finish``."""
+        kept: list[_Group] = []
+        responses: list[ServeResponse] = []
+        for group in groups:
+            survivors: list[tuple[int, ServeRequest]] = []
+            for rid, request in group.requests:
+                deadline = (
+                    request.deadline
+                    if request.deadline is not None
+                    else self.config.deadline
+                )
+                wait = close - request.arrival
+                if deadline is None or wait <= deadline:
+                    survivors.append((rid, request))
+                    continue
+                self.counters["deadline_exceeded"] += 1
+                self.counters["deadline_exceeded_at_dispatch"] += 1
+                self._open.append(close)
+                obs.event(
+                    "request-deadline",
+                    {
+                        "request": rid,
+                        "latency": wait,
+                        "deadline": deadline,
+                        "stage": "dispatch",
+                    },
+                )
+                responses.append(
+                    ServeResponse(
+                        request_id=rid,
+                        label=request.label,
+                        status=DEADLINE,
+                        arrival=request.arrival,
+                        fingerprint=group.fp.digest,
+                        error=(
+                            f"deadline exceeded before dispatch: "
+                            f"{wait:.6f}s queued > {deadline:.6f}s"
+                        ),
+                        started=close,
+                        completed=close,
+                        latency=wait,
+                    )
+                )
+            if survivors:
+                group.requests = survivors
+                kept.append(group)
+        return kept, responses
+
+    def _resilience_metric(self, name: str, help_text: str, **labels: str) -> None:
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.counter(name, help_text, tuple(sorted(labels))).labels(
+                **labels
+            ).inc()
 
     def _resolve_plans(
         self, admitted: list[tuple[int, ServeRequest]], close: float
@@ -426,11 +652,16 @@ class QueryService:
 
     # -- unit formation and execution --------------------------------------------
 
-    def _form_units(self, groups: list[_Group], close: float) -> list[_Unit]:
+    def _form_units(
+        self, groups: list[_Group], close: float, force_solo: bool = False
+    ) -> list[_Unit]:
         """Partition the window's distinct queries into executable units,
-        greedily merging overlapping patterns when batching is enabled."""
+        greedily merging overlapping patterns when batching is enabled.
+        ``force_solo`` suspends merging for one window (the half-open
+        breaker's minimal-blast-radius probes)."""
         if (
-            not self.config.enable_batching
+            force_solo
+            or not self.config.enable_batching
             or self.config.engine != "rapid-analytics"
             or len(groups) < 2
         ):
@@ -497,18 +728,19 @@ class QueryService:
             )
         return True, decision
 
-    def _run_unit(self, unit: _Unit) -> None:
+    def _run_unit(self, unit: _Unit, engine_config: EngineConfig | None = None) -> None:
         config = self.config
+        base_config = engine_config if engine_config is not None else config.engine_config
         wall_start = time.perf_counter()
         try:
             if len(unit.groups) == 1:
                 digest = unit.groups[0].fp.digest
-                engine_config = config.engine_config
+                solo_config = base_config
                 adaptive, decision = self._cached_plan_decision(digest)
                 if decision is not None:
-                    engine_config = replace(engine_config, plan_decision=decision)
+                    solo_config = replace(solo_config, plan_decision=decision)
                 report = make_engine(config.engine).execute(
-                    unit.groups[0].fp.query, self.graph, engine_config
+                    unit.groups[0].fp.query, self.graph, solo_config
                 )
                 if (
                     adaptive
@@ -527,12 +759,19 @@ class QueryService:
                 batch = execute_batch(
                     [group.fp.query for group in unit.groups],
                     self.graph,
-                    config.engine_config,
+                    base_config,
                 )
                 unit.rows_by_group = batch.rows_by_query
                 unit.cost = batch.cost_seconds
         except ReproError as error:
             unit.error = f"{type(error).__name__}: {error}"
+            # The cluster still burned real simulated time before the
+            # abort: the committed prefix's cost plus the aborted
+            # attempt's wasted seconds (attached by the runner).
+            partial = getattr(error, "partial_stats", None)
+            unit.failed_cost = getattr(error, "wasted_seconds", 0.0) + (
+                partial.total_cost if partial is not None else 0.0
+            )
         finally:
             unit.wall = time.perf_counter() - wall_start
 
@@ -642,6 +881,402 @@ class QueryService:
                     )
         return responses
 
+    # -- resilient execution -------------------------------------------------------
+    #
+    # With a ResilienceConfig wired in, the window's units run through a
+    # deterministic work queue on the coordinator thread instead of the
+    # thread pool: attempts are sequenced, each gated by the circuit
+    # breaker at its simulated start time, failures feed the breaker's
+    # sliding window, and failed units re-enter the queue per the retry
+    # schedule.  A failed *batch* is split into solo re-executions
+    # (blast-radius isolation) so one poisoned query cannot take down
+    # its whole window.  Everything stays a pure function of (graph,
+    # config, request sequence) — the queue order, worker assignment,
+    # and breaker transitions are all driven by simulated times.
+
+    def _run_resilient(self, groups: list[_Group], close: float) -> list[ServeResponse]:
+        res = self.config.resilience
+        responses: list[ServeResponse] = []
+        if not groups:
+            return responses
+        state = self._breaker.state(close)
+        if state == CircuitBreaker.OPEN:
+            for group in groups:
+                responses.extend(
+                    self._degrade_group(
+                        group,
+                        close,
+                        reason=(
+                            f"circuit breaker open for engine "
+                            f"{self.config.engine!r}"
+                        ),
+                        fast_fail=True,
+                        attempts=0,
+                        backoff_total=0.0,
+                    )
+                )
+            return responses
+        force_solo = (
+            state == CircuitBreaker.HALF_OPEN and res.degradation.bypass_batching
+        )
+        if force_solo and len(groups) > 1:
+            self.resilience_counters["batching_bypassed_windows"] += 1
+            obs.event(
+                "batching-bypass",
+                {"close": close, "queries": [g.fp.digest for g in groups]},
+            )
+        units = self._form_units(groups, close, force_solo=force_solo)
+        registry = obs_metrics.active_registry()
+        queue: deque[_Attempt] = deque(
+            _Attempt(unit.groups, 1, close, 0.0) for unit in units
+        )
+        while queue:
+            item = queue.popleft()
+            worker = min(
+                range(len(self._worker_free)), key=self._worker_free.__getitem__
+            )
+            started = max(item.not_before, self._worker_free[worker])
+            if not self._breaker.allow(started):
+                for group in item.groups:
+                    responses.extend(
+                        self._degrade_group(
+                            group,
+                            started,
+                            reason=(
+                                f"circuit breaker open for engine "
+                                f"{self.config.engine!r}"
+                            ),
+                            fast_fail=True,
+                            attempts=item.attempt - 1,
+                            backoff_total=item.backoff_total,
+                        )
+                    )
+                continue
+            unit = _Unit(list(item.groups))
+            self._run_unit(unit, self._attempt_engine_config(item))
+            resubmit = 0.0
+            if item.attempt > 1:
+                # Each re-execution is a fresh workflow submission; the
+                # driver overhead is priced exactly like a checkpointed
+                # resubmission with nothing salvageable.
+                resubmit = self.config.engine_config.cost_model.resubmit_cost(
+                    committed_jobs=0, committed_bytes=0
+                )
+                self.retry_cost_seconds += resubmit
+            if len(unit.groups) > 1:
+                self.counters["units_batch"] += 1
+            else:
+                self.counters["units_solo"] += 1
+            if registry is not None:
+                registry.histogram(
+                    "serve_unit_queries", "distinct queries per executed unit"
+                ).labels().observe(len(unit.groups))
+                unit_sim, unit_wall = registry.dual_histogram(
+                    "serve_unit_cost", "executed unit cost"
+                )
+                unit_sim.labels().observe(unit.cost)
+                unit_wall.labels().observe(unit.wall)
+            if unit.error is None:
+                cost = unit.cost + resubmit
+                completed = started + cost
+                self._worker_free[worker] = completed
+                self.executed_cost_seconds += cost
+                self._breaker.record_success(completed)
+                if item.attempt > 1:
+                    self.resilience_counters["retry_successes"] += 1
+                    self._resilience_metric(
+                        "serve_retries_total",
+                        "serve-layer retries by outcome",
+                        outcome="success",
+                    )
+                responses.extend(self._settle_success(unit, item, started, completed))
+                continue
+            failed_cost = unit.failed_cost + resubmit
+            failed_at = started + failed_cost
+            self._worker_free[worker] = failed_at
+            self.executed_cost_seconds += failed_cost
+            self._breaker.record_failure(failed_at)
+            if item.attempt > 1:
+                self._resilience_metric(
+                    "serve_retries_total",
+                    "serve-layer retries by outcome",
+                    outcome="failed",
+                )
+            obs.event(
+                "unit-failed",
+                {
+                    "queries": [group.fp.digest for group in item.groups],
+                    "attempt": item.attempt,
+                    "error": unit.error,
+                },
+            )
+            if len(item.groups) > 1:
+                # Blast-radius isolation: the members survive the batch.
+                obs.event(
+                    "batch-isolation",
+                    {
+                        "queries": [group.fp.digest for group in item.groups],
+                        "error": unit.error,
+                    },
+                )
+                for group in item.groups:
+                    self.resilience_counters["isolated_groups"] += 1
+                    self._schedule_retry(
+                        group, item, failed_at, unit.error, queue, responses
+                    )
+            else:
+                self._schedule_retry(
+                    item.groups[0], item, failed_at, unit.error, queue, responses
+                )
+        return responses
+
+    def _attempt_engine_config(self, item: _Attempt) -> EngineConfig | None:
+        """The engine config for one attempt: the base config, except
+        that re-executions under a fault plan derive a fresh seed — a
+        resubmitted workflow gets fresh task fates, not a replay of the
+        exact crash that killed it (see RetryPolicy.fault_seed)."""
+        if item.attempt == 1:
+            return None
+        plan = self.config.engine_config.fault_plan
+        if plan is None:
+            return None
+        seed = self.config.resilience.retry.fault_seed(
+            plan.seed, item.groups[0].fp.digest, item.attempt
+        )
+        return replace(
+            self.config.engine_config, fault_plan=replace(plan, seed=seed)
+        )
+
+    def _deadline_limit(self, group: _Group) -> float | None:
+        """Latest simulated time any member can still be answered in
+        time (min over members of arrival + deadline); None when no
+        member has a deadline."""
+        limits = []
+        for _, request in group.requests:
+            deadline = (
+                request.deadline if request.deadline is not None else self.config.deadline
+            )
+            if deadline is not None:
+                limits.append(request.arrival + deadline)
+        return min(limits) if limits else None
+
+    def _schedule_retry(
+        self,
+        group: _Group,
+        item: _Attempt,
+        failed_at: float,
+        error: str,
+        queue: deque,
+        responses: list[ServeResponse],
+    ) -> None:
+        """Re-enqueue a failed group per the retry schedule, or hand it
+        to the degradation tiers when the budget (or the deadline) is
+        spent.  A retry whose backoff lands past every member's deadline
+        is never scheduled — the deadline budget bounds the schedule."""
+        res = self.config.resilience
+        retry_index = item.attempt  # retry k follows attempt k
+        if retry_index <= res.retry.retries:
+            backoff = res.retry.backoff(group.fp.digest, retry_index)
+            not_before = failed_at + backoff
+            limit = self._deadline_limit(group)
+            if limit is None or not_before <= limit:
+                self.resilience_counters["retries"] += 1
+                registry = obs_metrics.active_registry()
+                if registry is not None:
+                    registry.histogram(
+                        "serve_retry_backoff_sim_seconds",
+                        "backoff inserted before serve-layer retries",
+                    ).labels().observe(backoff)
+                obs.event(
+                    "request-retry",
+                    {
+                        "digest": group.fp.digest,
+                        "attempt": item.attempt + 1,
+                        "backoff": round(backoff, 6),
+                        "not_before": round(not_before, 6),
+                    },
+                )
+                queue.append(
+                    _Attempt(
+                        [group],
+                        item.attempt + 1,
+                        not_before,
+                        item.backoff_total + backoff,
+                    )
+                )
+                return
+            self.resilience_counters["retries_abandoned_deadline"] += 1
+            self._resilience_metric(
+                "serve_retries_total",
+                "serve-layer retries by outcome",
+                outcome="abandoned-deadline",
+            )
+            error = f"{error} (retry abandoned: backoff lands past deadline)"
+        responses.extend(
+            self._degrade_group(
+                group,
+                failed_at,
+                reason=error,
+                fast_fail=False,
+                attempts=item.attempt,
+                backoff_total=item.backoff_total,
+            )
+        )
+
+    def _degrade_group(
+        self,
+        group: _Group,
+        now: float,
+        *,
+        reason: str,
+        fast_fail: bool,
+        attempts: int,
+        backoff_total: float,
+    ) -> list[ServeResponse]:
+        """The end of the line for a group that cannot be executed: the
+        stale tier answers from the last-known-good store (marked
+        ``degraded``, charged ``stale_serve_overhead``); without a
+        stored answer the members fail.  ``fast_fail`` marks breaker
+        turn-aways (counted per member either way)."""
+        res = self.config.resilience
+        responses: list[ServeResponse] = []
+        if fast_fail:
+            for _ in group.requests:
+                self.resilience_counters["breaker_fast_fails"] += 1
+                self._resilience_metric(
+                    "serve_breaker_events_total",
+                    "circuit-breaker transitions and fast-fails",
+                    engine=self.config.engine,
+                    event="fast-fail",
+                )
+        stale = (
+            self.stale_results.lookup(group.fp.digest, self.config.engine)
+            if res.degradation.stale
+            else None
+        )
+        if stale is not None:
+            version, rows = stale
+            overhead = self.config.engine_config.cost_model.stale_serve_overhead
+            completed = now + overhead
+            self.executed_cost_seconds += overhead
+            obs.event(
+                "request-degraded",
+                {
+                    "digest": group.fp.digest,
+                    "stale_version": version,
+                    "requests": len(group.requests),
+                    "reason": reason,
+                },
+            )
+            for rid, request in group.requests:
+                self._open.append(completed)
+                self.resilience_counters["degraded_stale"] += 1
+                self._resilience_metric(
+                    "serve_degraded_total",
+                    "degraded answers by tier",
+                    tier="stale-cache",
+                )
+                latency = completed - request.arrival
+                deadline = (
+                    request.deadline
+                    if request.deadline is not None
+                    else self.config.deadline
+                )
+                response = ServeResponse(
+                    request_id=rid,
+                    label=request.label,
+                    status=DEGRADED,
+                    arrival=request.arrival,
+                    fingerprint=group.fp.digest,
+                    rows=list(rows),
+                    started=now,
+                    completed=completed,
+                    latency=latency,
+                    source="stale-cache",
+                    attempts=attempts,
+                    retry_backoff=backoff_total,
+                    stale_version=version,
+                )
+                if deadline is not None and latency > deadline:
+                    self.counters["deadline_exceeded"] += 1
+                    obs.event(
+                        "request-deadline",
+                        {"request": rid, "latency": latency, "deadline": deadline},
+                    )
+                    response.status = DEADLINE
+                    response.rows = None
+                    response.source = None
+                    response.stale_version = None
+                    response.error = (
+                        f"deadline exceeded: {latency:.6f}s > {deadline:.6f}s"
+                    )
+                responses.append(response)
+            return responses
+        for rid, request in group.requests:
+            self._open.append(now)
+            self.counters["failed"] += 1
+            obs.event("request-failed", {"request": rid, "error": reason})
+            responses.append(
+                ServeResponse(
+                    request_id=rid,
+                    label=request.label,
+                    status=FAILED,
+                    arrival=request.arrival,
+                    fingerprint=group.fp.digest,
+                    error=reason,
+                    started=now,
+                    completed=now,
+                    latency=now - request.arrival,
+                    attempts=attempts,
+                    retry_backoff=backoff_total,
+                )
+            )
+        return responses
+
+    def _settle_success(
+        self, unit: _Unit, item: _Attempt, started: float, completed: float
+    ) -> list[ServeResponse]:
+        """Fan one successful (possibly retried) unit out to its
+        members; successful rows also refresh the stale store so the
+        degraded tier always holds the last-known-good answer."""
+        res = self.config.resilience
+        responses: list[ServeResponse] = []
+        for group, rows in zip(unit.groups, unit.rows_by_group):
+            if len(unit.groups) > 1:
+                obs.event(
+                    "batch-split",
+                    {
+                        "digest": group.fp.digest,
+                        "rows": len(rows),
+                        "requests": len(group.requests),
+                    },
+                )
+            if self.config.enable_result_cache:
+                self.result_cache.put(self._result_key(group.fp.digest), rows)
+            if res.degradation.stale:
+                self.stale_results.put(
+                    group.fp.digest, self.config.engine, self.graph.version, rows
+                )
+            source = "batch" if len(unit.groups) > 1 else "solo"
+            for position, (rid, request) in enumerate(group.requests):
+                self._open.append(completed)
+                responses.append(
+                    self._finish(
+                        rid,
+                        request,
+                        group,
+                        rows,
+                        started=started,
+                        completed=completed,
+                        source=source if position == 0 else "dedup",
+                        batch_size=len(unit.groups),
+                        unit_cost=unit.cost,
+                        attempts=item.attempt,
+                        retry_backoff=item.backoff_total,
+                    )
+                )
+        return responses
+
     def _finish(
         self,
         rid: int,
@@ -654,6 +1289,8 @@ class QueryService:
         source: str,
         batch_size: int,
         unit_cost: float,
+        attempts: int = 1,
+        retry_backoff: float = 0.0,
     ) -> ServeResponse:
         latency = completed - request.arrival
         deadline = request.deadline if request.deadline is not None else self.config.deadline
@@ -670,6 +1307,8 @@ class QueryService:
             source=source,
             batch_size=batch_size,
             unit_cost=unit_cost,
+            attempts=attempts,
+            retry_backoff=retry_backoff,
         )
         if deadline is not None and latency > deadline:
             self.counters["deadline_exceeded"] += 1

@@ -462,7 +462,8 @@ def spec_from_report(report: dict[str, Any]) -> WorkloadSpec:
 def project_v1(report: dict[str, Any]) -> dict[str, Any]:
     """A v2 report reduced to the v1 shape (for diffing v1 goldens):
     drop the SLO section and verdict, the ``planner`` workload knob,
-    p95 latencies, and the cache hit-ratio counters v1 never carried."""
+    p95 latencies, and the counters v1 never carried (cache hit ratios,
+    the dispatch-time deadline split)."""
     projected = json.loads(json.dumps(report))
     projected["schema"] = SERVE_SCHEMA_V1
     projected.pop("slo", None)
@@ -474,6 +475,7 @@ def project_v1(report: dict[str, Any]) -> dict[str, Any]:
             key: value
             for key, value in run["counters"].items()
             if not key.endswith("_hit_ratio")
+            and key != "deadline_exceeded_at_dispatch"
         }
     return projected
 

@@ -367,6 +367,94 @@ def test_serve_unknown_mix_exits_2(capsys):
     assert "unknown mix" in err
 
 
+def test_serve_resilience_ab_smoke(capsys, tmp_path):
+    out_path = tmp_path / "resilience.json"
+    code, out, _ = run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=2,mix=chem-overlap,requests=6",
+        "--faults", "11,0.02,0,0,1",
+        "--resilience", "default",
+        "--output", str(out_path),
+    )
+    assert code == 0
+    assert "resilience A/B" in out
+    assert "pooled availability" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro-serve-resilience/v1"
+    assert report["verdicts"]["ok_rows_match_fault_free"] is True
+
+
+def test_serve_resilience_golden_roundtrip(capsys, tmp_path):
+    out_path = tmp_path / "resilience.json"
+    argv = (
+        "serve",
+        "--workload", "seeds=1,clients=2,mix=chem-overlap,requests=6",
+        "--faults", "11,0.02,0,0,1",
+        "--resilience", "default",
+    )
+    run_cli(capsys, *argv, "--output", str(out_path))
+    code, out, _ = run_cli(capsys, *argv, "--golden", str(out_path))
+    assert code == 0
+    assert "serve golden ok" in out
+
+
+def test_serve_faults_alone_runs_the_ab_with_defaults(capsys):
+    """--faults without --resilience still runs the A/B (default
+    policies on the on arm)."""
+    code, out, _ = run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=2,mix=chem-overlap,requests=6",
+        "--faults", "11,0.02,0,0,1",
+    )
+    assert code == 0
+    assert "resilience A/B" in out
+
+
+def test_serve_bad_faults_spec_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=1,mix=chem-overlap,requests=4",
+        "--faults", "banana",
+    )
+    assert code == 2
+    assert "error:" in err
+    assert err.count("\n") == 1
+
+
+def test_serve_bad_resilience_spec_exits_2(capsys):
+    for spec in ("retries=-1", "banana=1", "retries"):
+        code, _, err = run_cli(
+            capsys, "serve",
+            "--workload", "seeds=1,clients=1,mix=chem-overlap,requests=4",
+            "--faults", "11,0.02",
+            "--resilience", spec,
+        )
+        assert code == 2, spec
+        assert "invalid resilience spec" in err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+def test_serve_resilience_requires_faults(capsys):
+    code, _, err = run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=1,mix=chem-overlap,requests=4",
+        "--resilience", "default",
+    )
+    assert code == 2
+    assert "--resilience requires --faults" in err
+
+
+def test_serve_metrics_and_faults_are_exclusive(capsys, tmp_path):
+    code, _, err = run_cli(
+        capsys, "serve",
+        "--workload", "seeds=1,clients=1,mix=chem-overlap,requests=4",
+        "--faults", "11,0.02",
+        "--metrics", str(tmp_path / "m.json"),
+    )
+    assert code == 2
+    assert "--metrics" in err
+
+
 def test_run_bad_faults_spec_exits_2(capsys):
     code, _, err = run_cli(
         capsys, "run", "G1", "--preset", "tiny", "--faults", "1,9.5"

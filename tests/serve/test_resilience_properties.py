@@ -1,0 +1,113 @@
+"""Property tests for the resilience layer.
+
+Two invariants the golden alone cannot pin:
+
+1. Retry schedules are pure functions of (policy, query) and
+   non-decreasing in the attempt number — guaranteed structurally by the
+   ``backoff_factor >= 1 + jitter`` validation, whatever the jitter
+   draws.
+2. Availability is monotone non-decreasing in the retry budget at a
+   fixed fault seed and rate: adding retries can only convert failures
+   into answers, never the reverse.  Requires the breaker disabled
+   (``threshold=0``) and no deadlines — both features deliberately trade
+   availability for other goods.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.catalog import get_query
+from repro.bench.harness import chem_config
+from repro.mapreduce.faults import FaultPlan
+from repro.serve import (
+    DEGRADED,
+    OK,
+    BreakerPolicy,
+    QueryService,
+    ResilienceConfig,
+    RetryPolicy,
+    ServeRequest,
+    ServiceConfig,
+)
+
+QIDS = ("MG6", "MG7", "MG8", "G8")
+
+digests = st.text(
+    alphabet="0123456789abcdef", min_size=4, max_size=32
+)
+jitters = st.floats(min_value=0.0, max_value=0.9, exclude_max=True)
+
+
+@st.composite
+def retry_policies(draw):
+    jitter = draw(jitters)
+    return RetryPolicy(
+        retries=draw(st.integers(min_value=1, max_value=6)),
+        base_backoff=draw(st.floats(min_value=0.01, max_value=5.0)),
+        backoff_factor=draw(
+            st.floats(min_value=1.0 + jitter, max_value=4.0)
+        ),
+        jitter=jitter,
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(policy=retry_policies(), digest=digests)
+def test_schedule_is_deterministic_and_nondecreasing(policy, digest):
+    schedule = policy.schedule(digest)
+    # Deterministic: a freshly constructed equal policy reproduces it.
+    clone = RetryPolicy(
+        retries=policy.retries,
+        base_backoff=policy.base_backoff,
+        backoff_factor=policy.backoff_factor,
+        jitter=policy.jitter,
+        seed=policy.seed,
+    )
+    assert clone.schedule(digest) == schedule
+    # Non-decreasing in the attempt number, whatever the jitter draws.
+    assert len(schedule) == policy.retries
+    assert all(b > 0 for b in schedule)
+    assert list(schedule) == sorted(schedule)
+
+
+_SERVE_SETTINGS = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _availability(graph, fault_plan, retries):
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(retries=retries),
+        breaker=BreakerPolicy(threshold=0),  # monotonicity needs no breaker
+    )
+    config = ServiceConfig(
+        engine_config=replace(chem_config(), fault_plan=fault_plan),
+        resilience=resilience,
+    )
+    service = QueryService(graph, config)
+    responses = service.serve(
+        [
+            ServeRequest(get_query(qid).sparql, arrival=0.01 * (i + 1), label=qid)
+            for i, qid in enumerate(QIDS)
+        ]
+    )
+    return sum(1 for r in responses if r.status in (OK, DEGRADED))
+
+
+@_SERVE_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    rate=st.sampled_from((0.01, 0.02, 0.05)),
+)
+def test_availability_is_monotone_in_retry_budget(chem_tiny, seed, rate):
+    fault_plan = FaultPlan(seed=seed, task_failure_rate=rate, max_attempts=1)
+    served = [
+        _availability(chem_tiny, fault_plan, retries) for retries in (0, 1, 2)
+    ]
+    assert served == sorted(served)
