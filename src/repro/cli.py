@@ -28,7 +28,13 @@ from typing import Callable, Iterator
 from repro.bench.catalog import CATALOG, get_query
 from repro.bench.harness import ALL_EXPERIMENTS
 from repro.bench.reporting import render_cost_table, render_gains_table
-from repro.core.engines import ENGINE_FACTORIES, PAPER_ENGINES, make_engine, to_analytical
+from repro.core.engines import (
+    ENGINE_FACTORIES,
+    PAPER_ENGINES,
+    _check_shard_support,
+    make_engine,
+    to_analytical,
+)
 from repro.core.explain import explain
 from repro.datasets import bsbm, chem2bio2rdf, pubmed
 from repro.errors import CheckpointError, ReproError, ServeError, WorkflowAbortedError
@@ -169,15 +175,23 @@ def _ambient_planner(mode: str | None) -> Iterator[None]:
 
 def _run_config(args: argparse.Namespace):
     """Build the EngineConfig for ``repro run`` from
-    --faults/--recover/--representation/--planner (None when none is
-    given, so the default-config path is untouched)."""
+    --faults/--recover/--representation/--planner/--shards (None when
+    none is given, so the default-config path is untouched)."""
     representation = _validated_representation(args)
     planner = _validated_planner(args)
+    shards, partitioner = 1, None
+    if getattr(args, "shards", None):
+        from repro.shard.ab import parse_shard_spec
+
+        shards, strategies = parse_shard_spec(args.shards)
+        partitioner = strategies[0] if len(strategies) == 1 else None
     if (
         not getattr(args, "faults", None)
         and getattr(args, "recover", None) is None
         and representation is None
         and planner is None
+        and shards == 1
+        and partitioner is None
     ):
         return None
     from repro.core.results import EngineConfig
@@ -191,6 +205,8 @@ def _run_config(args: argparse.Namespace):
         else None,
         representation=representation,
         planner=planner,
+        shards=shards,
+        partitioner=partitioner,
     )
 
 
@@ -200,6 +216,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     try:
         config = _run_config(args)
+        _check_shard_support(args.engine, config)
     except (MapReduceError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -263,25 +280,42 @@ def cmd_explain(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    shards, partitioner = 1, None
+    if args.shards:
+        from repro.errors import ShardError
+        from repro.shard.ab import parse_shard_spec
+
+        try:
+            shards, strategies = parse_shard_spec(args.shards)
+        except ShardError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        # A bare "N" explains the default (hash) partition; "N,strategy"
+        # pins one.
+        partitioner = strategies[0] if len(strategies) == 1 else None
     _infer_dataset(args)
     _, sparql = _resolve_query_text(args)
     # Hive plans always need data (runtime map-join decisions); the
     # RAPIDAnalytics planner section needs it too — the candidates are
-    # priced against the graph's statistics.  --plan-only skips the
-    # graph and shows just the structural plan.
+    # priced against the graph's statistics, and the sharding section
+    # against its partition.  --plan-only skips the graph and shows
+    # just the structural plan.
     graph = None
     needs_graph = (
         args.run
         or args.engine in ("hive-naive", "hive-mqo")
         or (args.engine == "rapid-analytics" and not args.plan_only)
+        or (args.shards and not args.plan_only)
     )
     if needs_graph:
         graph = _load_graph(args)
     config = None
-    if planner is not None:
+    if planner is not None or args.shards:
         from repro.core.results import EngineConfig
 
-        config = EngineConfig(planner=planner)
+        config = EngineConfig(
+            planner=planner or "rule", shards=shards, partitioner=partitioner
+        )
     run = None
     if args.run:
         run = make_engine(args.engine).execute(
@@ -318,7 +352,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     modes = [
         flag
-        for flag in ("faults", "profile", "chaos", "planner_ab", "calibration")
+        for flag in ("faults", "profile", "chaos", "planner_ab", "calibration", "shards")
         if getattr(args, flag)
     ]
     flags = [mode.replace("_", "-") for mode in modes]
@@ -343,6 +377,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if args.planner_ab:
         return _bench_planner_ab(args)
+    if args.shards:
+        return _bench_shards(args)
     if args.calibration:
         return _bench_calibration(args)
     if args.chaos:
@@ -470,6 +506,67 @@ def _bench_planner_ab(args: argparse.Namespace) -> int:
         ]
         print(
             f"INVARIANT VIOLATION: cost planner lost or drifted: {bad}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _bench_shards(args: argparse.Namespace) -> int:
+    """``repro bench <queries> --shards N[,strategy]``: run the
+    partitioner A/B on rapid-analytics — unsharded baseline vs each
+    strategy at N shards — reporting cross-shard exchange bytes,
+    edge-cut statistics, and costs.  *queries* is a comma-separated
+    catalog qid list or ``mg`` for MG1-MG4."""
+    from repro.errors import ShardError
+    from repro.shard.ab import (
+        DEFAULT_QUERIES,
+        check_shard_golden,
+        parse_shard_spec,
+        render_shard_report,
+        shard_ab_report,
+        write_shard_report,
+    )
+
+    try:
+        shards, strategies = parse_shard_spec(args.shards)
+    except ShardError as error:
+        # A malformed spec is a usage error (exit 2, one line), not a
+        # simulator failure.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.experiment in ("mg", "all", "shards"):
+        qids = list(DEFAULT_QUERIES)
+    else:
+        qids = [qid.strip() for qid in args.experiment.split(",") if qid.strip()]
+        unknown = [qid for qid in qids if qid not in CATALOG]
+        if unknown:
+            print(f"unknown catalog queries {unknown}", file=sys.stderr)
+            return 2
+    with _tracing_to(args.trace):
+        report = shard_ab_report(qids, shards, strategies)
+    print(render_shard_report(report))
+    if args.output:
+        path = write_shard_report(report, args.output)
+        print(f"wrote {path}")
+    if args.golden:
+        from pathlib import Path
+
+        problems = check_shard_golden(Path(args.golden))
+        if problems:
+            for problem in problems:
+                print(f"shard A/B golden mismatch: {problem}", file=sys.stderr)
+            return 1
+        print(f"shard A/B golden ok: {args.golden}")
+    if not report["verdicts"]["answers_all_match"]:
+        bad = [
+            f"{run['qid']}/{strategy}"
+            for run in report["runs"]
+            for strategy, result in run["strategies"].items()
+            if not result["rows_match"]
+        ]
+        print(
+            f"INVARIANT VIOLATION: sharded answers diverged: {bad}",
             file=sys.stderr,
         )
         return 1
@@ -980,6 +1077,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="recover job aborts via checkpointed workflow resubmission "
         "(optional resubmission budget, default 8)",
     )
+    run.add_argument(
+        "--shards",
+        default=None,
+        metavar="SPEC",
+        help="execute sharded across N workers: N (default hash "
+        "partition) or N,strategy (hash, locality, min-edge-cut); "
+        "NTGA engines only",
+    )
     add_trace_option(run)
     add_representation_option(run)
     add_planner_option(run)
@@ -1016,6 +1121,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also execute the query and append estimated-vs-actual "
         "cardinalities per MR cycle",
+    )
+    explain_cmd.add_argument(
+        "--shards",
+        default=None,
+        metavar="SPEC",
+        help="add the sharded-execution section: N (default hash "
+        "partition) or N,strategy; shows per-shard cardinalities, the "
+        "edge cut, and estimated exchange bytes",
     )
     explain_cmd.set_defaults(func=cmd_explain)
 
@@ -1067,6 +1180,18 @@ def build_parser() -> argparse.ArgumentParser:
         "actual q-error stats with drift verdicts (experiment is 'mg' "
         "for MG1-MG4 or a comma-separated qid list); --output/--golden "
         "write/verify the repro-calibration/v1 report",
+    )
+    bench.add_argument(
+        "--shards",
+        default=None,
+        metavar="SPEC",
+        help="partitioner A/B on rapid-analytics: 'N' compares all three "
+        "strategies (hash, locality, min-edge-cut) at N shards, "
+        "'N,strategy' runs one; every sharded run is checked "
+        "bit-identical to the unsharded baseline and cross-shard "
+        "exchange bytes are reported per strategy (experiment is 'mg' "
+        "for MG1-MG4 or a comma-separated qid list); --output/--golden "
+        "write/verify the repro-shard-ab/v1 report",
     )
     bench.add_argument(
         "--chaos",

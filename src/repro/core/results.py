@@ -47,6 +47,12 @@ class EngineConfig:
     :mod:`repro.plan`).  ``plan_decision`` names a candidate plan the
     serve layer's plan cache replays for this query's fingerprint,
     skipping re-selection (ignored under the rule planner).
+    ``shards``/``partitioner`` turn on sharded execution (see
+    :mod:`repro.shard`): the graph is partitioned across N simulated
+    workers, each shard evaluates the NTGA plan locally, and
+    cross-shard joins assemble through a priced exchange step.
+    ``shards=1`` is the single-cluster path; ``partitioner`` defaults
+    to ``"hash"`` when shards > 1.
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -58,6 +64,8 @@ class EngineConfig:
     representation: str | None = None
     planner: str | None = None
     plan_decision: str | None = None
+    shards: int = 1
+    partitioner: str | None = None
 
 
 @dataclass

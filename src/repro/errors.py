@@ -174,6 +174,20 @@ class DatasetError(ReproError):
     """Invalid dataset generator configuration."""
 
 
+class ShardError(ReproError):
+    """Sharded execution was misconfigured or misused.
+
+    Raised for invalid shard counts / partitioner names
+    (:mod:`repro.shard.partition`), for malformed ``repro bench
+    --shards`` specs (which must die with a one-line exit-2
+    diagnostic, like ``--faults``), and when an engine that does not
+    support partitioned execution is asked to run with ``shards > 1``.
+    Cross-shard execution outcomes (exchange volumes, per-shard
+    stats) are never raised — they are reported in counters and the
+    shard A/B report.
+    """
+
+
 class ServeError(ReproError):
     """The concurrent query service was misconfigured or misused.
 

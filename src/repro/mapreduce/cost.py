@@ -377,6 +377,14 @@ class CostModel:
     #: they are cheap — but nonzero so availability bought via staleness
     #: still shows up in the cost accounting instead of looking free.
     stale_serve_overhead: float = 0.05
+    #: Cross-shard exchange transfer rate (bytes/sec per receiving
+    #: slot).  Charged only on sharded runs, for bytes that cross a
+    #: partition boundary during the assembly exchange — deliberately
+    #: slower than the intra-cluster shuffle_rate, since exchange
+    #: traffic rides the inter-worker network, which is what makes
+    #: min-edge-cut partitioning pay off in priced cost and not just in
+    #: the byte counters.
+    exchange_rate: float = 6.0 * 1024
 
     def representation_advantage(
         self, *, flat_bytes: int, factorized_bytes: int, cycles: int = 1
@@ -453,8 +461,15 @@ class CostModel:
         output_bytes: int,
         map_tasks: int,
         reduce_tasks: int,
+        exchange_bytes: int = 0,
     ) -> float:
-        """Simulated wall-clock seconds for one MR job."""
+        """Simulated wall-clock seconds for one MR job.
+
+        ``exchange_bytes`` are bytes this job received across a shard
+        boundary (zero on unsharded runs); they ride the slower
+        inter-worker :attr:`exchange_rate` rather than being lumped
+        into the shuffle term.
+        """
         # An executing job always runs at least one map wave, even when
         # its inputs occupy zero splits (empty intermediate files).
         map_waves = max(1, math.ceil(map_tasks / cluster.map_slots))
@@ -462,6 +477,11 @@ class CostModel:
         cost = self.job_startup if reduce_tasks > 0 else self.map_only_startup
         cost += map_waves * self.map_task_overhead
         cost += input_bytes / (self.scan_rate * map_parallelism)
+        if exchange_bytes > 0:
+            receive_parallelism = max(
+                1, min(reduce_tasks or map_tasks, cluster.reduce_slots)
+            )
+            cost += exchange_bytes / (self.exchange_rate * receive_parallelism)
         if reduce_tasks > 0:
             reduce_waves = math.ceil(reduce_tasks / cluster.reduce_slots)
             reduce_parallelism = max(1, min(reduce_tasks, cluster.reduce_slots))
@@ -481,14 +501,17 @@ class CostModel:
         output_bytes: int,
         map_tasks: int,
         reduce_tasks: int,
+        exchange_bytes: int = 0,
     ) -> list[tuple[str, float]]:
         """The :meth:`job_cost` terms, decomposed into dataflow phases.
 
         Returns ``(phase_name, seconds)`` pairs in timeline order —
-        ``map`` (startup + map waves + scan), then for full jobs
-        ``shuffle`` (transfer) and ``reduce`` (reduce waves), then
-        ``materialize`` (output write).  The phase seconds sum to
-        :meth:`job_cost` (up to float addition order); the trace
+        ``map`` (startup + map waves + scan), then ``exchange``
+        (cross-shard transfer, present only when ``exchange_bytes > 0``
+        so unsharded decompositions keep their historical shape), then
+        for full jobs ``shuffle`` (transfer) and ``reduce`` (reduce
+        waves), then ``materialize`` (output write).  The phase seconds
+        sum to :meth:`job_cost` (up to float addition order); the trace
         recorder lays them out back to back on the simulated timeline.
         """
         map_waves = max(1, math.ceil(map_tasks / cluster.map_slots))
@@ -500,6 +523,16 @@ class CostModel:
             + input_bytes / (self.scan_rate * map_parallelism)
         )
         phases = [("map", map_seconds)]
+        if exchange_bytes > 0:
+            receive_parallelism = max(
+                1, min(reduce_tasks or map_tasks, cluster.reduce_slots)
+            )
+            phases.append(
+                (
+                    "exchange",
+                    exchange_bytes / (self.exchange_rate * receive_parallelism),
+                )
+            )
         if reduce_tasks > 0:
             reduce_waves = math.ceil(reduce_tasks / cluster.reduce_slots)
             reduce_parallelism = max(1, min(reduce_tasks, cluster.reduce_slots))

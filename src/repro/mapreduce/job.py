@@ -15,9 +15,12 @@ read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import MapReduceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cost imports rdf)
+    from repro.mapreduce.cost import ClusterConfig
 
 Mapper = Callable[[Any], Iterable[Any]]
 Reducer = Callable[[Any, list[Any]], Iterable[Any]]
@@ -55,6 +58,17 @@ class MapReduceJob:
     #: this cycle ("flat" or "factorized") — an annotation for traces
     #: and explain output; the mapper/reducer closures already embody it.
     representation: str = "flat"
+    #: Bytes this job receives across a shard boundary (set by the
+    #: sharded assembly driver on per-owner reduce jobs); priced through
+    #: the CostModel's ``exchange_rate`` and surfaced as its own phase
+    #: in the cost decomposition.  Zero on unsharded runs.
+    exchange_bytes: int = 0
+    #: Per-job cluster override: sharded execution runs each shard's
+    #: jobs on a slice of the global cluster (``nodes // shards``), so
+    #: per-shard parallelism — and therefore cost — reflects the
+    #: resources one worker actually owns.  ``None`` uses the runner's
+    #: cluster.
+    cluster: "ClusterConfig | None" = None
 
     def __post_init__(self) -> None:
         if (self.mapper is None) == (self.mapper_factory is None):
@@ -104,6 +118,8 @@ class JobStats:
     retried_tasks: int = 0
     speculative_tasks: int = 0
     wasted_bytes: int = 0
+    #: Bytes received across a shard boundary (zero off the sharded path).
+    exchange_bytes: int = 0
 
     def describe(self) -> str:
         kind = "map-only" if self.map_only else "map-reduce"
@@ -111,6 +127,8 @@ class JobStats:
             f"{self.name} [{kind}] in={self.input_bytes}B shuffle={self.shuffle_bytes}B "
             f"out={self.output_bytes}B cost={self.cost_seconds:.2f}s"
         )
+        if self.exchange_bytes:
+            line += f" exchange={self.exchange_bytes}B"
         if self.retried_tasks or self.speculative_tasks:
             line += (
                 f" retries={self.retried_tasks} speculative={self.speculative_tasks} "

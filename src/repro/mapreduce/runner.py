@@ -56,6 +56,13 @@ class WorkflowStats:
     #: ``None`` on every non-recovered run, so the default path's numbers
     #: are untouched.
     recovery: RecoveryStats | None = None
+    #: Simulated seconds saved by shards executing concurrently: for
+    #: each logical job the sharded driver runs N per-shard jobs whose
+    #: costs the job list records serially, then credits back
+    #: ``sum(shard costs) - max(shard costs)`` here (the shards overlap
+    #: on the wall clock; only the slowest is on the critical path).
+    #: Zero on unsharded runs.
+    overlap_seconds: float = 0.0
 
     @property
     def cycles(self) -> int:
@@ -71,7 +78,7 @@ class WorkflowStats:
 
     @property
     def total_cost(self) -> float:
-        cost = sum(job.cost_seconds for job in self.jobs)
+        cost = sum(job.cost_seconds for job in self.jobs) - self.overlap_seconds
         if self.recovery is not None:
             cost += self.recovery.extra_seconds
         return cost
@@ -79,6 +86,10 @@ class WorkflowStats:
     @property
     def total_shuffle_bytes(self) -> int:
         return sum(job.shuffle_bytes for job in self.jobs)
+
+    @property
+    def total_exchange_bytes(self) -> int:
+        return sum(job.exchange_bytes for job in self.jobs)
 
     @property
     def total_materialized_bytes(self) -> int:
@@ -244,6 +255,8 @@ class MapReduceRunner:
     ) -> JobStats:
         registry = obs_metrics.active_registry()
         wall_start = time.perf_counter() if registry is not None else 0.0
+        # Per-shard jobs run on their worker's slice of the cluster.
+        cluster = job.cluster or self.cluster
         input_records: list[Any] = []
         input_bytes = 0  # on-disk bytes (drives split count and counters)
         input_work_bytes = 0  # decompressed bytes (drives scan cost)
@@ -259,7 +272,7 @@ class MapReduceRunner:
             # Splits come from the stored size: compressed tables occupy
             # fewer blocks, hence fewer mappers (the paper's ORC effect);
             # zero-byte files occupy no blocks and add no mapper.
-            map_tasks += self.cluster.splits_for(file.size_bytes)
+            map_tasks += cluster.splits_for(file.size_bytes)
         # An executing job always runs at least one map task, even when
         # every input is an empty intermediate file (the implicit task
         # that discovers there is nothing to do still launches and must
@@ -356,7 +369,7 @@ class MapReduceRunner:
             counters.increment("shuffle_bytes", shuffle_bytes)
             counters.increment("reduce_input_records", len(shuffle_pairs))
 
-            reduce_tasks = max(1, min(len(by_key), self.cluster.reduce_slots))
+            reduce_tasks = max(1, min(len(by_key), cluster.reduce_slots))
             counters.increment("reduce_tasks", reduce_tasks)
 
             output_records = []
@@ -372,14 +385,19 @@ class MapReduceRunner:
         counters.increment("mr_cycles")
         if job.is_map_only:
             counters.increment("map_only_cycles")
+        if job.exchange_bytes:
+            # Gated: the counter family exists only on sharded runs, so
+            # unsharded counter bags keep their historical key sets.
+            counters.increment("exchange_bytes", job.exchange_bytes)
 
         cost = self.cost_model.job_cost(
-            self.cluster,
+            cluster,
             input_bytes=input_work_bytes + side_work_bytes,
             shuffle_bytes=shuffle_bytes,
             output_bytes=output_file.raw_bytes,
             map_tasks=map_tasks,
             reduce_tasks=reduce_tasks,
+            exchange_bytes=job.exchange_bytes,
         )
         tracer = obs.active_tracer()
         if span is not None and tracer is not None:
@@ -396,17 +414,20 @@ class MapReduceRunner:
                 cost_seconds=cost,
                 labels=list(job.labels),
             )
+            if job.exchange_bytes:
+                span.attrs["exchange_bytes"] = job.exchange_bytes
             # Lay the cost model's phase decomposition back to back on
             # the simulated timeline, then advance the clock by the
             # job's (identical, up to float addition order) total.
             offset = tracer.sim_now
             for phase_name, seconds in self.cost_model.job_cost_phases(
-                self.cluster,
+                cluster,
                 input_bytes=input_work_bytes + side_work_bytes,
                 shuffle_bytes=shuffle_bytes,
                 output_bytes=output_file.raw_bytes,
                 map_tasks=map_tasks,
                 reduce_tasks=reduce_tasks,
+                exchange_bytes=job.exchange_bytes,
             ):
                 tracer.add_closed_span(
                     phase_name, "phase", sim_start=offset, sim_dur=seconds
@@ -483,6 +504,7 @@ class MapReduceRunner:
             retried_tasks=retried,
             speculative_tasks=speculative,
             wasted_bytes=wasted,
+            exchange_bytes=job.exchange_bytes,
         )
 
     def _record_job_metrics(
@@ -515,12 +537,13 @@ class MapReduceRunner:
             ("phase",),
         )
         for phase_name, seconds in self.cost_model.job_cost_phases(
-            self.cluster,
+            job.cluster or self.cluster,
             input_bytes=input_bytes,
             shuffle_bytes=shuffle_bytes,
             output_bytes=output_bytes,
             map_tasks=map_tasks,
             reduce_tasks=reduce_tasks,
+            exchange_bytes=job.exchange_bytes,
         ):
             phase_hist.labels(phase=phase_name).observe(seconds)
         job_sim, job_wall = registry.dual_histogram(

@@ -184,7 +184,21 @@ class NTGAEngine:
             # call is a continuation of the same stats, so a failure in
             # it resubmits only the final join (the prefix's outputs are
             # already durable and, if recovery is on, ledger-committed).
-            if plan.final_join_index is None:
+            if config.shards > 1 or config.partitioner is not None:
+                from repro.shard.execution import ShardedExecutor
+
+                executor = ShardedExecutor(runner, store, graph, config)
+                if plan.final_join_index is None:
+                    stats = executor.run(plan.jobs)
+                    executor.inject_defaults(plan)
+                else:
+                    stats = executor.run(plan.jobs[: plan.final_join_index])
+                    executor.inject_defaults(plan)
+                    stats = executor.run(
+                        [plan.jobs[plan.final_join_index]], stats=stats
+                    )
+                executor.gather(plan.final_output)
+            elif plan.final_join_index is None:
                 stats = runner.run_workflow(plan.jobs)
                 inject_default_rows(plan, hdfs)
             else:
@@ -248,6 +262,13 @@ def execute_batch(
     patterns do not all overlap; callers fall back to solo execution.
     """
     config = config or EngineConfig()
+    if config.shards > 1 or config.partitioner is not None:
+        from repro.errors import ShardError
+
+        raise ShardError(
+            "MQO batch execution does not support sharded execution yet; "
+            "run the queries solo with shards > 1 or batch them unsharded"
+        )
     hdfs = HDFS(capacity=config.hdfs_capacity)
     with obs.span(
         "mqo-batch", "engine", {"engine": "rapid-analytics", "queries": len(queries)}

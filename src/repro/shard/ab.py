@@ -1,0 +1,247 @@
+"""Shard A/B harness: partitioning strategies head to head.
+
+For each query the harness runs RAPIDAnalytics once unsharded (the
+answer oracle and the cost baseline) and once per partitioning strategy
+at N shards, recording each strategy's cross-shard exchange volume, its
+edge-cut statistics, and the priced workflow cost.
+
+The report (``repro-shard-ab/v1``) is what
+``benchmarks/golden/BENCH_PR10.json`` pins: every sharded run must
+reproduce the unsharded answers bit-for-bit, and the min-edge-cut
+partitioner must move strictly fewer cross-shard bytes than hash
+partitioning on at least two MG-class queries.  Locality's standing is
+*reported*, not enforced — on BSBM-shaped data its contiguous ranges
+keep same-type subjects together while the MG joins cross types
+(offer→product, offer→vendor), so it can trail hash; the per-query
+ordering rows make that visible instead of hiding it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.bench.catalog import get_query
+from repro.core.engines import make_engine, to_analytical
+from repro.core.results import EngineConfig
+from repro.datasets import bsbm, chem2bio2rdf, pubmed
+from repro.errors import ShardError
+from repro.rdf.graph import Graph
+from repro.shard.partition import PARTITIONERS, build_partition, validate_partitioner
+
+SHARD_AB_SCHEMA = "repro-shard-ab/v1"
+
+#: The paper's BSBM multi-grouping slice — star-heavy queries whose
+#: inter-star joins make partitioning quality visible.
+DEFAULT_QUERIES = ("MG1", "MG2", "MG3", "MG4")
+
+DEFAULT_SHARDS = 4
+
+#: Small presets: the A/B verdicts are about cross-shard traffic
+#: ratios, not scale.
+_PRESET_BY_DATASET = {"bsbm": "tiny", "chem": "tiny", "pubmed": "tiny"}
+
+_GENERATORS = {
+    "bsbm": lambda name: bsbm.generate(bsbm.preset(name)),
+    "chem": lambda name: chem2bio2rdf.generate(chem2bio2rdf.preset(name)),
+    "pubmed": lambda name: pubmed.generate(pubmed.preset(name)),
+}
+
+
+def parse_shard_spec(spec: str) -> tuple[int, tuple[str, ...]]:
+    """Parse a ``--shards`` spec: ``"N"`` (all strategies) or
+    ``"N,strategy"`` (one strategy).  Raises :class:`ShardError` on
+    malformed input — the CLI turns that into a one-line exit-2
+    diagnostic, like ``--faults``."""
+    head, _, tail = spec.partition(",")
+    try:
+        shards = int(head)
+    except ValueError:
+        raise ShardError(
+            f"malformed --shards spec {spec!r}: expected N or N,strategy"
+        ) from None
+    if shards < 1:
+        raise ShardError(f"--shards count must be >= 1, got {shards}")
+    if not tail:
+        return shards, PARTITIONERS
+    return shards, (validate_partitioner(tail.strip()),)
+
+
+def rows_digest(rows: Iterable[dict]) -> str:
+    """Order-insensitive fingerprint of an answer multiset."""
+    canonical = sorted(
+        ",".join(
+            f"{variable.name}={term.n3()}"
+            for variable, term in sorted(row.items(), key=lambda kv: kv[0].name)
+        )
+        for row in rows
+    )
+    return hashlib.sha256("\n".join(canonical).encode("utf-8")).hexdigest()[:16]
+
+
+def shard_ab_report(
+    qids: Iterable[str] = DEFAULT_QUERIES,
+    shards: int = DEFAULT_SHARDS,
+    strategies: tuple[str, ...] = PARTITIONERS,
+) -> dict[str, Any]:
+    """Run the partitioner A/B over *qids* at *shards* workers."""
+    if shards < 1:
+        raise ShardError(f"shards must be >= 1, got {shards}")
+    for strategy in strategies:
+        validate_partitioner(strategy)
+    graphs: dict[str, Graph] = {}
+    runs: list[dict[str, Any]] = []
+    for qid in qids:
+        query = get_query(qid)
+        preset = _PRESET_BY_DATASET[query.dataset]
+        if query.dataset not in graphs:
+            graphs[query.dataset] = _GENERATORS[query.dataset](preset)
+        graph = graphs[query.dataset]
+        analytical = to_analytical(query.sparql)
+        engine = make_engine("rapid-analytics")
+        base = engine.execute(analytical, graph, EngineConfig())
+        base_digest = rows_digest(base.rows)
+        by_strategy: dict[str, Any] = {}
+        for strategy in strategies:
+            partition = build_partition(graph, strategy, shards)
+            report = engine.execute(
+                analytical,
+                graph,
+                EngineConfig(shards=shards, partitioner=strategy),
+            )
+            by_strategy[strategy] = {
+                "exchange_bytes": report.stats.total_exchange_bytes,
+                "cut_edges": partition.cut_edges,
+                "total_edges": partition.total_edges,
+                "actual_cost": round(report.cost_seconds, 6),
+                "cycles": report.cycles,
+                "rows_match": rows_digest(report.rows) == base_digest,
+            }
+        ranked = sorted(
+            by_strategy, key=lambda s: (by_strategy[s]["exchange_bytes"], s)
+        )
+        runs.append(
+            {
+                "qid": qid,
+                "dataset": query.dataset,
+                "preset": preset,
+                "rows": len(base.rows),
+                "rows_digest": base_digest,
+                "unsharded_cost": round(base.cost_seconds, 6),
+                "strategies": by_strategy,
+                "exchange_ranking": ranked,
+            }
+        )
+    summary = {
+        "shards": shards,
+        "per_strategy_exchange_bytes": {
+            strategy: sum(r["strategies"][strategy]["exchange_bytes"] for r in runs)
+            for strategy in strategies
+        },
+    }
+    comparable = "hash" in strategies and "min-edge-cut" in strategies
+    min_cut_wins = [
+        r["qid"]
+        for r in runs
+        if comparable
+        and r["strategies"]["min-edge-cut"]["exchange_bytes"]
+        < r["strategies"]["hash"]["exchange_bytes"]
+    ]
+    verdicts = {
+        "answers_all_match": all(
+            s["rows_match"] for r in runs for s in r["strategies"].values()
+        ),
+        "min_cut_beats_hash_queries": min_cut_wins,
+        "min_cut_beats_hash_on_two": len(min_cut_wins) >= 2,
+    }
+    return {
+        "schema": SHARD_AB_SCHEMA,
+        "queries": list(qids),
+        "shards": shards,
+        "strategies": list(strategies),
+        "runs": runs,
+        "summary": summary,
+        "verdicts": verdicts,
+    }
+
+
+def render_shard_report(report: dict[str, Any]) -> str:
+    """Terminal view: one line per (query, strategy)."""
+    lines = [
+        f"shard A/B ({report['shards']} shards), rapid-analytics:",
+        f"{'qid':5s} {'strategy':13s} {'exchange':>10s} {'cut':>9s} "
+        f"{'cost':>9s} {'base':>9s} {'match':>6s}",
+    ]
+    for run in report["runs"]:
+        for strategy, result in run["strategies"].items():
+            lines.append(
+                f"{run['qid']:5s} {strategy:13s} "
+                f"{result['exchange_bytes']:9d}B "
+                f"{result['cut_edges']:4d}/{result['total_edges']:<4d} "
+                f"{result['actual_cost']:8.2f}s {run['unsharded_cost']:8.2f}s "
+                f"{'yes' if result['rows_match'] else 'NO':>6s}"
+            )
+    verdicts = report["verdicts"]
+    totals = report["summary"]["per_strategy_exchange_bytes"]
+    lines.append(
+        "total exchange: "
+        + " ".join(f"{s}={totals[s]}B" for s in report["strategies"])
+    )
+    lines.append(
+        f"answers identical: {verdicts['answers_all_match']}; "
+        f"min-edge-cut beats hash on: "
+        f"{', '.join(verdicts['min_cut_beats_hash_queries']) or 'none'}"
+    )
+    return "\n".join(lines)
+
+
+def write_shard_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_shard_golden(path: str | Path) -> list[str]:
+    """Re-run a committed shard A/B report and diff against it.
+
+    Returns human-readable differences (empty = identical), so CI
+    catches any partitioner, exchange-accounting, or cost-model change
+    that moves a byte count, an answer digest, or a verdict.
+    """
+    golden = json.loads(Path(path).read_text())
+    fresh = shard_ab_report(
+        golden.get("queries", DEFAULT_QUERIES),
+        golden.get("shards", DEFAULT_SHARDS),
+        tuple(golden.get("strategies", PARTITIONERS)),
+    )
+    problems: list[str] = []
+    for field in ("schema", "queries", "shards", "strategies"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    golden_runs = {run["qid"]: run for run in golden.get("runs", [])}
+    fresh_runs = {run["qid"]: run for run in fresh.get("runs", [])}
+    for qid in sorted(set(golden_runs) | set(fresh_runs)):
+        old, new = golden_runs.get(qid), fresh_runs.get(qid)
+        if old is None or new is None:
+            problems.append(
+                f"{qid}: present only in {'fresh' if old is None else 'golden'}"
+            )
+            continue
+        for field in sorted((set(old) | set(new)) - {"qid"}):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"{qid}: {field} differs: "
+                    f"golden={old.get(field)!r} fresh={new.get(field)!r}"
+                )
+    for field in ("summary", "verdicts"):
+        if golden.get(field) != fresh.get(field):
+            problems.append(
+                f"{field} differs: golden={golden.get(field)!r} "
+                f"fresh={fresh.get(field)!r}"
+            )
+    return problems

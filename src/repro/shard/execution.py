@@ -1,0 +1,405 @@
+"""Partial evaluation and assembly: sharded execution of NTGA plans.
+
+The single-cluster engine runs one :class:`~repro.mapreduce.job.MapReduceJob`
+per NTGA cycle.  Under ``EngineConfig(shards=N)`` this driver expands
+each *logical* job into a per-shard job tree, following the
+partial-evaluation-and-assembly model:
+
+* a **full** logical job (TG_AlphaJoin, TG_AgJ) becomes N map-only
+  *partial* jobs — each shard runs the logical mapper over its local
+  part of every input — then a driver-side **exchange** routes the
+  tagged ``(key, value)`` emissions to the shard that owns each key
+  (graph subjects stay with their partition; other keys route by
+  stable hash), then N per-owner *assemble* jobs run the logical
+  reducer over exactly the key range they own;
+* a **map-only** logical job (TG_Join) broadcasts its gathered side
+  inputs and runs the logical mapper per shard over the stream input's
+  local part.
+
+**Bit-identity.**  Every sharded record travels in a
+:class:`ShardRecord` envelope carrying a deterministic *order tag*:
+the global position its payload would occupy in the unsharded run's
+file or emission sequence.  Merging any logical file's parts by tag
+reproduces the single-cluster record sequence exactly, and the
+per-owner reducer sorts its value list by tag, so value-order-
+sensitive reducers (the α-join cross product) see precisely the
+unsharded value order.  Partial jobs ship *raw* mapper emissions — no
+combiner — which makes the reconstruction provable for every reducer,
+not just commutative aggregation.
+
+**Pricing.**  Bytes whose producing shard differs from their owner are
+cross-shard traffic: the assemble job carries them as
+``MapReduceJob.exchange_bytes``, priced by the CostModel's
+``exchange_rate`` and decomposed as the ``exchange`` phase.  Per-shard
+jobs run on a ``nodes // N`` slice of the cluster, and each expansion
+group credits ``sum(costs) - max(costs)`` back as overlap (shards run
+concurrently; only the slowest is on the critical path).
+
+**Recovery.**  The driver's retry loop mirrors
+:meth:`~repro.mapreduce.runner.MapReduceRunner.run_workflow`: per-shard
+jobs checkpoint-commit individually, exchange files are re-created
+deterministically (stable fingerprints), so a crash inside one shard's
+partial evaluation resumes without re-running other shards' committed
+jobs.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Any, Iterable
+
+from repro import obs
+from repro.core.results import EngineConfig
+from repro.errors import ShardError, TaskFailedError
+from repro.mapreduce.cost import ClusterConfig, estimate_size
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runner import MapReduceRunner, WorkflowStats, _sort_key
+from repro.ntga.physical import AggRow, TripleGroupStore, empty_group_rows
+from repro.ntga.planner import NTGAPlan
+from repro.rdf.graph import Graph
+from repro.shard.partition import Partition, build_partition
+from repro.sparql.aggregates import AccumulatorTuple
+
+#: Fixed per-record envelope charge (order tag + framing) on top of the
+#: payload size — small, so part files and exchange volumes track the
+#: logical data they carry.
+_ENVELOPE_OVERHEAD = 12
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One sharded record: a payload plus its global order tag.
+
+    Tags are tuples built so that sorting a logical file's records by
+    tag across all parts reproduces the unsharded file's record order:
+    EC loads tag by position, partial maps tag by ``(input slot,
+    producer tag, emission index)``, assemble reducers tag by
+    ``(0, shuffle sort key, emission index)`` (matching the runner's
+    sorted-key reduce order), and injected default rows tag ``(1, ...)``
+    so they sort after every reduced record — the unsharded
+    append-at-end.
+    """
+
+    order: tuple
+    payload: Any
+
+    def estimated_size(self) -> int:
+        return estimate_size(self.payload) + _ENVELOPE_OVERHEAD
+
+
+def shard_cluster(cluster: ClusterConfig, shards: int) -> ClusterConfig:
+    """One worker's slice of the global cluster: per-shard jobs run on
+    ``nodes // shards`` nodes (at least one), same per-node slots."""
+    if shards <= 1:
+        return cluster
+    return replace(cluster, nodes=max(1, cluster.nodes // shards))
+
+
+def _part(path: str, shard: int) -> str:
+    """Shard *shard*'s part of logical file *path*."""
+    return f"{path}@s{shard}"
+
+
+def _partial_out(path: str, shard: int) -> str:
+    """Raw mapper emissions of shard *shard* for the job writing *path*."""
+    return f"{path}@m{shard}"
+
+
+def _exchange_file(path: str, shard: int) -> str:
+    """Post-exchange input owned by shard *shard* for the job writing *path*."""
+    return f"{path}@x{shard}"
+
+
+class ShardedExecutor:
+    """Drives one engine execution's logical jobs across N shards."""
+
+    def __init__(
+        self,
+        runner: MapReduceRunner,
+        store: TripleGroupStore,
+        graph: Graph,
+        config: EngineConfig,
+    ):
+        self.runner = runner
+        self.hdfs: HDFS = runner.hdfs
+        self.shards = config.shards
+        self.partition: Partition = build_partition(
+            graph, config.partitioner or "hash", config.shards
+        )
+        self.cluster = shard_cluster(config.cluster, config.shards)
+        self._write_store_parts(store)
+
+    # -- data placement --------------------------------------------------------
+
+    def _write_store_parts(self, store: TripleGroupStore) -> None:
+        """Distribute the equivalence-class files: each shard's part
+        holds the triplegroups whose subject it owns, tagged with the
+        group's position in the logical EC file."""
+        assignment = self.partition.assignment
+        paths = sorted(store.paths_by_class.values())
+        if store.empty_path:
+            paths.append(store.empty_path)
+        for path in paths:
+            records = self.hdfs.read(path).records
+            parts: list[list[ShardRecord]] = [[] for _ in range(self.shards)]
+            for position, group in enumerate(records):
+                shard = assignment[group.subject]
+                parts[shard].append(ShardRecord((position,), group))
+            for shard in range(self.shards):
+                self.hdfs.write(_part(path, shard), parts[shard])
+
+    def gather(self, path: str, compressed: bool = False) -> None:
+        """Merge a logical file's parts back into HDFS at *path* itself,
+        in order-tag order — the reconstruction of the unsharded file."""
+        merged: list[ShardRecord] = []
+        for shard in range(self.shards):
+            merged.extend(self.hdfs.read(_part(path, shard)).records)
+        merged.sort(key=lambda record: record.order)
+        self.hdfs.write(path, [record.payload for record in merged], compressed)
+
+    def inject_defaults(self, plan: NTGAPlan) -> None:
+        """Sharded :func:`~repro.ntga.planner.inject_default_rows`:
+        missing empty-group defaults (computed over *all* parts) are
+        appended to shard 0's part with ``(1, ...)`` tags, which sort
+        after every reduced record — exactly the unsharded append."""
+        for composite, path in plan.defaults_by_plan:
+            if not self.hdfs.exists(_part(path, 0)):
+                continue
+            present: set[int] = set()
+            for shard in range(self.shards):
+                for record in self.hdfs.read(_part(path, shard)).records:
+                    if isinstance(record.payload, AggRow):
+                        present.add(record.payload.subquery_id)
+            missing = [
+                row
+                for row in empty_group_rows(composite)
+                if row.subquery_id not in present
+            ]
+            if missing:
+                part0 = self.hdfs.read(_part(path, 0)).records
+                self.hdfs.write(
+                    _part(path, 0),
+                    list(part0)
+                    + [
+                        ShardRecord((1, index, 0), row)
+                        for index, row in enumerate(missing)
+                    ],
+                )
+
+    # -- job expansion ---------------------------------------------------------
+
+    def _check_supported(self, job: MapReduceJob) -> None:
+        if job.tag_inputs:
+            raise ShardError(
+                f"job {job.name!r}: tag_inputs jobs are not shardable"
+            )
+        if not job.is_map_only and (job.side_inputs or job.mapper is None):
+            raise ShardError(
+                f"job {job.name!r}: full jobs with side inputs are not shardable"
+            )
+
+    def _partial_jobs(self, job: MapReduceJob) -> list[MapReduceJob]:
+        """N map-only jobs running the logical mapper over local parts,
+        shipping raw tagged emissions (no combiner — see module doc)."""
+        slot_of = {path: slot for slot, path in enumerate(job.inputs)}
+        logical_mapper = job.mapper
+        assert logical_mapper is not None
+
+        def partial_mapper(tagged: tuple[str, ShardRecord]) -> Iterable[ShardRecord]:
+            path, record = tagged
+            # Strip the part suffix to recover the logical input slot.
+            slot = slot_of[path.rsplit("@s", 1)[0]]
+            for index, emission in enumerate(logical_mapper(record.payload)):
+                yield ShardRecord((slot, record.order, index), emission)
+
+        return [
+            MapReduceJob(
+                name=f"{job.name}@s{shard}",
+                inputs=tuple(_part(path, shard) for path in job.inputs),
+                output=_partial_out(job.output, shard),
+                mapper=partial_mapper,
+                tag_inputs=True,
+                labels=job.labels + (f"shard:{shard}", "partial"),
+                representation=job.representation,
+                cluster=self.cluster,
+            )
+            for shard in range(self.shards)
+        ]
+
+    def _exchange(self, job: MapReduceJob) -> list[int]:
+        """Route every partial emission to its key's owner shard.
+
+        Writes one exchange file per owner (sorted by order tag, so the
+        file bytes are a pure function of the partial outputs — stable
+        checkpoint fingerprints across re-submissions) and returns the
+        per-owner *cross-shard* byte volumes: the priced communication.
+        """
+        owner_for_key = self.partition.owner_for_key
+        per_owner: list[list[ShardRecord]] = [[] for _ in range(self.shards)]
+        inbound_cross = [0] * self.shards
+        cross_records = 0
+        for shard in range(self.shards):
+            for record in self.hdfs.read(_partial_out(job.output, shard)).records:
+                owner = owner_for_key(record.payload[0])
+                per_owner[owner].append(record)
+                if owner != shard:
+                    inbound_cross[owner] += record.estimated_size()
+                    cross_records += 1
+        for shard in range(self.shards):
+            per_owner[shard].sort(key=lambda record: record.order)
+            self.hdfs.write(_exchange_file(job.output, shard), per_owner[shard])
+        if obs._ACTIVE is not None:
+            obs.event(
+                "shard-exchange",
+                {
+                    "job": job.name,
+                    "cross_shard_bytes": sum(inbound_cross),
+                    "cross_shard_records": cross_records,
+                },
+            )
+        return inbound_cross
+
+    def _assemble_jobs(
+        self, job: MapReduceJob, inbound_cross: list[int]
+    ) -> list[MapReduceJob]:
+        """N full jobs running the logical reducer over owned keys."""
+        logical_reducer = job.reducer
+        assert logical_reducer is not None
+
+        def assemble_mapper(
+            record: ShardRecord,
+        ) -> Iterable[tuple[Any, tuple[tuple, Any]]]:
+            key, value = record.payload
+            yield key, (record.order, value)
+
+        def assemble_reducer(key: Any, tagged: list) -> Iterable[ShardRecord]:
+            # Tag order across shards is the unsharded emission order,
+            # so the reducer sees exactly the single-cluster value list.
+            tagged = sorted(tagged, key=lambda item: item[0])
+            values = [
+                # The aggregation reducer merges *into* values[0]; the
+                # stored exchange records must survive a re-submission
+                # un-mutated, so holistic accumulator state is copied.
+                copy.deepcopy(value)
+                if isinstance(value, AccumulatorTuple)
+                else value
+                for _, value in tagged
+            ]
+            key_tag = _sort_key(key)
+            for index, emission in enumerate(logical_reducer(key, values)):
+                yield ShardRecord((0, key_tag, index), emission)
+
+        return [
+            MapReduceJob(
+                name=f"{job.name}@r{shard}",
+                inputs=(_exchange_file(job.output, shard),),
+                output=_part(job.output, shard),
+                mapper=assemble_mapper,
+                reducer=assemble_reducer,
+                labels=job.labels + (f"shard:{shard}", "assemble"),
+                representation=job.representation,
+                exchange_bytes=inbound_cross[shard],
+                cluster=self.cluster,
+            )
+            for shard in range(self.shards)
+        ]
+
+    def _broadcast_jobs(self, job: MapReduceJob) -> list[MapReduceJob]:
+        """N map-only jobs for a logical map-only (TG_Join) cycle: side
+        inputs are gathered to their logical paths (the broadcast — each
+        shard's job re-reads them at full size, charging replication),
+        the stream input runs from local parts."""
+        for path in dict.fromkeys(job.side_inputs):
+            self.gather(path)
+        if len(job.inputs) != 1:
+            raise ShardError(
+                f"job {job.name!r}: sharded map-only jobs stream one input"
+            )
+        stream = job.inputs[0]
+
+        def make_factory(shard: int):
+            def factory(side_data: dict[str, list[Any]]):
+                logical_mapper = job.resolve_mapper(side_data)
+
+                def partial_mapper(record: ShardRecord) -> Iterable[ShardRecord]:
+                    for index, emission in enumerate(logical_mapper(record.payload)):
+                        yield ShardRecord((record.order, index), emission)
+
+                return partial_mapper
+
+            return factory
+
+        return [
+            MapReduceJob(
+                name=f"{job.name}@s{shard}",
+                inputs=(_part(stream, shard),),
+                output=_part(job.output, shard),
+                mapper_factory=make_factory(shard),
+                side_inputs=job.side_inputs,
+                labels=job.labels + (f"shard:{shard}", "partial"),
+                representation=job.representation,
+                cluster=self.cluster,
+            )
+            for shard in range(self.shards)
+        ]
+
+    # -- execution -------------------------------------------------------------
+
+    def _run_group(self, jobs: list[MapReduceJob], stats: WorkflowStats) -> None:
+        """Run one expansion group (the N per-shard jobs of one logical
+        phase) and credit the concurrency overlap: the group's jobs run
+        on disjoint workers, so only the slowest is on the critical path."""
+        costs = []
+        for job in jobs:
+            job_stats = self.runner.run_job(job, stats.counters)
+            stats.jobs.append(job_stats)
+            costs.append(job_stats.cost_seconds)
+        if len(costs) > 1:
+            stats.overlap_seconds += sum(costs) - max(costs)
+
+    def _run_once(self, jobs: list[MapReduceJob], stats: WorkflowStats) -> None:
+        for job in jobs:
+            self._check_supported(job)
+            if job.is_map_only:
+                self._run_group(self._broadcast_jobs(job), stats)
+                continue
+            self._run_group(self._partial_jobs(job), stats)
+            inbound_cross = self._exchange(job)
+            self._run_group(self._assemble_jobs(job, inbound_cross), stats)
+
+    def run(
+        self,
+        jobs: list[MapReduceJob],
+        stats: WorkflowStats | None = None,
+    ) -> WorkflowStats:
+        """Run logical *jobs* sharded; mirrors
+        :meth:`~repro.mapreduce.runner.MapReduceRunner.run_workflow`'s
+        recovery contract (including the *stats* continuation)."""
+        recovery = self.runner.recovery
+        if recovery is None:
+            result = stats if stats is not None else WorkflowStats()
+            try:
+                self._run_once(jobs, result)
+            except TaskFailedError as error:
+                error.partial_stats = result
+                raise
+            return result
+        failures = 0
+        while True:
+            attempt = WorkflowStats()
+            try:
+                self._run_once(jobs, attempt)
+            except TaskFailedError as error:
+                error.partial_stats = attempt
+                failures += 1
+                self.runner.note_workflow_failure(error, recovery, failures)
+                continue
+            break
+        if stats is None:
+            return attempt
+        stats.jobs.extend(attempt.jobs)
+        stats.counters.merge(attempt.counters)
+        stats.overlap_seconds += attempt.overlap_seconds
+        return stats

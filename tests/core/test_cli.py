@@ -471,3 +471,90 @@ def test_bench_faults_bad_spec_exits_2(capsys):
     assert code == 2
     assert "error:" in err
     assert err.count("\n") == 1
+
+
+def test_run_sharded_csv_matches_unsharded(capsys):
+    code, base, _ = run_cli(
+        capsys, "run", "MG1", "--preset", "tiny", "--format", "csv"
+    )
+    assert code == 0
+    code, sharded, _ = run_cli(
+        capsys,
+        "run", "MG1", "--preset", "tiny", "--format", "csv",
+        "--shards", "4,min-edge-cut",
+    )
+    assert code == 0
+    assert sharded == base
+
+
+def test_run_sharded_verbose_shows_per_shard_jobs(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "run", "MG1", "--preset", "tiny", "--verbose", "--shards", "2",
+    )
+    assert code == 0
+    assert "@s0" in out and "@r0" in out
+    assert "exchange=" in out
+
+
+def test_run_sharded_rejects_non_ntga_engine(capsys):
+    code, _, err = run_cli(
+        capsys,
+        "run", "MG1", "--preset", "tiny",
+        "--engine", "hive-naive", "--shards", "2",
+    )
+    assert code == 2
+    assert "does not support sharded execution" in err
+    assert err.count("\n") == 1
+
+
+def test_run_bad_shards_spec_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "run", "MG1", "--preset", "tiny", "--shards", "4,metis"
+    )
+    assert code == 2
+    assert "error:" in err
+    assert err.count("\n") == 1
+
+
+def test_explain_sharded_renders_partition_layout(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "explain", "MG1", "--preset", "tiny", "--shards", "4,min-edge-cut",
+    )
+    assert code == 0
+    assert "sharding (min-edge-cut, 4 shards):" in out
+    assert "estimated exchange" in out
+
+
+def test_explain_sharded_json_carries_sharding_section(capsys):
+    code, out, _ = run_cli(
+        capsys, "explain", "MG1", "--preset", "tiny", "--shards", "4", "--json"
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["schema"] == "repro-explain/v1"
+    assert report["sharding"]["shards"] == 4
+    assert len(report["sharding"]["per_shard"]) == 4
+
+
+def test_bench_shards_ab_smoke(capsys, tmp_path):
+    output = tmp_path / "shard_ab.json"
+    code, out, _ = run_cli(
+        capsys,
+        "bench", "MG1", "--shards", "2,hash", "--output", str(output),
+    )
+    assert code == 0
+    assert "shard A/B (2 shards)" in out
+    report = json.loads(output.read_text())
+    assert report["schema"] == "repro-shard-ab/v1"
+    assert report["verdicts"]["answers_all_match"] is True
+
+
+def test_bench_bad_shards_spec_exits_2(capsys):
+    code, _, err = run_cli(
+        capsys, "bench", "mg", "--shards", "banana"
+    )
+    assert code == 2
+    assert "error:" in err
+    assert err.count("\n") == 1

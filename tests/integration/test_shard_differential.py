@@ -1,0 +1,105 @@
+"""Partition-invariance differential suite.
+
+Every catalog query, under every partitioning strategy and shard count
+in the matrix, must produce answers **bit-identical** to the unsharded
+single-cluster run — not just bag-equal: the sharded driver's order
+tags promise the exact row list, including row order and duplicate
+placement, so the comparison is ``==`` on the raw row lists.
+
+The CI ``shard-smoke`` job re-runs the MG1–MG4 slice of this matrix
+under two ``PYTHONHASHSEED`` values and compares the emitted report
+bytes, which pins the suite's determinism across hash seeds.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.bench.catalog import CATALOG
+from repro.bench.harness import bsbm_config, chem_config, pubmed_config
+from repro.core.engines import make_engine, to_analytical
+from repro.shard.partition import PARTITIONERS
+
+_GRAPH_FIXTURE = {"bsbm": "bsbm_small", "chem": "chem_tiny", "pubmed": "pubmed_tiny"}
+_CONFIG_FACTORY = {"bsbm": bsbm_config, "chem": chem_config, "pubmed": pubmed_config}
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+@pytest.fixture(scope="module")
+def analytical_cache():
+    return {qid: to_analytical(query.sparql) for qid, query in CATALOG.items()}
+
+
+@pytest.fixture(scope="module")
+def bench_configs():
+    return {dataset: factory() for dataset, factory in _CONFIG_FACTORY.items()}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_engine("rapid-analytics")
+
+
+@pytest.fixture(scope="module")
+def unsharded_baseline(request, analytical_cache, bench_configs, engine):
+    """The single-cluster answer rows for every catalog query — the
+    oracle every sharded combination must reproduce exactly."""
+    cache = {}
+    for qid, query in CATALOG.items():
+        graph = request.getfixturevalue(_GRAPH_FIXTURE[query.dataset])
+        report = engine.execute(
+            analytical_cache[qid], graph, bench_configs[query.dataset]
+        )
+        cache[qid] = report.rows
+    return cache
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("strategy", PARTITIONERS)
+@pytest.mark.parametrize("qid", sorted(CATALOG))
+def test_sharded_rows_bit_identical_to_unsharded(
+    request,
+    qid,
+    strategy,
+    shards,
+    analytical_cache,
+    bench_configs,
+    engine,
+    unsharded_baseline,
+):
+    query = CATALOG[qid]
+    graph = request.getfixturevalue(_GRAPH_FIXTURE[query.dataset])
+    config = replace(
+        bench_configs[query.dataset], shards=shards, partitioner=strategy
+    )
+    report = engine.execute(analytical_cache[qid], graph, config)
+    assert report.rows == unsharded_baseline[qid], (
+        f"{qid} under {strategy}/shards={shards} diverged from the "
+        f"unsharded run (sharded {len(report.rows)} rows, unsharded "
+        f"{len(unsharded_baseline[qid])})"
+    )
+    if shards == 1:
+        assert report.stats.total_exchange_bytes == 0
+    else:
+        # N-way execution expands every logical cycle into per-shard
+        # jobs; the job list must reflect the expansion.
+        assert any("@s" in job.name for job in report.stats.jobs)
+
+
+@pytest.mark.parametrize("qid", ["MG1", "MG6", "MG11"])
+def test_rapid_plus_sharded_matches_unsharded(request, qid, analytical_cache):
+    """The non-adaptive NTGA engine shares the sharded driver; one
+    query per dataset pins that path too."""
+    query = CATALOG[qid]
+    graph = request.getfixturevalue(_GRAPH_FIXTURE[query.dataset])
+    engine = make_engine("rapid-plus")
+    base = engine.execute(analytical_cache[qid], graph)
+    from repro.core.results import EngineConfig
+
+    for strategy in PARTITIONERS:
+        report = engine.execute(
+            analytical_cache[qid],
+            graph,
+            EngineConfig(shards=4, partitioner=strategy),
+        )
+        assert report.rows == base.rows

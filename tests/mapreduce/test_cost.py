@@ -124,3 +124,83 @@ def test_cost_always_positive_and_finite(input_bytes, shuffle_bytes, output_byte
     )
     assert cost > 0
     assert cost < float("inf")
+
+
+class TestExchangePhaseDecomposition:
+    """Regression: the sharded exchange term must appear as its own
+    ``exchange`` phase in :meth:`CostModel.job_cost_phases` — not lumped
+    into the shuffle term — and the phase decomposition must always sum
+    to :meth:`CostModel.job_cost` for the same arguments."""
+
+    GRID = [
+        # (input, shuffle, output, map_tasks, reduce_tasks, exchange)
+        (0, 0, 0, 1, 0, 0),                       # empty map-only
+        (10**5, 0, 10**4, 4, 0, 0),               # map-only, no exchange
+        (10**5, 0, 10**4, 4, 0, 3_000),           # map-only with exchange
+        (10**6, 5 * 10**5, 10**5, 8, 5, 0),       # full, no exchange
+        (10**6, 5 * 10**5, 10**5, 8, 5, 40_000),  # full with exchange
+        (10**7, 10**6, 10**6, 40, 10, 123_456),   # big sharded assemble
+        (0, 0, 0, 1, 1, 1),                       # minimal exchange
+    ]
+
+    @pytest.mark.parametrize("params", GRID)
+    def test_phases_sum_to_job_cost(self, params):
+        input_bytes, shuffle_bytes, output_bytes, map_tasks, reduce_tasks, xb = params
+        model, cluster = CostModel(), ClusterConfig()
+        kwargs = dict(
+            input_bytes=input_bytes,
+            shuffle_bytes=shuffle_bytes,
+            output_bytes=output_bytes,
+            map_tasks=map_tasks,
+            reduce_tasks=reduce_tasks,
+            exchange_bytes=xb,
+        )
+        phases = model.job_cost_phases(cluster, **kwargs)
+        total = model.job_cost(cluster, **kwargs)
+        assert sum(seconds for _, seconds in phases) == pytest.approx(total)
+
+    @pytest.mark.parametrize("params", GRID)
+    def test_exchange_phase_gated_on_bytes(self, params):
+        input_bytes, shuffle_bytes, output_bytes, map_tasks, reduce_tasks, xb = params
+        phases = dict(
+            CostModel().job_cost_phases(
+                ClusterConfig(),
+                input_bytes=input_bytes,
+                shuffle_bytes=shuffle_bytes,
+                output_bytes=output_bytes,
+                map_tasks=map_tasks,
+                reduce_tasks=reduce_tasks,
+                exchange_bytes=xb,
+            )
+        )
+        if xb > 0:
+            assert phases["exchange"] > 0
+        else:
+            # Unsharded decompositions keep their historical shape.
+            assert "exchange" not in phases
+
+    def test_exchange_not_lumped_into_shuffle(self):
+        """Adding exchange bytes must leave the shuffle phase untouched
+        and surface entirely in the exchange phase."""
+        model, cluster = CostModel(), ClusterConfig()
+        kwargs = dict(
+            input_bytes=10**6,
+            shuffle_bytes=5 * 10**5,
+            output_bytes=10**5,
+            map_tasks=8,
+            reduce_tasks=5,
+        )
+        without = dict(model.job_cost_phases(cluster, **kwargs, exchange_bytes=0))
+        with_xb = dict(
+            model.job_cost_phases(cluster, **kwargs, exchange_bytes=64_000)
+        )
+        assert with_xb["shuffle"] == without["shuffle"]
+        assert with_xb["map"] == without["map"]
+        assert with_xb["materialize"] == without["materialize"]
+        delta = model.job_cost(cluster, **kwargs, exchange_bytes=64_000) - model.job_cost(
+            cluster, **kwargs, exchange_bytes=0
+        )
+        assert with_xb["exchange"] == pytest.approx(delta)
+
+    def test_exchange_rides_slower_rate_than_shuffle(self):
+        assert CostModel().exchange_rate < CostModel().shuffle_rate

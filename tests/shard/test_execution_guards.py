@@ -1,0 +1,126 @@
+"""Edge-of-the-shard-subsystem guards: what rejects, what degrades,
+and the small pure helpers the driver leans on.
+
+These are the contracts the differential suite does not exercise — the
+facade's refusal to hand a sharded config to an engine that would
+silently ignore it, the MQO batch guard, the ``--shards`` spec parser,
+the per-shard cluster slicing, and the EXPLAIN sharding section.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.bench.catalog import get_query
+from repro.core.engines import run_query, to_analytical
+from repro.core.explain import explain, explain_report
+from repro.core.results import EngineConfig
+from repro.errors import ShardError
+from repro.mapreduce.cost import ClusterConfig
+from repro.shard.ab import parse_shard_spec, rows_digest
+from repro.shard.execution import shard_cluster
+from repro.shard.partition import PARTITIONERS, build_partition
+
+
+@pytest.fixture(scope="module")
+def mg1(bsbm_small):
+    return to_analytical(get_query("MG1").sparql), bsbm_small
+
+
+class TestFacadeGuards:
+    @pytest.mark.parametrize("engine", ["sparql-reference", "hive-baseline"])
+    def test_non_ntga_engines_reject_sharded_configs(self, engine, mg1):
+        query, graph = mg1
+        with pytest.raises(ShardError, match="does not support sharded"):
+            run_query(query, graph, engine, EngineConfig(shards=2))
+
+    def test_partitioner_alone_triggers_the_guard(self, mg1):
+        query, graph = mg1
+        with pytest.raises(ShardError, match="sharding is available on"):
+            run_query(
+                query, graph, "sparql-reference", EngineConfig(partitioner="hash")
+            )
+
+    def test_ntga_engines_accept_sharded_configs(self, mg1):
+        query, graph = mg1
+        report = run_query(query, graph, "rapid-plus", EngineConfig(shards=2))
+        assert report.rows
+
+    def test_batch_execution_rejects_sharded_configs(self, mg1):
+        from repro.ntga.engine import execute_batch
+
+        query, graph = mg1
+        with pytest.raises(ShardError, match="batch"):
+            execute_batch([query, query], graph, EngineConfig(shards=2))
+
+
+class TestShardSpecParser:
+    def test_bare_count_means_all_strategies(self):
+        assert parse_shard_spec("4") == (4, PARTITIONERS)
+
+    def test_count_with_strategy(self):
+        assert parse_shard_spec("2,min-edge-cut") == (2, ("min-edge-cut",))
+
+    @pytest.mark.parametrize("spec", ["", "four", "4,metis", "0", "-1,hash"])
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ShardError):
+            parse_shard_spec(spec)
+
+
+class TestShardCluster:
+    def test_divides_nodes_keeping_slots(self):
+        cluster = ClusterConfig(nodes=10)
+        sliced = shard_cluster(cluster, 4)
+        assert sliced.nodes == 2
+        assert sliced.map_slots_per_node == cluster.map_slots_per_node
+        assert sliced.reduce_slots_per_node == cluster.reduce_slots_per_node
+
+    def test_never_below_one_node(self):
+        assert shard_cluster(ClusterConfig(nodes=3), 8).nodes == 1
+
+    def test_single_shard_is_identity(self):
+        cluster = ClusterConfig(nodes=10)
+        assert shard_cluster(cluster, 1) is cluster
+
+
+class TestDescribeAndDigest:
+    def test_describe_names_strategy_and_cut(self, bsbm_small):
+        partition = build_partition(bsbm_small, "min-edge-cut", 3)
+        text = partition.describe()
+        assert "min-edge-cut over 3 shard(s)" in text
+        assert f"edge cut {partition.cut_edges}/{partition.total_edges}" in text
+
+    def test_rows_digest_is_order_insensitive(self, mg1):
+        query, graph = mg1
+        rows = run_query(query, graph).rows
+        assert len(rows) > 1
+        assert rows_digest(rows) == rows_digest(list(reversed(rows)))
+        assert rows_digest(rows) != rows_digest(rows[1:])
+
+
+class TestExplainSharding:
+    def test_text_section_lists_every_shard(self, mg1):
+        query, graph = mg1
+        text = explain(
+            query, "rapid-analytics", graph, EngineConfig(shards=3, partitioner="hash")
+        )
+        assert "sharding (hash, 3 shards):" in text
+        for shard in range(3):
+            assert f"shard {shard}:" in text
+        assert "estimated exchange" in text
+
+    def test_report_sharding_matches_partition(self, mg1):
+        query, graph = mg1
+        config = EngineConfig(shards=4, partitioner="min-edge-cut")
+        sharding = explain_report(query, "rapid-analytics", graph, config)["sharding"]
+        partition = build_partition(graph, "min-edge-cut", 4)
+        assert sharding["strategy"] == "min-edge-cut"
+        assert [s["groups"] for s in sharding["per_shard"]] == list(
+            partition.group_counts
+        )
+        assert sharding["cut_edges"] == partition.cut_edges
+        assert sharding["estimated_exchange_bytes"] > 0
+
+    def test_unsharded_report_has_no_sharding_key(self, mg1):
+        query, graph = mg1
+        report = explain_report(query, "rapid-analytics", graph, EngineConfig())
+        assert "sharding" not in report

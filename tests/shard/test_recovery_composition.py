@@ -1,0 +1,114 @@
+"""Fault/recovery composition: a crash inside one shard's partial
+evaluation recovers through the checkpoint ledger without re-running
+other shards' committed jobs.
+
+The scenario is fully deterministic: FaultPlan spec ``18,0.08,0,0,1``
+(seed 18, 8% crash rate, max_attempts=1 so every injected crash aborts
+its job) against MG1 on the tiny BSBM preset at shards=4/min-edge-cut
+crashes exactly one per-shard job — the TG_AgJ partial on shard 2
+(``ra:agg-join@s2``) — after the α-join's eight per-shard jobs and the
+agg-join partials on shards 0 and 1 have committed.  The resubmission
+must skip exactly those ten committed jobs and recompute only the
+failed shard onward.
+"""
+
+import pytest
+
+from repro import obs
+from repro.bench.catalog import get_query
+from repro.core.engines import make_engine, to_analytical
+from repro.core.results import EngineConfig
+from repro.datasets import bsbm
+from repro.mapreduce.checkpoint import RecoveryPolicy
+from repro.mapreduce.faults import FaultPlan
+
+FAULT_SPEC = "18,0.08,0,0,1"
+CRASHED_JOB = "ra:agg-join@s2"
+#: The jobs durably committed before the crash: every per-shard job of
+#: the α-join cycle plus the agg-join partials that ran ahead of the
+#: crashed shard.  A resubmission salvages exactly this set.
+SALVAGED_JOBS = frozenset(
+    [f"ra:alpha-join-0@s{i}" for i in range(4)]
+    + [f"ra:alpha-join-0@r{i}" for i in range(4)]
+    + ["ra:agg-join@s0", "ra:agg-join@s1"]
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return bsbm.generate(bsbm.preset("tiny"))
+
+
+@pytest.fixture(scope="module")
+def query():
+    return to_analytical(get_query("MG1").sparql)
+
+
+@pytest.fixture(scope="module")
+def fault_free(graph, query):
+    return make_engine("rapid-analytics").execute(
+        query, graph, EngineConfig(shards=4, partitioner="min-edge-cut")
+    )
+
+
+def test_partial_crash_recovers_without_rerunning_other_shards(
+    graph, query, fault_free
+):
+    engine = make_engine("rapid-analytics")
+    with obs.tracing() as recorder:
+        report = engine.execute(
+            query,
+            graph,
+            EngineConfig(
+                shards=4,
+                partitioner="min-edge-cut",
+                fault_plan=FaultPlan.from_spec(FAULT_SPEC),
+                recovery=RecoveryPolicy(),
+            ),
+        )
+
+    # The crash happened inside one shard's partial evaluation.
+    resumes = [e for e in recorder.events if e.name == "workflow-resume"]
+    assert [e.attrs["job"] for e in resumes] == [CRASHED_JOB]
+
+    # The resubmission salvaged exactly the committed per-shard jobs:
+    # the whole α-join expansion plus the agg-join partials that ran
+    # before the crashed shard — nothing re-executed, nothing missing.
+    skips = [e for e in recorder.events if e.name == "checkpoint-skip"]
+    assert {e.attrs["job"] for e in skips} == SALVAGED_JOBS
+    assert len(skips) == len(SALVAGED_JOBS)
+
+    counters = report.stats.counters.as_dict()
+    assert counters["workflow_resubmissions"] == 1
+    assert counters["jobs_skipped_by_checkpoint"] == len(SALVAGED_JOBS)
+    assert counters["salvaged_bytes"] > 0
+
+    # Recovery is accounting only: the recovered run's answers are
+    # bit-identical to the fault-free sharded run (hence to unsharded).
+    assert report.rows == fault_free.rows
+    assert report.stats.total_exchange_bytes == fault_free.stats.total_exchange_bytes
+    # The recovered run costs strictly more (wasted attempt + resubmit
+    # overhead), never less.
+    assert report.cost_seconds > fault_free.cost_seconds
+
+
+def test_exchange_files_fingerprint_stably_across_resubmissions(graph, query):
+    """Assemble jobs read driver-written exchange files; those files
+    must be byte-stable across resubmissions or every assemble job's
+    checkpoint would self-invalidate.  The salvaged set in the test
+    above includes assemble jobs (``@r``) — this pins the property
+    directly by asserting an assemble job skipped on resubmission."""
+    engine = make_engine("rapid-analytics")
+    with obs.tracing() as recorder:
+        engine.execute(
+            query,
+            graph,
+            EngineConfig(
+                shards=4,
+                partitioner="min-edge-cut",
+                fault_plan=FaultPlan.from_spec(FAULT_SPEC),
+                recovery=RecoveryPolicy(),
+            ),
+        )
+    skipped = {e.attrs["job"] for e in recorder.events if e.name == "checkpoint-skip"}
+    assert any("@r" in name for name in skipped)
